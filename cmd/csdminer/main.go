@@ -1,0 +1,205 @@
+// Command csdminer runs the Pervasive Miner pipeline over a POI file
+// and a taxi-journey log (the formats genworkload emits).
+//
+// Usage:
+//
+//	csdminer -pois pois.csv -journeys journeys.csv <subcommand> [flags]
+//
+// Subcommands:
+//
+//	diagram    build the City Semantic Diagram and report its units
+//	recognize  annotate the journeys and write semantic trajectories
+//	mine       extract fine-grained patterns and report them
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"csdm/internal/core"
+	"csdm/internal/csd"
+	"csdm/internal/metrics"
+	"csdm/internal/pattern"
+	"csdm/internal/poi"
+	"csdm/internal/trajectory"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("csdminer: ")
+	var (
+		poiPath     = flag.String("pois", "pois.csv", "POI CSV file")
+		journeyPath = flag.String("journeys", "journeys.csv", "journey CSV file")
+		approach    = flag.String("approach", "CSD-PM", "mining approach (CSD-PM, ROI-PM, CSD-Splitter, ROI-Splitter, CSD-SDBSCAN, ROI-SDBSCAN)")
+		sigma       = flag.Int("sigma", 50, "support threshold σ")
+		rho         = flag.Float64("rho", 0.002, "density threshold ρ (points/m²)")
+		deltaT      = flag.Duration("deltat", time.Hour, "temporal constraint δ_t")
+		top         = flag.Int("top", 20, "patterns to print (mine)")
+		out         = flag.String("out", "semantic_trajectories.json", "output file (recognize)")
+		saveDiagram = flag.String("save-diagram", "", "write the built City Semantic Diagram to this file")
+		loadDiagram = flag.String("load-diagram", "", "reuse a diagram previously written with -save-diagram")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: csdminer [flags] diagram|recognize|mine")
+		os.Exit(2)
+	}
+
+	pois, journeys := loadInputs(*poiPath, *journeyPath)
+	pipe := core.NewPipeline(pois, journeys, core.DefaultConfig())
+	if *loadDiagram != "" {
+		f, err := os.Open(*loadDiagram)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := csd.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pipe.UseDiagram(d)
+		fmt.Printf("loaded diagram with %d units from %s\n", len(d.Units), *loadDiagram)
+	}
+
+	switch cmd := flag.Arg(0); cmd {
+	case "diagram":
+		runDiagram(pipe)
+		if *saveDiagram != "" {
+			f, err := os.Create(*saveDiagram)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := pipe.Diagram().Write(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("diagram written to %s\n", *saveDiagram)
+		}
+	case "recognize":
+		runRecognize(pipe, *out)
+	case "mine":
+		params := pattern.DefaultParams()
+		params.Sigma = *sigma
+		params.Rho = *rho
+		params.DeltaT = *deltaT
+		runMine(pipe, *approach, params, *top)
+	default:
+		log.Fatalf("unknown subcommand %q", cmd)
+	}
+}
+
+func loadInputs(poiPath, journeyPath string) ([]poi.POI, []trajectory.Journey) {
+	pf, err := os.Open(poiPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pf.Close()
+	pois, err := poi.ReadCSV(pf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jf, err := os.Open(journeyPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer jf.Close()
+	journeys, err := trajectory.ReadJourneysCSV(jf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d POIs, %d journeys\n", len(pois), len(journeys))
+	return pois, journeys
+}
+
+func runDiagram(pipe *core.Pipeline) {
+	t0 := time.Now()
+	d := pipe.Diagram()
+	fmt.Printf("City Semantic Diagram built in %.1fs\n", time.Since(t0).Seconds())
+	fmt.Printf("units: %d, POI coverage: %.1f%%, mean purity: %.3f\n",
+		len(d.Units), d.Coverage()*100, d.MeanUnitPurity())
+	// Largest units.
+	units := make([]int, 0, len(d.Units))
+	for i := range d.Units {
+		units = append(units, i)
+	}
+	sort.Slice(units, func(a, b int) bool {
+		return len(d.Units[units[a]].Members) > len(d.Units[units[b]].Members)
+	})
+	fmt.Println("largest units:")
+	for i := 0; i < 10 && i < len(units); i++ {
+		u := d.Units[units[i]]
+		fmt.Printf("  unit %4d: %4d POIs at %s  %s\n", u.ID, len(u.Members), u.Center, u.Semantics)
+	}
+}
+
+func runRecognize(pipe *core.Pipeline, out string) {
+	t0 := time.Now()
+	db := pipe.Database(core.RecCSD)
+	annotated, total := 0, 0
+	for _, st := range db {
+		for _, sp := range st.Stays {
+			total++
+			if !sp.S.IsEmpty() {
+				annotated++
+			}
+		}
+	}
+	fmt.Printf("recognized %d trajectories (%d/%d stays annotated) in %.1fs\n",
+		len(db), annotated, total, time.Since(t0).Seconds())
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := trajectory.WriteSemanticJSON(f, db); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+func runMine(pipe *core.Pipeline, approach string, params pattern.Params, top int) {
+	var chosen *core.Approach
+	for _, a := range core.Approaches() {
+		if a.String() == approach {
+			a := a
+			chosen = &a
+			break
+		}
+	}
+	if chosen == nil {
+		log.Fatalf("unknown approach %q", approach)
+	}
+	t0 := time.Now()
+	ps := pipe.Mine(*chosen, params)
+	s := metrics.Summarize(ps)
+	fmt.Printf("%s mined %d patterns in %.1fs (σ=%d, ρ=%g, δt=%s)\n",
+		approach, len(ps), time.Since(t0).Seconds(), params.Sigma, params.Rho, params.DeltaT)
+	fmt.Printf("coverage=%d  avg sparsity=%.1f m  avg consistency=%.3f\n",
+		s.Coverage, s.MeanSparsity, s.MeanConsistency)
+
+	sort.Slice(ps, func(a, b int) bool { return ps[a].Support > ps[b].Support })
+	if top > len(ps) {
+		top = len(ps)
+	}
+	for i := 0; i < top; i++ {
+		p := ps[i]
+		fmt.Printf("  #%2d support=%4d ss=%5.1f sc=%.3f  ", i+1, p.Support,
+			metrics.SpatialSparsity(p), metrics.SemanticConsistency(p))
+		for k, sp := range p.Stays {
+			if k > 0 {
+				fmt.Print(" → ")
+			}
+			fmt.Printf("%s@%s", sp.S, sp.P)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,118 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic Shanghai workload.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig14g|fig14h]
+//	            [-pois N] [-passengers N] [-days N] [-seed N]
+//	            [-sigma N] [-rho F] [-deltat D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"csdm/internal/core"
+	"csdm/internal/experiments"
+	"csdm/internal/pattern"
+	"csdm/internal/render"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment to run (all, table1, table3, fig6, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig14g, fig14h)")
+		pois       = flag.Int("pois", experiments.DefaultScale().NumPOIs, "POI dataset size")
+		passengers = flag.Int("passengers", experiments.DefaultScale().NumPassengers, "commuter population")
+		days       = flag.Int("days", experiments.DefaultScale().Days, "simulated days")
+		seed       = flag.Int64("seed", experiments.DefaultScale().Seed, "generator seed")
+		sigma      = flag.Int("sigma", experiments.MiningParams().Sigma, "support threshold σ")
+		rho        = flag.Float64("rho", experiments.MiningParams().Rho, "density threshold ρ (points/m²)")
+		deltaT     = flag.Duration("deltat", experiments.MiningParams().DeltaT, "temporal constraint δ_t")
+		svgDir     = flag.String("svg-dir", "", "also write fig6.svg (CSD units) and fig14.svg (patterns) into this directory")
+	)
+	flag.Parse()
+
+	scale := experiments.Scale{Seed: *seed, NumPOIs: *pois, NumPassengers: *passengers, Days: *days}
+	params := experiments.MiningParams()
+	params.Sigma = *sigma
+	params.Rho = *rho
+	params.DeltaT = *deltaT
+
+	start := time.Now()
+	fmt.Printf("generating synthetic Shanghai: %d POIs, %d passengers, %d days (seed %d)\n",
+		scale.NumPOIs, scale.NumPassengers, scale.Days, scale.Seed)
+	env := experiments.Setup(scale)
+	fmt.Printf("workload ready: %s (%.1fs)\n", env.Pipeline.Describe(), time.Since(start).Seconds())
+
+	w := os.Stdout
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		t0 := time.Now()
+		fn()
+		fmt.Fprintf(w, "[%s done in %.1fs]\n", name, time.Since(t0).Seconds())
+	}
+
+	run("table1", func() { env.RenderTable1(w) })
+	run("table3", func() { env.RenderTable3(w) })
+	run("fig6", func() { env.RenderFig6(w) })
+	run("fig8", func() { env.RenderFig8(w) })
+	run("fig9", func() { env.RenderFig9(w, params) })
+	run("fig10", func() { env.RenderFig10(w, params) })
+	run("fig11", func() { experiments.RenderSweep(w, "Figure 11", env.Fig11()) })
+	run("fig12", func() { experiments.RenderSweep(w, "Figure 12", env.Fig12()) })
+	run("fig13", func() { experiments.RenderSweep(w, "Figure 13", env.Fig13()) })
+	run("fig14", func() { env.RenderFig14(w, params) })
+	run("fig14g", func() { env.RenderFig14g(w, params) })
+	run("fig14h", func() { env.RenderFig14h(w, params) })
+
+	if *svgDir != "" {
+		if err := writeSVGs(env, params, *svgDir); err != nil {
+			fmt.Fprintln(os.Stderr, "svg:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s/fig6.svg and %s/fig14.svg\n", *svgDir, *svgDir)
+	}
+
+	known := "all table1 table3 fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig14g fig14h"
+	if *exp != "all" && !strings.Contains(known, *exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", *exp, known)
+		os.Exit(2)
+	}
+	fmt.Printf("total %.1fs\n", time.Since(start).Seconds())
+}
+
+// writeSVGs renders the Figure 6 and Figure 14 map views.
+func writeSVGs(env *experiments.Env, params pattern.Params, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	canvas := render.NewCanvas(env.City.Center, env.City.ExtentMeters, 900)
+
+	f6, err := os.Create(filepath.Join(dir, "fig6.svg"))
+	if err != nil {
+		return err
+	}
+	if err := canvas.Diagram(f6, env.Pipeline.Diagram()); err != nil {
+		f6.Close()
+		return err
+	}
+	if err := f6.Close(); err != nil {
+		return err
+	}
+
+	f14, err := os.Create(filepath.Join(dir, "fig14.svg"))
+	if err != nil {
+		return err
+	}
+	if err := canvas.Patterns(f14, env.Pipeline.Mine(core.CSDPM, params)); err != nil {
+		f14.Close()
+		return err
+	}
+	return f14.Close()
+}

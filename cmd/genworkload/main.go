@@ -1,0 +1,77 @@
+// Command genworkload generates a synthetic Shanghai-like dataset — a
+// POI file and a taxi-journey log — in the exchange formats the
+// csdminer tool consumes.
+//
+// Usage:
+//
+//	genworkload [-pois N] [-passengers N] [-days N] [-seed N]
+//	            [-poi-out pois.csv] [-journeys-out journeys.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"csdm/internal/poi"
+	"csdm/internal/synth"
+	"csdm/internal/trajectory"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genworkload: ")
+	var (
+		nPOIs       = flag.Int("pois", 6000, "POI dataset size")
+		nPassengers = flag.Int("passengers", 1000, "commuter population")
+		days        = flag.Int("days", 14, "simulated days (starting on a Monday)")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		poiOut      = flag.String("poi-out", "pois.csv", "POI output file")
+		journeyOut  = flag.String("journeys-out", "journeys.csv", "journey output file")
+	)
+	flag.Parse()
+
+	cfg := synth.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumPOIs = *nPOIs
+	cfg.NumPassengers = *nPassengers
+	cfg.Days = *days
+
+	city := synth.NewCity(cfg)
+	w := city.GenerateWorkload()
+
+	if err := writePOIs(*poiOut, city.POIs); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeJourneys(*journeyOut, w.Journeys); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d POIs to %s and %d journeys to %s (mean trip %.1f min)\n",
+		len(city.POIs), *poiOut, len(w.Journeys), *journeyOut,
+		synth.MeanTripMinutes(w.Journeys))
+}
+
+func writePOIs(path string, ps []poi.POI) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := poi.WriteCSV(f, ps); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeJourneys(path string, js []trajectory.Journey) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trajectory.WriteJourneysCSV(f, js); err != nil {
+		return err
+	}
+	return f.Close()
+}

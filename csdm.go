@@ -1,0 +1,150 @@
+package csdm
+
+import (
+	"io"
+
+	"csdm/internal/core"
+	"csdm/internal/csd"
+	"csdm/internal/geo"
+	"csdm/internal/metrics"
+	"csdm/internal/pattern"
+	"csdm/internal/poi"
+	"csdm/internal/recognize"
+	"csdm/internal/synth"
+	"csdm/internal/trajectory"
+)
+
+// Geographic and data-model types.
+type (
+	// Point is a WGS84 coordinate (longitude, latitude).
+	Point = geo.Point
+	// POI is a point of interest with a semantic category.
+	POI = poi.POI
+	// Semantics is a set of semantic tags over the 15 major categories.
+	Semantics = poi.Semantics
+	// Major is one of the 15 major semantic categories (Table 3).
+	Major = poi.Major
+	// Journey is one taxi trip record (pick-up, drop-off, times,
+	// optional passenger card ID).
+	Journey = trajectory.Journey
+	// StayPoint is a location where a commuter stopped for an activity.
+	StayPoint = trajectory.StayPoint
+	// SemanticTrajectory is a sequence of (annotated) stay points.
+	SemanticTrajectory = trajectory.SemanticTrajectory
+	// Pattern is a mined fine-grained semantic pattern.
+	Pattern = pattern.Pattern
+	// MiningParams are the σ/δ_t/ρ/ε_t mining thresholds.
+	MiningParams = pattern.Params
+	// Summary aggregates the four evaluation metrics over a result set.
+	Summary = metrics.Summary
+	// Config bundles the construction parameters of the pipeline.
+	Config = core.Config
+	// Approach selects one of the six systems of the paper's §5.
+	Approach = core.Approach
+	// Diagram is a built City Semantic Diagram.
+	Diagram = csd.Diagram
+	// CityConfig parameterizes the synthetic city generator.
+	CityConfig = synth.Config
+	// City is a generated synthetic city.
+	City = synth.City
+)
+
+// The six approaches compared in the paper.
+var (
+	// CSDPM is the paper's system: CSD recognition + CounterpartCluster.
+	CSDPM = core.CSDPM
+	// ROIPM replaces the CSD with the hot-region baseline of [21].
+	ROIPM = core.ROIPM
+	// CSDSplitter combines CSD recognition with Splitter refinement [17].
+	CSDSplitter = core.CSDSplitter
+	// ROISplitter combines ROI recognition with Splitter refinement.
+	ROISplitter = core.ROISplitter
+	// CSDSDBSCAN combines CSD recognition with SDBSCAN refinement [19].
+	CSDSDBSCAN = core.CSDSDBSCAN
+	// ROISDBSCAN combines ROI recognition with SDBSCAN refinement.
+	ROISDBSCAN = core.ROISDBSCAN
+)
+
+// Approaches lists all six systems in the paper's order.
+func Approaches() []Approach { return core.Approaches() }
+
+// DefaultConfig returns the paper's §4.1 construction defaults.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultMiningParams returns the paper's §5 normal condition:
+// σ = 50, δ_t = 60 min, ρ = 0.002 m⁻².
+func DefaultMiningParams() MiningParams { return pattern.DefaultParams() }
+
+// DefaultCityConfig returns a laptop-scale synthetic city configuration.
+func DefaultCityConfig() CityConfig { return synth.DefaultConfig() }
+
+// GenerateCity builds a synthetic Shanghai-like city: POIs matching the
+// paper's Table 3 category mix, mixed-use towers, single-purpose
+// streets, a river, an airport and a hospital.
+func GenerateCity(cfg CityConfig) *City { return synth.NewCity(cfg) }
+
+// Miner is the top-level entry point: it owns a POI dataset and a taxi
+// journey log and runs any of the six mining approaches over them. The
+// expensive shared artifacts (the City Semantic Diagram, the annotated
+// trajectory databases) are built once and reused across Mine calls.
+type Miner struct {
+	pipeline *core.Pipeline
+}
+
+// NewMiner prepares a miner over the given POI dataset and journeys.
+func NewMiner(pois []POI, journeys []Journey, cfg Config) *Miner {
+	return &Miner{pipeline: core.NewPipeline(pois, journeys, cfg)}
+}
+
+// Diagram returns the City Semantic Diagram, building it on first use.
+func (m *Miner) Diagram() *Diagram { return m.pipeline.Diagram() }
+
+// UseDiagram installs a pre-built diagram (e.g. loaded with
+// ReadDiagram) instead of constructing one; it must be called before
+// the first Diagram, Mine or Database call.
+func (m *Miner) UseDiagram(d *Diagram) { m.pipeline.UseDiagram(d) }
+
+// ReadDiagram loads a diagram serialized with (*Diagram).Write.
+func ReadDiagram(r io.Reader) (*Diagram, error) { return csd.Read(r) }
+
+// Mine runs one approach end to end and returns its fine-grained
+// patterns.
+func (m *Miner) Mine(a Approach, params MiningParams) []Pattern {
+	return m.pipeline.Mine(a, params)
+}
+
+// MineAll runs all six approaches under the same parameters, keyed by
+// the approach's paper name (e.g. "CSD-PM").
+func (m *Miner) MineAll(params MiningParams) map[string][]Pattern {
+	return m.pipeline.MineAll(params)
+}
+
+// Database returns the annotated semantic-trajectory database built by
+// the given approach's recognizer.
+func (m *Miner) Database(a Approach) []SemanticTrajectory {
+	return m.pipeline.Database(a.Recognizer)
+}
+
+// Recognize returns the semantic property the City Semantic Diagram
+// assigns to a stay at p (Algorithm 3).
+func (m *Miner) Recognize(p Point) Semantics {
+	return recognize.NewCSDRecognizer(m.pipeline.Diagram()).Recognize(p)
+}
+
+// Summarize computes the paper's four evaluation metrics — pattern
+// count, coverage, mean spatial sparsity, mean semantic consistency —
+// over a mining result.
+func Summarize(ps []Pattern) Summary { return metrics.Summarize(ps) }
+
+// SpatialSparsity computes Equation (10) for one pattern.
+func SpatialSparsity(p Pattern) float64 { return metrics.SpatialSparsity(p) }
+
+// SemanticConsistency computes Equation (12) for one pattern.
+func SemanticConsistency(p Pattern) float64 { return metrics.SemanticConsistency(p) }
+
+// DetectStayPoints extracts stay points from a raw GPS trajectory per
+// Definition 5. Taxi pick-up/drop-off records do not need this — their
+// endpoints are stay points directly — but generic GPS traces do.
+func DetectStayPoints(t trajectory.Trajectory, params trajectory.StayPointParams) []StayPoint {
+	return trajectory.DetectStayPoints(t, params)
+}

@@ -1,0 +1,3 @@
+module csdm
+
+go 1.23

@@ -1,0 +1,103 @@
+// Package cluster implements the clustering algorithms the paper's
+// pipeline and its baselines depend on: DBSCAN (hot-region detection in
+// the ROI baseline, SDBSCAN refinement), OPTICS (Algorithm 4's
+// CounterpartCluster step), K-means (hot-region splitting), and Mean
+// Shift (Splitter's top-down refinement).
+//
+// All algorithms cluster WGS84 points with distances in meters and
+// report results as a label per input point; Noise marks unclustered
+// points.
+package cluster
+
+import (
+	"csdm/internal/geo"
+	"csdm/internal/index"
+)
+
+// Noise is the label assigned to points that belong to no cluster.
+const Noise = -1
+
+// Result is a clustering outcome: Labels[i] is the cluster of point i
+// (or Noise), and NumClusters is the number of distinct clusters.
+type Result struct {
+	Labels      []int
+	NumClusters int
+}
+
+// Members returns the point indices of each cluster, indexed by label.
+func (r Result) Members() [][]int {
+	out := make([][]int, r.NumClusters)
+	for i, l := range r.Labels {
+		if l >= 0 {
+			out[l] = append(out[l], i)
+		}
+	}
+	return out
+}
+
+// NoiseCount returns how many points were labeled Noise.
+func (r Result) NoiseCount() int {
+	n := 0
+	for _, l := range r.Labels {
+		if l == Noise {
+			n++
+		}
+	}
+	return n
+}
+
+// DBSCAN runs density-based spatial clustering over pts with
+// neighborhood radius eps (meters) and core threshold minPts (a point is
+// a core point when its eps-neighborhood, itself included, holds at
+// least minPts points).
+func DBSCAN(pts []geo.Point, eps float64, minPts int) Result {
+	labels := make([]int, len(pts))
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if len(pts) == 0 || eps <= 0 || minPts <= 0 {
+		return Result{Labels: labels}
+	}
+	idx := index.NewGrid(pts, gridCellFor(eps))
+
+	visited := make([]bool, len(pts))
+	next := 0
+	for i := range pts {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		neighbors := idx.Within(pts[i], eps)
+		if len(neighbors) < minPts {
+			continue
+		}
+		labels[i] = next
+		// Expand the cluster with a seed queue.
+		queue := append([]int(nil), neighbors...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = next // border point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = next
+			jn := idx.Within(pts[j], eps)
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+		next++
+	}
+	return Result{Labels: labels, NumClusters: next}
+}
+
+// gridCellFor picks a grid cell size matched to the query radius.
+func gridCellFor(eps float64) float64 {
+	if eps < 10 {
+		return 10
+	}
+	return eps
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"csdm/internal/geo"
+)
+
+// KMeansResult extends Result with the final cluster centers.
+type KMeansResult struct {
+	Result
+	Centers []geo.Point
+}
+
+// KMeans partitions pts into k clusters with Lloyd's algorithm seeded by
+// k-means++. Distances are computed in a local metric projection. rng
+// drives the seeding; maxIter bounds the Lloyd iterations.
+func KMeans(pts []geo.Point, k, maxIter int, rng *rand.Rand) KMeansResult {
+	n := len(pts)
+	labels := make([]int, n)
+	if n == 0 || k <= 0 {
+		for i := range labels {
+			labels[i] = Noise
+		}
+		return KMeansResult{Result: Result{Labels: labels}}
+	}
+	if k > n {
+		k = n
+	}
+	proj := geo.NewProjection(geo.Centroid(pts))
+	planar := make([]geo.Meters, n)
+	for i, p := range pts {
+		planar[i] = proj.ToMeters(p)
+	}
+
+	centers := seedPlusPlus(planar, k, rng)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		// Assignment step.
+		for i, m := range planar {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := sqDist(m, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update step.
+		sums := make([]geo.Meters, k)
+		counts := make([]int, k)
+		for i, l := range labels {
+			sums[l].X += planar[i].X
+			sums[l].Y += planar[i].Y
+			counts[l]++
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				centers[c] = planar[rng.Intn(n)]
+				continue
+			}
+			centers[c] = geo.Meters{
+				X: sums[c].X / float64(counts[c]),
+				Y: sums[c].Y / float64(counts[c]),
+			}
+		}
+	}
+
+	out := KMeansResult{
+		Result:  Result{Labels: labels, NumClusters: k},
+		Centers: make([]geo.Point, k),
+	}
+	for c, ctr := range centers {
+		out.Centers[c] = proj.ToPoint(ctr)
+	}
+	return out
+}
+
+// seedPlusPlus picks k initial centers with k-means++ weighting.
+func seedPlusPlus(planar []geo.Meters, k int, rng *rand.Rand) []geo.Meters {
+	centers := make([]geo.Meters, 0, k)
+	centers = append(centers, planar[rng.Intn(len(planar))])
+	d2 := make([]float64, len(planar))
+	for len(centers) < k {
+		var total float64
+		for i, m := range planar {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(m, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with existing centers.
+			centers = append(centers, planar[rng.Intn(len(planar))])
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := len(planar) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, planar[pick])
+	}
+	return centers
+}
+
+func sqDist(a, b geo.Meters) float64 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return dx*dx + dy*dy
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"math"
+
+	"csdm/internal/geo"
+	"csdm/internal/index"
+)
+
+// MeanShiftResult extends Result with the converged modes.
+type MeanShiftResult struct {
+	Result
+	Modes []geo.Point
+}
+
+// meanShiftMaxIter bounds the hill-climbing iterations per point.
+const meanShiftMaxIter = 100
+
+// MeanShift clusters pts by flat-kernel mean-shift with the given
+// bandwidth (meters): every point hill-climbs to the mean of its
+// bandwidth neighborhood until it moves less than 1% of the bandwidth,
+// and points whose modes land within half a bandwidth of each other are
+// merged into one cluster. This is the top-down refinement strategy the
+// Splitter baseline uses to break coarse patterns apart.
+func MeanShift(pts []geo.Point, bandwidth float64) MeanShiftResult {
+	n := len(pts)
+	labels := make([]int, n)
+	if n == 0 || bandwidth <= 0 {
+		for i := range labels {
+			labels[i] = Noise
+		}
+		return MeanShiftResult{Result: Result{Labels: labels}}
+	}
+	proj := geo.NewProjection(geo.Centroid(pts))
+	planar := make([]geo.Meters, n)
+	for i, p := range pts {
+		planar[i] = proj.ToMeters(p)
+	}
+	idx := index.NewGrid(pts, gridCellFor(bandwidth))
+	tol := bandwidth * 0.01
+
+	modes := make([]geo.Meters, n)
+	for i := range pts {
+		cur := planar[i]
+		for iter := 0; iter < meanShiftMaxIter; iter++ {
+			neighbors := idx.Within(proj.ToPoint(cur), bandwidth)
+			if len(neighbors) == 0 {
+				break
+			}
+			var sx, sy float64
+			for _, j := range neighbors {
+				sx += planar[j].X
+				sy += planar[j].Y
+			}
+			next := geo.Meters{X: sx / float64(len(neighbors)), Y: sy / float64(len(neighbors))}
+			if cur.Dist(next) < tol {
+				cur = next
+				break
+			}
+			cur = next
+		}
+		modes[i] = cur
+	}
+
+	// Merge modes within bandwidth/2 of each other (greedy union).
+	mergeR := bandwidth / 2
+	var centers []geo.Meters
+	for i := range labels {
+		assigned := -1
+		for c, ctr := range centers {
+			if modes[i].Dist(ctr) <= mergeR {
+				assigned = c
+				break
+			}
+		}
+		if assigned < 0 {
+			centers = append(centers, modes[i])
+			assigned = len(centers) - 1
+		}
+		labels[i] = assigned
+	}
+
+	out := MeanShiftResult{
+		Result: Result{Labels: labels, NumClusters: len(centers)},
+		Modes:  make([]geo.Point, len(centers)),
+	}
+	// Report each cluster's mode as the mean of its members' modes.
+	sums := make([]geo.Meters, len(centers))
+	counts := make([]int, len(centers))
+	for i, l := range labels {
+		sums[l].X += modes[i].X
+		sums[l].Y += modes[i].Y
+		counts[l]++
+	}
+	for c := range centers {
+		out.Modes[c] = proj.ToPoint(geo.Meters{
+			X: sums[c].X / float64(counts[c]),
+			Y: sums[c].Y / float64(counts[c]),
+		})
+	}
+	return out
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering, a
+// quality score in [-1, 1]; it skips noise points and returns NaN when
+// fewer than two clusters have members. Used by tests and ablations to
+// sanity-check clustering quality.
+func Silhouette(pts []geo.Point, r Result) float64 {
+	members := r.Members()
+	populated := 0
+	for _, m := range members {
+		if len(m) > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		return math.NaN()
+	}
+	var total float64
+	var count int
+	for i, l := range r.Labels {
+		if l == Noise || len(members[l]) < 2 {
+			continue
+		}
+		a := meanDistTo(pts, i, members[l])
+		b := math.Inf(1)
+		for ol, om := range members {
+			if ol == l || len(om) == 0 {
+				continue
+			}
+			if d := meanDistTo(pts, i, om); d < b {
+				b = d
+			}
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			count++
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return total / float64(count)
+}
+
+func meanDistTo(pts []geo.Point, i int, members []int) float64 {
+	var sum float64
+	n := 0
+	for _, j := range members {
+		if j == i {
+			continue
+		}
+		sum += geo.Haversine(pts[i], pts[j])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

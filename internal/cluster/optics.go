@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"csdm/internal/geo"
+	"csdm/internal/index"
+)
+
+// OpticsResult holds the OPTICS ordering and reachability plot. The
+// paper's Algorithm 4 uses OPTICS so the distance threshold need not be
+// configured: clusters are cut out of the reachability plot afterwards.
+type OpticsResult struct {
+	pts    []geo.Point
+	planar []geo.Meters
+	// Order is the OPTICS processing order of point indices.
+	Order []int
+	// Reach[i] is the reachability distance of point i (meters);
+	// +Inf for points never reached within MaxEps.
+	Reach []float64
+	// CoreDist[i] is the core distance of point i; +Inf for non-core.
+	CoreDist []float64
+	minPts   int
+	maxEps   float64
+}
+
+// Optics computes the OPTICS ordering of pts with the given generating
+// maximum radius maxEps (meters) and core threshold minPts.
+func Optics(pts []geo.Point, maxEps float64, minPts int) *OpticsResult {
+	n := len(pts)
+	res := &OpticsResult{
+		pts:      pts,
+		Reach:    make([]float64, n),
+		CoreDist: make([]float64, n),
+		minPts:   minPts,
+		maxEps:   maxEps,
+	}
+	for i := range res.Reach {
+		res.Reach[i] = math.Inf(1)
+		res.CoreDist[i] = math.Inf(1)
+	}
+	if n == 0 || maxEps <= 0 || minPts <= 0 {
+		return res
+	}
+	idx := index.NewGrid(pts, gridCellFor(maxEps))
+	processed := make([]bool, n)
+
+	// All internal distance math runs in a local planar projection:
+	// at city scale the distortion is far below the reachability
+	// resolution the extraction steps care about, and it avoids
+	// spherical trig in the innermost loops.
+	proj := geo.NewProjection(geo.Centroid(pts))
+	planar := make([]geo.Meters, n)
+	for i, p := range pts {
+		planar[i] = proj.ToMeters(p)
+	}
+	res.planar = planar
+
+	ds := make([]float64, 0, 64)
+	coreDist := func(i int, neighbors []int) float64 {
+		if len(neighbors) < minPts {
+			return math.Inf(1)
+		}
+		ds = ds[:0]
+		for _, j := range neighbors {
+			dx := planar[i].X - planar[j].X
+			dy := planar[i].Y - planar[j].Y
+			ds = append(ds, dx*dx+dy*dy)
+		}
+		return math.Sqrt(quickselect(ds, minPts-1))
+	}
+
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		processed[start] = true
+		res.Order = append(res.Order, start)
+		neighbors := idx.Within(pts[start], maxEps)
+		res.CoreDist[start] = coreDist(start, neighbors)
+		if math.IsInf(res.CoreDist[start], 1) {
+			continue
+		}
+		seeds := &seedQueue{pos: make(map[int]int)}
+		update(res, neighbors, start, seeds, processed)
+		for seeds.Len() > 0 {
+			cur := heap.Pop(seeds).(seedItem).id
+			if processed[cur] {
+				continue
+			}
+			processed[cur] = true
+			res.Order = append(res.Order, cur)
+			curNeighbors := idx.Within(pts[cur], maxEps)
+			res.CoreDist[cur] = coreDist(cur, curNeighbors)
+			if !math.IsInf(res.CoreDist[cur], 1) {
+				update(res, curNeighbors, cur, seeds, processed)
+			}
+		}
+	}
+	return res
+}
+
+// update refreshes the reachability of center's unprocessed neighbors.
+func update(res *OpticsResult, neighbors []int, center int, seeds *seedQueue, processed []bool) {
+	cd := res.CoreDist[center]
+	for _, j := range neighbors {
+		if processed[j] {
+			continue
+		}
+		newReach := math.Max(cd, res.planar[center].Dist(res.planar[j]))
+		if newReach < res.Reach[j] {
+			res.Reach[j] = newReach
+			seeds.upsert(j, newReach)
+		}
+	}
+}
+
+// ExtractDBSCAN cuts the reachability plot at eps, yielding the clusters
+// DBSCAN(eps, minPts) would produce (up to border-point assignment).
+func (o *OpticsResult) ExtractDBSCAN(eps float64) Result {
+	labels := make([]int, len(o.pts))
+	for i := range labels {
+		labels[i] = Noise
+	}
+	cluster := -1
+	for _, i := range o.Order {
+		if o.Reach[i] > eps {
+			if o.CoreDist[i] <= eps {
+				cluster++
+				labels[i] = cluster
+			}
+			// else: noise
+		} else if cluster >= 0 {
+			labels[i] = cluster
+		}
+	}
+	return Result{Labels: labels, NumClusters: cluster + 1}
+}
+
+// ExtractAuto chooses a cut threshold from the reachability plot itself —
+// the paper's "optimal distance threshold with sufficiently high density"
+// — and extracts clusters at it. The threshold is placed at the largest
+// relative gap in the sorted finite reachability values (the knee that
+// separates intra-cluster from inter-cluster reachabilities); when the
+// plot has no meaningful gap the generating maxEps is used.
+func (o *OpticsResult) ExtractAuto() Result {
+	var finite []float64
+	for _, r := range o.Reach {
+		if !math.IsInf(r, 1) {
+			finite = append(finite, r)
+		}
+	}
+	if len(finite) < 2 {
+		return o.ExtractDBSCAN(o.maxEps)
+	}
+	sort.Float64s(finite)
+	// Search for the biggest multiplicative jump in the upper half of the
+	// plot; cuts in the lower half would shatter genuine clusters.
+	cut := o.maxEps
+	bestRatio := 1.5 // require a clear gap before trusting it
+	for i := len(finite) / 2; i+1 < len(finite); i++ {
+		lo, hi := finite[i], finite[i+1]
+		if lo <= 0 {
+			continue
+		}
+		if ratio := hi / lo; ratio > bestRatio {
+			bestRatio = ratio
+			cut = (lo + hi) / 2
+		}
+	}
+	return o.ExtractDBSCAN(cut)
+}
+
+// ExtractLeaves extracts clusters with a per-cluster distance threshold
+// — §4.3's "optimal distance threshold with sufficiently high density
+// for each cluster". The reachability plot is split recursively at its
+// dominant spikes: a spike separates two sub-plots when it towers over
+// their internal reachabilities by splitRatio; recursion stops when a
+// sub-plot has no such spike, and the sub-plot becomes one cluster when
+// it holds at least minPts points (noise otherwise). Compared to a
+// single global cut, nearby dense clusters separated by a modest gap
+// are recovered individually instead of being merged.
+func (o *OpticsResult) ExtractLeaves(minPts int) Result {
+	const splitRatio = 1.6
+	labels := make([]int, len(o.pts))
+	for i := range labels {
+		labels[i] = Noise
+	}
+	res := Result{Labels: labels}
+	var recurse func(lo, hi int)
+	recurse = func(lo, hi int) {
+		if hi-lo < minPts {
+			return
+		}
+		// The first point of an interval was reached from outside; its
+		// reachability describes the jump INTO the interval, so spikes
+		// are sought strictly inside. A split is only worthwhile when
+		// both sides could still form a cluster: a spike that merely
+		// chips stragglers off a viable cluster is ignored, except for
+		// infinite spikes (genuinely unreachable jumps), which always
+		// separate.
+		spike := -1
+		spikeVal := 0.0
+		for i := lo + 1; i < hi; i++ {
+			r := o.Reach[o.Order[i]]
+			if r <= spikeVal {
+				continue
+			}
+			if !math.IsInf(r, 1) && (i-lo < minPts || hi-i < minPts) {
+				continue
+			}
+			spikeVal = r
+			spike = i
+		}
+		if spike < 0 {
+			// Only straggler-chipping spikes remain: one cluster.
+			cid := res.NumClusters
+			res.NumClusters++
+			for i := lo; i < hi; i++ {
+				labels[o.Order[i]] = cid
+			}
+			return
+		}
+		// Compare the spike with the typical internal reachability.
+		internal := make([]float64, 0, hi-lo)
+		for i := lo + 1; i < hi; i++ {
+			if i != spike && !math.IsInf(o.Reach[o.Order[i]], 1) {
+				internal = append(internal, o.Reach[o.Order[i]])
+			}
+		}
+		med := medianFloat(internal)
+		if !math.IsInf(spikeVal, 1) && (med <= 0 || spikeVal < med*splitRatio) {
+			// No dominant spike: this interval is one cluster.
+			cid := res.NumClusters
+			res.NumClusters++
+			for i := lo; i < hi; i++ {
+				labels[o.Order[i]] = cid
+			}
+			return
+		}
+		recurse(lo, spike)
+		recurse(spike, hi)
+	}
+	recurse(0, len(o.Order))
+	return res
+}
+
+func medianFloat(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// quickselect returns the k-th smallest value of vals (0-based),
+// partially reordering vals in place. Hoare-style selection: expected
+// linear time, no allocation.
+func quickselect(vals []float64, k int) float64 {
+	lo, hi := 0, len(vals)-1
+	for lo < hi {
+		pivot := vals[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for vals[i] < pivot {
+				i++
+			}
+			for vals[j] > pivot {
+				j--
+			}
+			if i <= j {
+				vals[i], vals[j] = vals[j], vals[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return vals[k]
+}
+
+// seedItem is an entry of the OPTICS priority queue.
+type seedItem struct {
+	id    int
+	reach float64
+}
+
+// seedQueue is an indexed min-heap over reachability distances.
+type seedQueue struct {
+	items []seedItem
+	pos   map[int]int
+}
+
+func (q *seedQueue) Len() int { return len(q.items) }
+func (q *seedQueue) Less(i, j int) bool {
+	return q.items[i].reach < q.items[j].reach
+}
+func (q *seedQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.pos[q.items[i].id] = i
+	q.pos[q.items[j].id] = j
+}
+
+// Push implements heap.Interface.
+func (q *seedQueue) Push(x any) {
+	it := x.(seedItem)
+	q.pos[it.id] = len(q.items)
+	q.items = append(q.items, it)
+}
+
+// Pop implements heap.Interface.
+func (q *seedQueue) Pop() any {
+	last := len(q.items) - 1
+	it := q.items[last]
+	q.items = q.items[:last]
+	delete(q.pos, it.id)
+	return it
+}
+
+// upsert inserts id with the given reachability or decreases its key.
+func (q *seedQueue) upsert(id int, reach float64) {
+	if i, ok := q.pos[id]; ok {
+		q.items[i].reach = reach
+		heap.Fix(q, i)
+		return
+	}
+	heap.Push(q, seedItem{id: id, reach: reach})
+}

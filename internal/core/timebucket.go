@@ -1,0 +1,74 @@
+package core
+
+import (
+	"time"
+
+	"csdm/internal/trajectory"
+)
+
+// TimeBucket is one of the six weekly intervals of the Figure 14 demos.
+type TimeBucket int
+
+// The six buckets: day type × time of day.
+const (
+	WeekdayMorning TimeBucket = iota
+	WeekdayAfternoon
+	WeekdayNight
+	WeekendMorning
+	WeekendAfternoon
+	WeekendNight
+	NumTimeBuckets int = iota
+)
+
+var bucketNames = [NumTimeBuckets]string{
+	"weekday morning", "weekday afternoon", "weekday night",
+	"weekend morning", "weekend afternoon", "weekend night",
+}
+
+// String implements fmt.Stringer.
+func (b TimeBucket) String() string {
+	if int(b) < NumTimeBuckets {
+		return bucketNames[b]
+	}
+	return "unknown"
+}
+
+// TimeBuckets lists all buckets in display order.
+func TimeBuckets() []TimeBucket {
+	out := make([]TimeBucket, NumTimeBuckets)
+	for i := range out {
+		out[i] = TimeBucket(i)
+	}
+	return out
+}
+
+// BucketOf classifies a timestamp: morning is 05:00–12:00, afternoon
+// 12:00–18:00, night 18:00–05:00.
+func BucketOf(t time.Time) TimeBucket {
+	weekend := t.Weekday() == time.Saturday || t.Weekday() == time.Sunday
+	var slot TimeBucket
+	switch h := t.Hour(); {
+	case h >= 5 && h < 12:
+		slot = WeekdayMorning
+	case h >= 12 && h < 18:
+		slot = WeekdayAfternoon
+	default:
+		slot = WeekdayNight
+	}
+	if weekend {
+		slot += 3
+	}
+	return slot
+}
+
+// FilterJourneys returns the journeys whose pick-up time falls into the
+// bucket.
+func FilterJourneys(js []trajectory.Journey, b TimeBucket) []trajectory.Journey {
+	var out []trajectory.Journey
+	for _, j := range js {
+		if BucketOf(j.PickupTime) == b {
+			out = append(out, j)
+		}
+	}
+	return out
+}

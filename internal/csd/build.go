@@ -1,0 +1,426 @@
+package csd
+
+import (
+	"math"
+	"sort"
+
+	"csdm/internal/geo"
+	"csdm/internal/index"
+	"csdm/internal/poi"
+)
+
+// Build constructs the City Semantic Diagram from a POI dataset and the
+// stay points derived from a trajectory corpus (§4.1). Stay points only
+// drive the popularity model; they are not stored.
+func Build(pois []poi.POI, stays []geo.Point, params Params) *Diagram {
+	d := &Diagram{
+		Params: params,
+		POIs:   pois,
+		kernel: newKernelFor(params),
+	}
+	d.Pop = Popularity(pois, stays, d.kernel)
+
+	clusters, leftover := d.popularityClusters()
+	if !params.SkipPurification {
+		clusters = d.purify(clusters)
+	}
+	if !params.SkipMerging {
+		clusters, leftover = d.merge(clusters, leftover)
+	}
+	if params.KeepSingletons {
+		for _, i := range leftover {
+			clusters = append(clusters, []int{i})
+		}
+	}
+	d.finalize(clusters)
+	return d
+}
+
+// newKernelFor builds the diagram's Gaussian kernel from its params.
+func newKernelFor(params Params) geo.GaussianKernel {
+	return geo.NewGaussianKernel(params.R3Sigma)
+}
+
+// popularityClusters implements Algorithm 1 (Popularity Based
+// Clustering). It returns the coarse clusters (each a slice of POI
+// indices) and the leftover POIs that were consumed into sub-MinPts
+// clusters or never reached.
+func (d *Diagram) popularityClusters() (clusters [][]int, leftover []int) {
+	n := len(d.POIs)
+	locIdx := index.NewGrid(poi.Locations(d.POIs), gridCell(d.Params.EpsP))
+	removed := make([]bool, n) // "P ← P − {p}" bookkeeping
+	inCluster := make([]bool, n)
+
+	for seed := 0; seed < n; seed++ {
+		if removed[seed] {
+			continue
+		}
+		removed[seed] = true
+		cl := []int{seed}
+		// V is a work queue seeded with range(seed, ε_p, P).
+		queue := d.availableWithin(locIdx, removed, seed)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if removed[j] {
+				continue
+			}
+			// Line 5: mutual popularity similarity against the seed.
+			if !popRatioOK(d.Pop[seed], d.Pop[j], d.Params.Alpha) {
+				continue
+			}
+			// Line 6: vertically stacked or same semantic property.
+			if geo.Haversine(d.POIs[seed].Location, d.POIs[j].Location) > d.Params.DV &&
+				d.POIs[j].Major() != d.POIs[seed].Major() {
+				continue
+			}
+			removed[j] = true
+			cl = append(cl, j)
+			queue = append(queue, d.availableWithin(locIdx, removed, j)...)
+		}
+		if len(cl) >= d.Params.MinPts {
+			clusters = append(clusters, cl)
+			for _, i := range cl {
+				inCluster[i] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !inCluster[i] {
+			leftover = append(leftover, i)
+		}
+	}
+	return clusters, leftover
+}
+
+// availableWithin returns the not-yet-removed POIs within ε_p of POI i.
+func (d *Diagram) availableWithin(locIdx index.Index, removed []bool, i int) []int {
+	var out []int
+	for _, j := range locIdx.Within(d.POIs[i].Location, d.Params.EpsP) {
+		if !removed[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func gridCell(eps float64) float64 {
+	if eps < 10 {
+		return 10
+	}
+	return eps
+}
+
+// purify implements Algorithm 2 (Semantic Purification): clusters that
+// are neither single-semantic nor spatially tight are split at the
+// median KL divergence from the center POI's local semantic
+// distribution, until every cluster qualifies as a fine-grained unit.
+func (d *Diagram) purify(clusters [][]int) [][]int {
+	// The paper picks clusters randomly; a work stack is equivalent and
+	// deterministic.
+	work := append([][]int(nil), clusters...)
+	var units [][]int
+	for len(work) > 0 {
+		ci := work[len(work)-1]
+		work = work[:len(work)-1]
+		if d.singleSemantic(ci) || d.varianceOf(ci) < d.Params.VMin {
+			units = append(units, ci)
+			continue
+		}
+		kept, split := d.splitByKL(ci)
+		if len(split) == 0 || len(kept) == 0 {
+			// All KL values coincide (perfectly symmetric mixture); no
+			// median split is possible. Fall back to splitting off the
+			// largest single-major group, which always makes progress
+			// on a multi-semantic cluster.
+			kept, split = d.splitByMajor(ci)
+			if len(split) == 0 {
+				units = append(units, ci)
+				continue
+			}
+		}
+		work = append(work, kept, split)
+	}
+	return units
+}
+
+// singleSemantic reports whether all POIs of the cluster share one
+// major category (the SingleSemantic check of Definition 3).
+func (d *Diagram) singleSemantic(cl []int) bool {
+	if len(cl) == 0 {
+		return true
+	}
+	first := d.POIs[cl[0]].Major()
+	for _, i := range cl[1:] {
+		if d.POIs[i].Major() != first {
+			return false
+		}
+	}
+	return true
+}
+
+// varianceOf computes the spatial variance of the cluster in m².
+func (d *Diagram) varianceOf(cl []int) float64 {
+	pts := make([]geo.Point, len(cl))
+	for k, i := range cl {
+		pts[k] = d.POIs[i].Location
+	}
+	return geo.VarianceMeters(pts)
+}
+
+// splitByKL performs the median-KL decomposition of Algorithm 2 lines
+// 7–14: POIs whose semantic distribution diverges from the center POI's
+// by more than the median form the new cluster.
+func (d *Diagram) splitByKL(cl []int) (kept, split []int) {
+	center := d.centerPOI(cl)
+	centerDist := d.semanticDistribution(cl, center)
+	kls := make([]float64, len(cl))
+	for k, i := range cl {
+		kls[k] = klDivergence(centerDist, d.semanticDistribution(cl, i))
+	}
+	median := medianOf(kls)
+	for k, i := range cl {
+		if kls[k] > median {
+			split = append(split, i)
+		} else {
+			kept = append(kept, i)
+		}
+	}
+	return kept, split
+}
+
+// splitByMajor separates the largest single-major group from the rest.
+func (d *Diagram) splitByMajor(cl []int) (kept, split []int) {
+	var counts [poi.NumMajors]int
+	for _, i := range cl {
+		counts[d.POIs[i].Major()]++
+	}
+	best := poi.Major(0)
+	for mj := 1; mj < poi.NumMajors; mj++ {
+		if counts[mj] > counts[best] {
+			best = poi.Major(mj)
+		}
+	}
+	if counts[best] == len(cl) {
+		return cl, nil
+	}
+	for _, i := range cl {
+		if d.POIs[i].Major() == best {
+			kept = append(kept, i)
+		} else {
+			split = append(split, i)
+		}
+	}
+	return kept, split
+}
+
+// centerPOI returns the cluster member closest to the cluster centroid
+// (the paper's CenterPoint).
+func (d *Diagram) centerPOI(cl []int) int {
+	pts := make([]geo.Point, len(cl))
+	for k, i := range cl {
+		pts[k] = d.POIs[i].Location
+	}
+	return cl[geo.MedoidIndex(pts)]
+}
+
+// semanticDistribution computes Pr_{p_i}(s) of Equation (4) for POI i
+// within cluster cl: the kernel-weighted share of each major category as
+// seen from p_i. The returned vector is indexed by major.
+func (d *Diagram) semanticDistribution(cl []int, i int) []float64 {
+	dist := make([]float64, poi.NumMajors)
+	var total float64
+	for _, j := range cl {
+		w := d.kernel.Weight(d.POIs[j].Location, d.POIs[i].Location)
+		dist[d.POIs[j].Major()] += w
+		total += w
+	}
+	if total > 0 {
+		for k := range dist {
+			dist[k] /= total
+		}
+	}
+	return dist
+}
+
+func medianOf(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// merge implements the semantic-unit merging step: nearby units whose
+// popularity-weighted semantic distributions (Equation (6)) have cosine
+// similarity (Equation (8)) above the threshold fuse into one, and
+// leftover POIs attach to a compatible nearby unit. It returns the
+// merged clusters and the leftovers that attached nowhere.
+func (d *Diagram) merge(clusters [][]int, leftover []int) ([][]int, []int) {
+	if len(clusters) == 0 {
+		return clusters, leftover
+	}
+	parent := make([]int, len(clusters))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	centers := make([]geo.Point, len(clusters))
+	dists := make([][]float64, len(clusters))
+	for i, cl := range clusters {
+		centers[i] = d.clusterCentroid(cl)
+		dists[i] = d.popWeightedDistribution(cl)
+	}
+	centerIdx := index.NewGrid(centers, d.Params.MergeDist)
+	for i := range clusters {
+		for _, j := range centerIdx.Within(centers[i], d.Params.MergeDist) {
+			if j <= i {
+				continue
+			}
+			if cosine(dists[i], dists[j]) >= d.Params.MergeCos {
+				union(i, j)
+			}
+		}
+	}
+
+	groups := make(map[int][]int)
+	for i := range clusters {
+		r := find(i)
+		groups[r] = append(groups[r], clusters[i]...)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	merged := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		merged = append(merged, groups[r])
+	}
+
+	// Attach leftover POIs to compatible nearby units.
+	mergedCenters := make([]geo.Point, len(merged))
+	mergedDists := make([][]float64, len(merged))
+	for i, cl := range merged {
+		mergedCenters[i] = d.clusterCentroid(cl)
+		mergedDists[i] = d.popWeightedDistribution(cl)
+	}
+	mIdx := index.NewGrid(mergedCenters, d.Params.MergeDist)
+	var unattached []int
+	for _, p := range leftover {
+		single := make([]float64, poi.NumMajors)
+		single[d.POIs[p].Major()] = 1
+		bestUnit, bestDist := -1, d.Params.MergeDist+1
+		for _, u := range mIdx.Within(d.POIs[p].Location, d.Params.MergeDist) {
+			if cosine(single, mergedDists[u]) < d.Params.MergeCos {
+				continue
+			}
+			if dd := geo.Haversine(d.POIs[p].Location, mergedCenters[u]); dd < bestDist {
+				bestUnit, bestDist = u, dd
+			}
+		}
+		if bestUnit >= 0 {
+			merged[bestUnit] = append(merged[bestUnit], p)
+		} else {
+			unattached = append(unattached, p)
+		}
+	}
+	return merged, unattached
+}
+
+// clusterCentroid returns the centroid of a cluster's POI locations.
+func (d *Diagram) clusterCentroid(cl []int) geo.Point {
+	pts := make([]geo.Point, len(cl))
+	for k, i := range cl {
+		pts[k] = d.POIs[i].Location
+	}
+	return geo.Centroid(pts)
+}
+
+// popWeightedDistribution computes Pr_u(s) of Equation (6): each major's
+// share of the cluster's total popularity. Zero-popularity clusters fall
+// back to uniform member counting so merging still has a signal.
+func (d *Diagram) popWeightedDistribution(cl []int) []float64 {
+	dist := make([]float64, poi.NumMajors)
+	var total float64
+	for _, i := range cl {
+		dist[d.POIs[i].Major()] += d.Pop[i]
+		total += d.Pop[i]
+	}
+	if total == 0 {
+		for _, i := range cl {
+			dist[d.POIs[i].Major()]++
+		}
+		total = float64(len(cl))
+	}
+	for k := range dist {
+		dist[k] /= total
+	}
+	return dist
+}
+
+// cosine is the Cos(u_i, u_j) of Equations (7)–(8).
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (sqrt(na) * sqrt(nb))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// finalize materializes the units, the POI→unit map and the member
+// spatial index.
+func (d *Diagram) finalize(clusters [][]int) {
+	d.unitOf = make([]int, len(d.POIs))
+	for i := range d.unitOf {
+		d.unitOf[i] = -1
+	}
+	d.Units = make([]Unit, 0, len(clusters))
+	for _, cl := range clusters {
+		if len(cl) == 0 {
+			continue
+		}
+		sort.Ints(cl)
+		u := Unit{ID: len(d.Units), Members: cl, Center: d.clusterCentroid(cl)}
+		for _, i := range cl {
+			u.Semantics = u.Semantics.Union(d.POIs[i].Semantics())
+			d.unitOf[i] = u.ID
+		}
+		d.Units = append(d.Units, u)
+	}
+	for i, uid := range d.unitOf {
+		if uid >= 0 {
+			d.members = append(d.members, i)
+		}
+	}
+	pts := make([]geo.Point, len(d.members))
+	for k, i := range d.members {
+		pts[k] = d.POIs[i].Location
+	}
+	d.memberIdx = index.NewGrid(pts, d.Params.R3Sigma)
+}

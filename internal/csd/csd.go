@@ -1,0 +1,215 @@
+// Package csd implements the City Semantic Diagram (CSD), the paper's
+// central data structure: a set of fine-grained semantic units
+// (Definition 3) covering a city, built from a POI dataset and the
+// stay points of a trajectory corpus in three steps (§4.1):
+//
+//  1. popularity-based clustering (Algorithm 1) groups POIs with
+//     mutually similar popularity that are vertically stacked or share a
+//     semantic category;
+//  2. semantic purification (Algorithm 2) splits mixed clusters at the
+//     median Kullback–Leibler divergence from the cluster center's local
+//     semantic distribution, detecting semantic complexity;
+//  3. semantic-unit merging joins nearby fragments whose popularity-
+//     weighted semantic distributions have cosine similarity above a
+//     threshold, and attaches leftover unclustered POIs to compatible
+//     units.
+package csd
+
+import (
+	"math"
+
+	"csdm/internal/geo"
+	"csdm/internal/index"
+	"csdm/internal/poi"
+)
+
+// Params are the CSD construction parameters with the defaults of §4.1.
+type Params struct {
+	// R3Sigma is the Gaussian kernel's 3σ radius in meters (100 m).
+	R3Sigma float64
+	// DV is the vertical-overlap distance d_v (15 m): POIs this close
+	// are treated as stacked in one building regardless of semantics.
+	DV float64
+	// MinPts is MinPts_p (5): the minimum cluster size kept by
+	// Algorithm 1.
+	MinPts int
+	// EpsP is the search radius ε_p (30 m) of Algorithm 1.
+	EpsP float64
+	// Alpha is the popularity-ratio threshold α (0.8): two POIs join
+	// only when each's popularity is at least α of the other's.
+	Alpha float64
+	// VMin is the spatial-variance threshold (m²) below which a mixed-
+	// semantics cluster is accepted as a unit (the skyscraper case of
+	// Definition 3). 150 m² ≈ a 12 m spread.
+	VMin float64
+	// MergeCos is the cosine-similarity threshold of the merging step
+	// (0.9 in the paper's experiments).
+	MergeCos float64
+	// MergeDist bounds the centroid distance (meters) between units
+	// considered "nearby" for merging.
+	MergeDist float64
+	// KeepSingletons, when set, turns leftover POIs that merge with no
+	// unit into singleton units instead of dropping them from the CSD.
+	// The paper drops them; recognition ablations flip this.
+	KeepSingletons bool
+	// SkipPurification disables Algorithm 2 (ablation only).
+	SkipPurification bool
+	// SkipMerging disables the merging step (ablation only).
+	SkipMerging bool
+}
+
+// DefaultParams returns the parameter values the paper settles on after
+// testing (§4.1).
+func DefaultParams() Params {
+	return Params{
+		R3Sigma:   100,
+		DV:        15,
+		MinPts:    5,
+		EpsP:      30,
+		Alpha:     0.8,
+		VMin:      150,
+		MergeCos:  0.9,
+		MergeDist: 150,
+	}
+}
+
+// Unit is one fine-grained semantic unit: a set of POIs homogeneous in
+// location or semantics (Definition 3).
+type Unit struct {
+	// ID is the unit's index within the diagram.
+	ID int
+	// Members are indices into the diagram's POI slice.
+	Members []int
+	// Semantics is the union of the members' semantic properties.
+	Semantics poi.Semantics
+	// Center is the centroid of the members' locations.
+	Center geo.Point
+}
+
+// Diagram is a built City Semantic Diagram (Definition 4). It is
+// immutable after Build and safe for concurrent readers.
+type Diagram struct {
+	Params Params
+	// POIs is the full input POI dataset.
+	POIs []poi.POI
+	// Pop[i] is pop(POIs[i]) per Equation (3).
+	Pop []float64
+	// Units are the fine-grained semantic units.
+	Units []Unit
+	// unitOf maps each POI index to its unit ID, or -1 when the POI
+	// belongs to no unit.
+	unitOf []int
+	// memberIdx indexes the locations of unit-member POIs only; ids are
+	// POI indices (remapped through members).
+	memberIdx index.Index
+	members   []int
+	kernel    geo.GaussianKernel
+}
+
+// UnitOf returns the unit ID of POI i, or -1 when the POI is in no unit
+// — the FindSemanticUnit(p, CSD) of Algorithm 3.
+func (d *Diagram) UnitOf(i int) int { return d.unitOf[i] }
+
+// Kernel returns the Gaussian kernel the diagram was built with.
+func (d *Diagram) Kernel() geo.GaussianKernel { return d.kernel }
+
+// MembersWithin returns the indices of unit-member POIs within radius
+// meters of p — the range(sp, R3σ, CSD) of Algorithm 3 (POIs outside
+// every unit do not participate in recognition).
+func (d *Diagram) MembersWithin(p geo.Point, radius float64) []int {
+	raw := d.memberIdx.Within(p, radius)
+	out := make([]int, len(raw))
+	for k, r := range raw {
+		out[k] = d.members[r]
+	}
+	return out
+}
+
+// Coverage returns the fraction of input POIs that belong to some unit.
+func (d *Diagram) Coverage() float64 {
+	if len(d.POIs) == 0 {
+		return 0
+	}
+	return float64(len(d.members)) / float64(len(d.POIs))
+}
+
+// UnitPurity returns the share of a unit's members belonging to its
+// dominant major category — the semantic-consistency statistic reported
+// for Figure 6.
+func (d *Diagram) UnitPurity(u Unit) float64 {
+	if len(u.Members) == 0 {
+		return 0
+	}
+	var counts [poi.NumMajors]int
+	for _, i := range u.Members {
+		counts[d.POIs[i].Major()]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return float64(best) / float64(len(u.Members))
+}
+
+// MeanUnitPurity averages UnitPurity over all units (0 when empty).
+func (d *Diagram) MeanUnitPurity() float64 {
+	if len(d.Units) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, u := range d.Units {
+		sum += d.UnitPurity(u)
+	}
+	return sum / float64(len(d.Units))
+}
+
+// Popularity computes pop(p^I) for every POI per Equations (2)–(3):
+// the Gaussian-kernel sum over the stay points within R3σ.
+func Popularity(pois []poi.POI, stays []geo.Point, kernel geo.GaussianKernel) []float64 {
+	pop := make([]float64, len(pois))
+	if len(stays) == 0 {
+		return pop
+	}
+	stayIdx := index.NewGrid(stays, kernel.Radius())
+	for i, p := range pois {
+		for _, s := range stayIdx.Within(p.Location, kernel.Radius()) {
+			pop[i] += kernel.Weight(p.Location, stays[s])
+		}
+	}
+	return pop
+}
+
+// popRatioOK implements line 5 of Algorithm 1: both popularity ratios
+// must be at least α. Two zero-popularity POIs are mutually similar;
+// a zero against a non-zero is not.
+func popRatioOK(a, b, alpha float64) bool {
+	if a == 0 && b == 0 {
+		return true
+	}
+	if a == 0 || b == 0 {
+		return false
+	}
+	return a/b >= alpha && b/a >= alpha
+}
+
+// klEpsilon smooths zero probabilities in Equation (5); the paper does
+// not define KL at zero mass.
+const klEpsilon = 1e-6
+
+// klDivergence computes KL(p‖q) over aligned distributions with additive
+// smoothing.
+func klDivergence(p, q []float64) float64 {
+	n := float64(len(p))
+	var kl float64
+	for i := range p {
+		ps := (p[i] + klEpsilon) / (1 + klEpsilon*n)
+		qs := (q[i] + klEpsilon) / (1 + klEpsilon*n)
+		kl += ps * math.Log(ps/qs)
+	}
+	if kl < 0 {
+		kl = 0 // numerical floor: KL is non-negative
+	}
+	return kl
+}

@@ -1,0 +1,92 @@
+package csd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"csdm/internal/poi"
+)
+
+// diagramFile is the on-disk representation of a Diagram. POIs and
+// popularity are stored in full so a loaded diagram can answer every
+// query a freshly built one can.
+type diagramFile struct {
+	Version int       `json:"version"`
+	Params  Params    `json:"params"`
+	POIs    []poi.POI `json:"pois"`
+	Pop     []float64 `json:"pop"`
+	// Units stores only the member lists; semantics and centers are
+	// derived on load.
+	Units [][]int `json:"units"`
+}
+
+// diagramFileVersion guards the persistence format.
+const diagramFileVersion = 1
+
+// Write serializes the diagram as JSON. A diagram built once from a
+// large POI corpus can be reused across sessions without re-running
+// construction.
+func (d *Diagram) Write(w io.Writer) error {
+	f := diagramFile{
+		Version: diagramFileVersion,
+		Params:  d.Params,
+		POIs:    d.POIs,
+		Pop:     d.Pop,
+		Units:   make([][]int, len(d.Units)),
+	}
+	for i, u := range d.Units {
+		f.Units[i] = u.Members
+	}
+	if err := json.NewEncoder(w).Encode(f); err != nil {
+		return fmt.Errorf("csd: encode diagram: %w", err)
+	}
+	return nil
+}
+
+// Read loads a diagram written by Write and rebuilds its derived state
+// (unit semantics, centers, the member index).
+func Read(r io.Reader) (*Diagram, error) {
+	var f diagramFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("csd: decode diagram: %w", err)
+	}
+	if f.Version != diagramFileVersion {
+		return nil, fmt.Errorf("csd: unsupported diagram version %d", f.Version)
+	}
+	if len(f.Pop) != len(f.POIs) {
+		return nil, fmt.Errorf("csd: popularity length %d != POI count %d", len(f.Pop), len(f.POIs))
+	}
+	if f.Params.R3Sigma <= 0 {
+		return nil, fmt.Errorf("csd: invalid R3Sigma %v", f.Params.R3Sigma)
+	}
+	for i, p := range f.POIs {
+		if !p.Minor.Valid() {
+			return nil, fmt.Errorf("csd: POI %d has invalid category", i)
+		}
+		if !p.Location.Valid() {
+			return nil, fmt.Errorf("csd: POI %d has invalid location", i)
+		}
+	}
+	seen := make([]bool, len(f.POIs))
+	for ui, members := range f.Units {
+		for _, m := range members {
+			if m < 0 || m >= len(f.POIs) {
+				return nil, fmt.Errorf("csd: unit %d references POI %d out of range", ui, m)
+			}
+			if seen[m] {
+				return nil, fmt.Errorf("csd: POI %d belongs to multiple units", m)
+			}
+			seen[m] = true
+		}
+	}
+
+	d := &Diagram{
+		Params: f.Params,
+		POIs:   f.POIs,
+		Pop:    f.Pop,
+		kernel: newKernelFor(f.Params),
+	}
+	d.finalize(f.Units)
+	return d, nil
+}

@@ -1,0 +1,99 @@
+package csd
+
+import (
+	"bytes"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"csdm/internal/poi"
+)
+
+// buildSample constructs a small diagram with two distinct units.
+func buildSample(t *testing.T) *Diagram {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var pois []poi.POI
+	pois = append(pois, blockOf(rng, 1, poi.Restaurant, 0, 0, 10, 6)...)
+	pois = append(pois, blockOf(rng, 100, poi.BusinessOffice, 500, 0, 10, 6)...)
+	return Build(pois, uniformStays(700, 80), DefaultParams())
+}
+
+func TestDiagramRoundTrip(t *testing.T) {
+	d := buildSample(t)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Units) != len(d.Units) {
+		t.Fatalf("units = %d, want %d", len(got.Units), len(d.Units))
+	}
+	for i := range d.Units {
+		a, b := d.Units[i], got.Units[i]
+		if a.Semantics != b.Semantics {
+			t.Fatalf("unit %d semantics %v != %v", i, b.Semantics, a.Semantics)
+		}
+		if len(a.Members) != len(b.Members) {
+			t.Fatalf("unit %d members %d != %d", i, len(b.Members), len(a.Members))
+		}
+	}
+	for i := range d.POIs {
+		if got.UnitOf(i) != d.UnitOf(i) {
+			t.Fatalf("UnitOf(%d) = %d, want %d", i, got.UnitOf(i), d.UnitOf(i))
+		}
+		if got.Pop[i] != d.Pop[i] {
+			t.Fatalf("Pop[%d] differs", i)
+		}
+	}
+	// Queries behave identically.
+	if a, b := d.MembersWithin(origin, 100), got.MembersWithin(origin, 100); len(a) != len(b) {
+		t.Fatalf("MembersWithin: %d vs %d", len(b), len(a))
+	}
+	if got.Coverage() != d.Coverage() {
+		t.Fatalf("coverage differs")
+	}
+}
+
+func TestDiagramReadRejectsCorrupt(t *testing.T) {
+	d := buildSample(t)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.String()
+
+	badCategory := regexp.MustCompile(`"minor":\d+`).ReplaceAllString(valid, `"minor":250`)
+	cases := map[string]string{
+		"truncated":      valid[:len(valid)/2],
+		"bad version":    strings.Replace(valid, `"version":1`, `"version":9`, 1),
+		"bad category":   badCategory,
+		"member overlap": strings.Replace(valid, `"units":[[`, `"units":[[0,0,`, 1),
+	}
+	for name, data := range cases {
+		if _, err := Read(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: Read accepted corrupt input", name)
+		}
+	}
+	// Popularity length mismatch.
+	short := strings.Replace(valid, `"pop":[`, `"pop":[999999,[`, 1)
+	if _, err := Read(strings.NewReader(short)); err == nil {
+		t.Error("pop mismatch accepted")
+	}
+}
+
+func TestDiagramReadRejectsOutOfRangeMember(t *testing.T) {
+	d := buildSample(t)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := strings.Replace(buf.String(), `"units":[[`, `"units":[[99999,`, 1)
+	if _, err := Read(strings.NewReader(data)); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+}

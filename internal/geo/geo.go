@@ -1,0 +1,189 @@
+// Package geo provides the geographic primitives used throughout csdm:
+// WGS84 points, Haversine distances, a local equirectangular projection
+// for fast metric math, and the spatial statistics (centroid, variance,
+// gyration radius, density) that the paper's definitions are built on.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by Haversine.
+const EarthRadiusMeters = 6371000.0
+
+// Point is a WGS84 coordinate. Lon is the longitude (x), Lat the
+// latitude (y), both in decimal degrees, matching the paper's p = (x, y).
+type Point struct {
+	Lon float64 `json:"lon"`
+	Lat float64 `json:"lat"`
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f, %.6f)", p.Lon, p.Lat)
+}
+
+// Valid reports whether the point is a finite coordinate inside the
+// legal WGS84 ranges.
+func (p Point) Valid() bool {
+	return !math.IsNaN(p.Lon) && !math.IsNaN(p.Lat) &&
+		!math.IsInf(p.Lon, 0) && !math.IsInf(p.Lat, 0) &&
+		p.Lon >= -180 && p.Lon <= 180 && p.Lat >= -90 && p.Lat <= 90
+}
+
+// Haversine returns the great-circle distance between a and b in meters.
+// This is the d(p_i, p_j) of Table 2.
+func Haversine(a, b Point) float64 {
+	la1 := a.Lat * math.Pi / 180
+	la2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(la1)*math.Cos(la2)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusMeters * math.Asin(math.Sqrt(h))
+}
+
+// Meters is a point in a local planar coordinate system, in meters.
+type Meters struct {
+	X float64
+	Y float64
+}
+
+// Dist returns the Euclidean distance between two planar points in
+// meters. City-scale coordinates cannot overflow a float64 square, so
+// the plain square root beats math.Hypot's overflow-safe path.
+func (m Meters) Dist(o Meters) float64 {
+	dx := m.X - o.X
+	dy := m.Y - o.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Projection is an equirectangular projection anchored at an origin.
+// Within a city-scale extent (tens of kilometers) it is accurate to a
+// small fraction of a percent, which lets hot loops use cheap planar
+// math instead of Haversine.
+type Projection struct {
+	origin Point
+	cosLat float64
+}
+
+// NewProjection returns a projection anchored at origin.
+func NewProjection(origin Point) Projection {
+	return Projection{origin: origin, cosLat: math.Cos(origin.Lat * math.Pi / 180)}
+}
+
+// Origin returns the anchor point of the projection.
+func (pr Projection) Origin() Point { return pr.origin }
+
+// ToMeters converts a WGS84 point to local planar meters.
+func (pr Projection) ToMeters(p Point) Meters {
+	const degToRad = math.Pi / 180
+	return Meters{
+		X: (p.Lon - pr.origin.Lon) * degToRad * EarthRadiusMeters * pr.cosLat,
+		Y: (p.Lat - pr.origin.Lat) * degToRad * EarthRadiusMeters,
+	}
+}
+
+// ToPoint converts local planar meters back to a WGS84 point.
+func (pr Projection) ToPoint(m Meters) Point {
+	const radToDeg = 180 / math.Pi
+	return Point{
+		Lon: pr.origin.Lon + m.X/(EarthRadiusMeters*pr.cosLat)*radToDeg,
+		Lat: pr.origin.Lat + m.Y/EarthRadiusMeters*radToDeg,
+	}
+}
+
+// Rect is an axis-aligned bounding box over WGS84 coordinates.
+type Rect struct {
+	Min Point // south-west corner
+	Max Point // north-east corner
+}
+
+// NewRect returns the rectangle spanning the two corners in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{Lon: math.Min(a.Lon, b.Lon), Lat: math.Min(a.Lat, b.Lat)},
+		Max: Point{Lon: math.Max(a.Lon, b.Lon), Lat: math.Max(a.Lat, b.Lat)},
+	}
+}
+
+// Contains reports whether p lies inside the rectangle (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.Lon >= r.Min.Lon && p.Lon <= r.Max.Lon &&
+		p.Lat >= r.Min.Lat && p.Lat <= r.Max.Lat
+}
+
+// Intersects reports whether the two rectangles overlap (inclusive).
+func (r Rect) Intersects(o Rect) bool {
+	return r.Min.Lon <= o.Max.Lon && r.Max.Lon >= o.Min.Lon &&
+		r.Min.Lat <= o.Max.Lat && r.Max.Lat >= o.Min.Lat
+}
+
+// Extend grows the rectangle to include p and returns the result.
+func (r Rect) Extend(p Point) Rect {
+	if p.Lon < r.Min.Lon {
+		r.Min.Lon = p.Lon
+	}
+	if p.Lat < r.Min.Lat {
+		r.Min.Lat = p.Lat
+	}
+	if p.Lon > r.Max.Lon {
+		r.Max.Lon = p.Lon
+	}
+	if p.Lat > r.Max.Lat {
+		r.Max.Lat = p.Lat
+	}
+	return r
+}
+
+// Union returns the smallest rectangle covering both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return r.Extend(o.Min).Extend(o.Max)
+}
+
+// Center returns the midpoint of the rectangle.
+func (r Rect) Center() Point {
+	return Point{Lon: (r.Min.Lon + r.Max.Lon) / 2, Lat: (r.Min.Lat + r.Max.Lat) / 2}
+}
+
+// BufferMeters grows the rectangle by d meters on every side, using the
+// latitude of the rectangle's center for the longitude scale.
+func (r Rect) BufferMeters(d float64) Rect {
+	const radToDeg = 180 / math.Pi
+	dLat := d / EarthRadiusMeters * radToDeg
+	cos := math.Cos(r.Center().Lat * math.Pi / 180)
+	if cos < 1e-9 {
+		cos = 1e-9
+	}
+	dLon := d / (EarthRadiusMeters * cos) * radToDeg
+	return Rect{
+		Min: Point{Lon: r.Min.Lon - dLon, Lat: r.Min.Lat - dLat},
+		Max: Point{Lon: r.Max.Lon + dLon, Lat: r.Max.Lat + dLat},
+	}
+}
+
+// BoundingRect returns the smallest rectangle containing all pts.
+// It returns a zero Rect when pts is empty.
+func BoundingRect(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r = r.Extend(p)
+	}
+	return r
+}
+
+// CircleRect returns the bounding rectangle of the circle centered at c
+// with radius r meters. Range queries use it as a cheap prefilter before
+// the exact Haversine check.
+func CircleRect(c Point, r float64) Rect {
+	return Rect{Min: c, Max: c}.BufferMeters(r)
+}

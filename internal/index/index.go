@@ -1,0 +1,135 @@
+// Package index provides the spatial-index substrate of csdm: a uniform
+// grid, a k-d tree, and an STR-bulk-loaded R-tree, each answering the
+// circular range query range(p, ε, P) and k-nearest-neighbor queries over
+// a fixed set of points. Every stage of Pervasive Miner — popularity
+// estimation, CSD construction, semantic recognition — is built on these
+// queries, so the package is the closest thing the system has to a
+// database engine.
+//
+// All indexes are immutable after construction and safe for concurrent
+// readers. Query results are point IDs: positions in the point slice the
+// index was built from, so callers can keep payloads in parallel slices.
+package index
+
+import "csdm/internal/geo"
+
+// Index answers spatial queries over the point set it was built from.
+type Index interface {
+	// Within returns the IDs of all points within radius meters of
+	// center (inclusive), in unspecified order.
+	Within(center geo.Point, radius float64) []int
+	// Nearest returns the IDs of the k points closest to q, ordered by
+	// increasing distance. Fewer than k IDs are returned when the index
+	// holds fewer points.
+	Nearest(q geo.Point, k int) []int
+	// Len returns the number of indexed points.
+	Len() int
+}
+
+// Kind selects an Index implementation.
+type Kind int
+
+// The available index kinds.
+const (
+	KindGrid Kind = iota
+	KindKDTree
+	KindRTree
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindGrid:
+		return "grid"
+	case KindKDTree:
+		return "kdtree"
+	case KindRTree:
+		return "rtree"
+	default:
+		return "unknown"
+	}
+}
+
+// New builds an index of the requested kind over pts. The grid's cell
+// size defaults to 100 m, a good match for the paper's R3σ queries.
+func New(kind Kind, pts []geo.Point) Index {
+	switch kind {
+	case KindKDTree:
+		return NewKDTree(pts)
+	case KindRTree:
+		return NewRTree(pts)
+	default:
+		return NewGrid(pts, 100)
+	}
+}
+
+// heapItem pairs a point ID with its distance to the query point.
+type heapItem struct {
+	id   int
+	dist float64
+}
+
+// maxHeap is a bounded max-heap over distances used by kNN searches: the
+// root is the worst of the current k best candidates.
+type maxHeap []heapItem
+
+func (h maxHeap) worst() float64 { return h[0].dist }
+
+func (h *maxHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist >= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *maxHeap) popRoot() heapItem {
+	root := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(*h) && (*h)[l].dist > (*h)[largest].dist {
+			largest = l
+		}
+		if r < len(*h) && (*h)[r].dist > (*h)[largest].dist {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+	return root
+}
+
+// offer inserts it if the heap holds fewer than k items or it beats the
+// current worst, evicting the worst in the latter case.
+func (h *maxHeap) offer(it heapItem, k int) {
+	if len(*h) < k {
+		h.push(it)
+		return
+	}
+	if it.dist < h.worst() {
+		h.popRoot()
+		h.push(it)
+	}
+}
+
+// sortedIDs drains the heap into IDs ordered by increasing distance.
+func (h *maxHeap) sortedIDs() []int {
+	ids := make([]int, len(*h))
+	for i := len(*h) - 1; i >= 0; i-- {
+		ids[i] = h.popRoot().id
+	}
+	return ids
+}

@@ -1,0 +1,163 @@
+package index
+
+import (
+	"sort"
+
+	"csdm/internal/geo"
+)
+
+// KDTree is a static 2-d tree over planar-projected points. It offers
+// logarithmic point queries regardless of how skewed the data is, which
+// makes it the robust default when point density varies wildly (e.g.
+// dense downtown vs. empty suburbs).
+type KDTree struct {
+	pts    []geo.Point
+	planar []geo.Meters
+	proj   geo.Projection
+	// nodes are stored as a flattened median-split tree: ids holds point
+	// IDs in tree order, and each recursion level alternates the split
+	// axis. left/right boundaries are implicit in the recursion.
+	ids []int
+}
+
+// NewKDTree builds a k-d tree over pts.
+func NewKDTree(pts []geo.Point) *KDTree {
+	t := &KDTree{pts: pts}
+	if len(pts) == 0 {
+		t.proj = geo.NewProjection(geo.Point{})
+		return t
+	}
+	t.proj = geo.NewProjection(geo.Centroid(pts))
+	t.planar = make([]geo.Meters, len(pts))
+	for i, p := range pts {
+		t.planar[i] = t.proj.ToMeters(p)
+	}
+	t.ids = make([]int, len(pts))
+	for i := range t.ids {
+		t.ids[i] = i
+	}
+	t.build(0, len(t.ids), 0)
+	return t
+}
+
+// build arranges ids[lo:hi] so that the median by the current axis sits
+// at the middle position, then recurses into both halves.
+func (t *KDTree) build(lo, hi, axis int) {
+	if hi-lo <= 1 {
+		return
+	}
+	mid := (lo + hi) / 2
+	t.selectNth(lo, hi, mid, axis)
+	t.build(lo, mid, 1-axis)
+	t.build(mid+1, hi, 1-axis)
+}
+
+// selectNth partially sorts ids[lo:hi] so ids[n] holds the element of
+// rank n by the given axis (a quickselect would do; sort keeps the code
+// simple and build time is amortized over many queries).
+func (t *KDTree) selectNth(lo, hi, n, axis int) {
+	s := t.ids[lo:hi]
+	sort.Slice(s, func(i, j int) bool {
+		return t.coord(s[i], axis) < t.coord(s[j], axis)
+	})
+	_ = n
+}
+
+func (t *KDTree) coord(id, axis int) float64 {
+	if axis == 0 {
+		return t.planar[id].X
+	}
+	return t.planar[id].Y
+}
+
+// Len implements Index.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// Within implements Index.
+func (t *KDTree) Within(center geo.Point, radius float64) []int {
+	if len(t.pts) == 0 || radius < 0 {
+		return nil
+	}
+	c := t.proj.ToMeters(center)
+	var out []int
+	t.rangeSearch(0, len(t.ids), 0, c, radius, center, &out)
+	return out
+}
+
+func (t *KDTree) rangeSearch(lo, hi, axis int, c geo.Meters, radius float64, center geo.Point, out *[]int) {
+	if lo >= hi {
+		return
+	}
+	mid := (lo + hi) / 2
+	id := t.ids[mid]
+	// Exact test on the sphere; the planar tree only prunes.
+	if geo.Haversine(center, t.pts[id]) <= radius {
+		*out = append(*out, id)
+	}
+	split := t.coord(id, axis)
+	var qc float64
+	if axis == 0 {
+		qc = c.X
+	} else {
+		qc = c.Y
+	}
+	// The planar projection distorts by well under 1% at city scale;
+	// inflate the prune radius slightly so no true hit is dropped.
+	prune := radius*1.01 + 1e-9
+	if qc-prune <= split {
+		t.rangeSearch(lo, mid, 1-axis, c, radius, center, out)
+	}
+	if qc+prune >= split {
+		t.rangeSearch(mid+1, hi, 1-axis, c, radius, center, out)
+	}
+}
+
+// Nearest implements Index.
+func (t *KDTree) Nearest(q geo.Point, k int) []int {
+	if k <= 0 || len(t.pts) == 0 {
+		return nil
+	}
+	if k > len(t.pts) {
+		k = len(t.pts)
+	}
+	c := t.proj.ToMeters(q)
+	h := make(maxHeap, 0, k+1)
+	t.knnSearch(0, len(t.ids), 0, c, q, k, &h)
+	return h.sortedIDs()
+}
+
+func (t *KDTree) knnSearch(lo, hi, axis int, c geo.Meters, q geo.Point, k int, h *maxHeap) {
+	if lo >= hi {
+		return
+	}
+	mid := (lo + hi) / 2
+	id := t.ids[mid]
+	h.offer(heapItem{id: id, dist: geo.Haversine(q, t.pts[id])}, k)
+
+	split := t.coord(id, axis)
+	var qc float64
+	if axis == 0 {
+		qc = c.X
+	} else {
+		qc = c.Y
+	}
+	near, far := lo, mid
+	nearHi, farHi := mid, hi
+	if qc > split {
+		near, nearHi = mid+1, hi
+		far, farHi = lo, mid
+	} else {
+		near, nearHi = lo, mid
+		far, farHi = mid+1, hi
+	}
+	t.knnSearch(near, nearHi, 1-axis, c, q, k, h)
+	// Visit the far side only if the splitting plane is closer than the
+	// current worst candidate (with the projection-distortion margin).
+	planeDist := (qc - split)
+	if planeDist < 0 {
+		planeDist = -planeDist
+	}
+	if len(*h) < k || planeDist <= h.worst()*1.01+1e-9 {
+		t.knnSearch(far, farHi, 1-axis, c, q, k, h)
+	}
+}

@@ -1,0 +1,176 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"csdm/internal/geo"
+)
+
+// rtreeMaxEntries is the node fan-out of the R-tree.
+const rtreeMaxEntries = 16
+
+// RTree is a static R-tree bulk-loaded with the Sort-Tile-Recursive (STR)
+// algorithm. STR packing yields near-minimal overlap between sibling
+// bounding boxes, so range queries touch few subtrees even on clustered
+// city data.
+type RTree struct {
+	pts  []geo.Point
+	root *rtreeNode
+}
+
+type rtreeNode struct {
+	rect     geo.Rect
+	children []*rtreeNode // nil for leaves
+	ids      []int        // point IDs, leaves only
+}
+
+// NewRTree bulk-loads an R-tree over pts.
+func NewRTree(pts []geo.Point) *RTree {
+	t := &RTree{pts: pts}
+	if len(pts) == 0 {
+		return t
+	}
+	ids := make([]int, len(pts))
+	for i := range ids {
+		ids[i] = i
+	}
+	leaves := t.packLeaves(ids)
+	t.root = t.packUpward(leaves)
+	return t
+}
+
+// packLeaves tiles the points into leaf nodes of up to rtreeMaxEntries
+// each: sort by longitude, slice into vertical strips, sort each strip by
+// latitude, and cut into runs.
+func (t *RTree) packLeaves(ids []int) []*rtreeNode {
+	sort.Slice(ids, func(i, j int) bool { return t.pts[ids[i]].Lon < t.pts[ids[j]].Lon })
+	nLeaves := (len(ids) + rtreeMaxEntries - 1) / rtreeMaxEntries
+	stripCount := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	stripSize := stripCount * rtreeMaxEntries
+
+	var leaves []*rtreeNode
+	for s := 0; s < len(ids); s += stripSize {
+		strip := ids[s:min(s+stripSize, len(ids))]
+		sort.Slice(strip, func(i, j int) bool { return t.pts[strip[i]].Lat < t.pts[strip[j]].Lat })
+		for o := 0; o < len(strip); o += rtreeMaxEntries {
+			run := strip[o:min(o+rtreeMaxEntries, len(strip))]
+			leaf := &rtreeNode{ids: append([]int(nil), run...)}
+			leaf.rect = geo.Rect{Min: t.pts[run[0]], Max: t.pts[run[0]]}
+			for _, id := range run[1:] {
+				leaf.rect = leaf.rect.Extend(t.pts[id])
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// packUpward repeatedly groups nodes into parents until one root remains.
+func (t *RTree) packUpward(nodes []*rtreeNode) *rtreeNode {
+	for len(nodes) > 1 {
+		sort.Slice(nodes, func(i, j int) bool {
+			return nodes[i].rect.Center().Lon < nodes[j].rect.Center().Lon
+		})
+		nParents := (len(nodes) + rtreeMaxEntries - 1) / rtreeMaxEntries
+		stripCount := int(math.Ceil(math.Sqrt(float64(nParents))))
+		stripSize := stripCount * rtreeMaxEntries
+
+		var parents []*rtreeNode
+		for s := 0; s < len(nodes); s += stripSize {
+			strip := nodes[s:min(s+stripSize, len(nodes))]
+			sort.Slice(strip, func(i, j int) bool {
+				return strip[i].rect.Center().Lat < strip[j].rect.Center().Lat
+			})
+			for o := 0; o < len(strip); o += rtreeMaxEntries {
+				run := strip[o:min(o+rtreeMaxEntries, len(strip))]
+				parent := &rtreeNode{children: append([]*rtreeNode(nil), run...)}
+				parent.rect = run[0].rect
+				for _, ch := range run[1:] {
+					parent.rect = parent.rect.Union(ch.rect)
+				}
+				parents = append(parents, parent)
+			}
+		}
+		nodes = parents
+	}
+	return nodes[0]
+}
+
+// Len implements Index.
+func (t *RTree) Len() int { return len(t.pts) }
+
+// Within implements Index.
+func (t *RTree) Within(center geo.Point, radius float64) []int {
+	if t.root == nil || radius < 0 {
+		return nil
+	}
+	box := geo.CircleRect(center, radius)
+	var out []int
+	t.search(t.root, box, center, radius, &out)
+	return out
+}
+
+func (t *RTree) search(n *rtreeNode, box geo.Rect, center geo.Point, radius float64, out *[]int) {
+	if !n.rect.Intersects(box) {
+		return
+	}
+	if n.children == nil {
+		for _, id := range n.ids {
+			if geo.Haversine(center, t.pts[id]) <= radius {
+				*out = append(*out, id)
+			}
+		}
+		return
+	}
+	for _, ch := range n.children {
+		t.search(ch, box, center, radius, out)
+	}
+}
+
+// Nearest implements Index using best-first branch-and-bound over node
+// rectangles.
+func (t *RTree) Nearest(q geo.Point, k int) []int {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	if k > len(t.pts) {
+		k = len(t.pts)
+	}
+	h := make(maxHeap, 0, k+1)
+	t.knn(t.root, q, k, &h)
+	return h.sortedIDs()
+}
+
+func (t *RTree) knn(n *rtreeNode, q geo.Point, k int, h *maxHeap) {
+	if len(*h) == k && rectMinDist(q, n.rect) > h.worst() {
+		return
+	}
+	if n.children == nil {
+		for _, id := range n.ids {
+			h.offer(heapItem{id: id, dist: geo.Haversine(q, t.pts[id])}, k)
+		}
+		return
+	}
+	// Visit children nearest-first so the heap tightens quickly.
+	order := make([]int, len(n.children))
+	dists := make([]float64, len(n.children))
+	for i, ch := range n.children {
+		order[i] = i
+		dists[i] = rectMinDist(q, ch.rect)
+	}
+	sort.Slice(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+	for _, i := range order {
+		t.knn(n.children[i], q, k, h)
+	}
+}
+
+// rectMinDist lower-bounds the Haversine distance from q to any point in
+// r by clamping q into the rectangle and measuring to the clamp point.
+func rectMinDist(q geo.Point, r geo.Rect) float64 {
+	c := geo.Point{
+		Lon: math.Max(r.Min.Lon, math.Min(q.Lon, r.Max.Lon)),
+		Lat: math.Max(r.Min.Lat, math.Min(q.Lat, r.Max.Lat)),
+	}
+	return geo.Haversine(q, c)
+}

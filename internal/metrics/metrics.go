@@ -1,0 +1,187 @@
+// Package metrics implements the paper's four evaluation metrics (§5):
+// number of patterns, coverage (total support), spatial sparsity
+// (Equations 9–10) and semantic consistency (Equations 11–12), plus the
+// histogram and box-plot statistics behind Figures 9 and 10.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"csdm/internal/geo"
+	"csdm/internal/pattern"
+	"csdm/internal/trajectory"
+)
+
+// GroupSparsity implements ss(Group(sp_k)) of Equation (9): the mean
+// pairwise Haversine distance (meters) among the group's stay points.
+func GroupSparsity(group []trajectory.StayPoint) float64 {
+	pts := make([]geo.Point, len(group))
+	for i, sp := range group {
+		pts[i] = sp.P
+	}
+	return geo.MeanPairwiseDistance(pts)
+}
+
+// SpatialSparsity implements Equation (10): the mean group sparsity over
+// a pattern's positions. Smaller is denser, hence better.
+func SpatialSparsity(p pattern.Pattern) float64 {
+	if len(p.Groups) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, g := range p.Groups {
+		sum += GroupSparsity(g)
+	}
+	return sum / float64(len(p.Groups))
+}
+
+// GroupConsistency implements sc(Group(sp_k)) of Equation (11): the mean
+// pairwise cosine similarity of the members' semantic properties.
+// Groups of fewer than two members are perfectly consistent (1).
+func GroupConsistency(group []trajectory.StayPoint) float64 {
+	n := len(group)
+	if n < 2 {
+		return 1
+	}
+	var sum float64
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += group[i].S.Cosine(group[j].S)
+		}
+	}
+	return sum * 2 / float64(n*(n-1))
+}
+
+// SemanticConsistency implements Equation (12): the mean group
+// consistency over a pattern's positions. Larger is better.
+func SemanticConsistency(p pattern.Pattern) float64 {
+	if len(p.Groups) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, g := range p.Groups {
+		sum += GroupConsistency(g)
+	}
+	return sum / float64(len(p.Groups))
+}
+
+// Coverage is the sum of supports over all patterns (§5).
+func Coverage(ps []pattern.Pattern) int {
+	total := 0
+	for _, p := range ps {
+		total += p.Support
+	}
+	return total
+}
+
+// Summary aggregates the four §5 metrics over one extraction run.
+type Summary struct {
+	NumPatterns     int
+	Coverage        int
+	MeanSparsity    float64
+	MeanConsistency float64
+}
+
+// Summarize computes the Summary of an extraction result.
+func Summarize(ps []pattern.Pattern) Summary {
+	s := Summary{NumPatterns: len(ps), Coverage: Coverage(ps)}
+	if len(ps) == 0 {
+		return s
+	}
+	for _, p := range ps {
+		s.MeanSparsity += SpatialSparsity(p)
+		s.MeanConsistency += SemanticConsistency(p)
+	}
+	s.MeanSparsity /= float64(len(ps))
+	s.MeanConsistency /= float64(len(ps))
+	return s
+}
+
+// Histogram is a fixed-width frequency histogram (the Figure 9 curves).
+type Histogram struct {
+	// Lo is the lower bound of the first bin; bins cover
+	// [Lo, Lo+Width), [Lo+Width, Lo+2·Width), …
+	Lo float64
+	// Width is the bin width.
+	Width float64
+	// Counts holds the per-bin frequencies. Values at or beyond the
+	// last bin's upper edge land in the last bin (the paper's plots cap
+	// the axis); values below Lo land in the first.
+	Counts []int
+}
+
+// SparsityHistogram bins each pattern's spatial sparsity into nBins bins
+// of the given width starting at lo — Figure 9 uses 20 bins of width 5
+// over [0, 100].
+func SparsityHistogram(ps []pattern.Pattern, lo, width float64, nBins int) Histogram {
+	h := Histogram{Lo: lo, Width: width, Counts: make([]int, nBins)}
+	if nBins == 0 || width <= 0 {
+		return h
+	}
+	for _, p := range ps {
+		bin := int(math.Floor((SpatialSparsity(p) - lo) / width))
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= nBins {
+			bin = nBins - 1
+		}
+		h.Counts[bin]++
+	}
+	return h
+}
+
+// BoxStats are the five-number summary plus mean (the Figure 10 boxes).
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// ConsistencyBox computes the box-plot statistics of per-pattern
+// semantic consistency.
+func ConsistencyBox(ps []pattern.Pattern) BoxStats {
+	vals := make([]float64, 0, len(ps))
+	for _, p := range ps {
+		vals = append(vals, SemanticConsistency(p))
+	}
+	return Box(vals)
+}
+
+// Box computes five-number + mean statistics of vals. A zero BoxStats is
+// returned for empty input.
+func Box(vals []float64) BoxStats {
+	if len(vals) == 0 {
+		return BoxStats{}
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return BoxStats{
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+		N:      len(s),
+	}
+}
+
+// quantile interpolates the q-quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"csdm/internal/geo"
+	"csdm/internal/pattern"
+	"csdm/internal/poi"
+	"csdm/internal/trajectory"
+)
+
+var (
+	origin = geo.Point{Lon: 121.47, Lat: 31.23}
+	proj   = geo.NewProjection(origin)
+	t0     = time.Date(2015, 4, 6, 8, 0, 0, 0, time.UTC)
+)
+
+func at(x, y float64) geo.Point { return proj.ToPoint(geo.Meters{X: x, Y: y}) }
+
+func stay(x, y float64, s poi.Semantics) trajectory.StayPoint {
+	return trajectory.StayPoint{P: at(x, y), T: t0, S: s}
+}
+
+var (
+	home   = poi.SemanticsOf(poi.Residence)
+	office = poi.SemanticsOf(poi.BusinessOffice)
+)
+
+func TestGroupSparsity(t *testing.T) {
+	// Three collinear points 30 m apart: mean pairwise = 40 m.
+	g := []trajectory.StayPoint{stay(0, 0, home), stay(30, 0, home), stay(60, 0, home)}
+	if got := GroupSparsity(g); math.Abs(got-40) > 0.2 {
+		t.Fatalf("GroupSparsity = %v, want ~40", got)
+	}
+	if got := GroupSparsity(g[:1]); got != 0 {
+		t.Fatalf("single-member sparsity = %v", got)
+	}
+}
+
+func TestSpatialSparsityAveragesGroups(t *testing.T) {
+	p := pattern.Pattern{Groups: [][]trajectory.StayPoint{
+		{stay(0, 0, home), stay(20, 0, home)},     // sparsity 20
+		{stay(0, 0, office), stay(60, 0, office)}, // sparsity 60
+	}}
+	if got := SpatialSparsity(p); math.Abs(got-40) > 0.2 {
+		t.Fatalf("SpatialSparsity = %v, want ~40", got)
+	}
+	if got := SpatialSparsity(pattern.Pattern{}); got != 0 {
+		t.Fatalf("empty sparsity = %v", got)
+	}
+}
+
+func TestGroupConsistency(t *testing.T) {
+	same := []trajectory.StayPoint{stay(0, 0, home), stay(1, 0, home), stay(2, 0, home)}
+	if got := GroupConsistency(same); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("identical tags consistency = %v", got)
+	}
+	mixed := []trajectory.StayPoint{stay(0, 0, home), stay(1, 0, office)}
+	if got := GroupConsistency(mixed); got != 0 {
+		t.Fatalf("disjoint tags consistency = %v", got)
+	}
+	// Partially overlapping tags land strictly between 0 and 1.
+	partial := []trajectory.StayPoint{
+		stay(0, 0, home),
+		stay(1, 0, home.Union(office)),
+	}
+	got := GroupConsistency(partial)
+	if got <= 0 || got >= 1 {
+		t.Fatalf("partial consistency = %v, want (0,1)", got)
+	}
+	if got := GroupConsistency(nil); got != 1 {
+		t.Fatalf("empty group consistency = %v, want 1", got)
+	}
+}
+
+func TestConsistencyBoundsProperty(t *testing.T) {
+	f := func(tags []uint16) bool {
+		var g []trajectory.StayPoint
+		for i, tg := range tags {
+			g = append(g, stay(float64(i), 0, poi.Semantics(tg)&(1<<poi.NumMajors-1)))
+		}
+		c := GroupConsistency(g)
+		return c >= 0 && c <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeAndCoverage(t *testing.T) {
+	ps := []pattern.Pattern{
+		{Support: 50, Groups: [][]trajectory.StayPoint{{stay(0, 0, home), stay(10, 0, home)}}},
+		{Support: 30, Groups: [][]trajectory.StayPoint{{stay(0, 0, office), stay(30, 0, office)}}},
+	}
+	if got := Coverage(ps); got != 80 {
+		t.Fatalf("Coverage = %d", got)
+	}
+	s := Summarize(ps)
+	if s.NumPatterns != 2 || s.Coverage != 80 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.MeanSparsity-20) > 0.2 {
+		t.Fatalf("MeanSparsity = %v, want ~20", s.MeanSparsity)
+	}
+	if math.Abs(s.MeanConsistency-1) > 1e-12 {
+		t.Fatalf("MeanConsistency = %v, want 1", s.MeanConsistency)
+	}
+	empty := Summarize(nil)
+	if empty.NumPatterns != 0 || empty.Coverage != 0 || empty.MeanSparsity != 0 {
+		t.Fatalf("empty Summary = %+v", empty)
+	}
+}
+
+func TestSparsityHistogramBinning(t *testing.T) {
+	mk := func(spread float64) pattern.Pattern {
+		return pattern.Pattern{Groups: [][]trajectory.StayPoint{
+			{stay(0, 0, home), stay(spread, 0, home)},
+		}}
+	}
+	ps := []pattern.Pattern{mk(2), mk(7), mk(7.4), mk(230)} // sparsities ≈ 2, 7, 7.4, 230
+	h := SparsityHistogram(ps, 0, 5, 20)
+	if h.Counts[0] != 1 {
+		t.Errorf("bin 0 = %d, want 1", h.Counts[0])
+	}
+	if h.Counts[1] != 2 {
+		t.Errorf("bin 1 = %d, want 2", h.Counts[1])
+	}
+	if h.Counts[19] != 1 { // overflow clamps into the last bin
+		t.Errorf("last bin = %d, want 1", h.Counts[19])
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(ps) {
+		t.Fatalf("histogram total = %d, want %d", total, len(ps))
+	}
+	if got := SparsityHistogram(nil, 0, 5, 0); len(got.Counts) != 0 {
+		t.Fatalf("degenerate histogram = %+v", got)
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	b := Box([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Mean != 3 || b.N != 5 {
+		t.Fatalf("Box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles = %v, %v", b.Q1, b.Q3)
+	}
+	single := Box([]float64{7})
+	if single.Min != 7 || single.Max != 7 || single.Median != 7 {
+		t.Fatalf("single Box = %+v", single)
+	}
+	if got := Box(nil); got != (BoxStats{}) {
+		t.Fatalf("empty Box = %+v", got)
+	}
+}
+
+func TestBoxQuartileInterpolation(t *testing.T) {
+	b := Box([]float64{1, 2, 3, 4})
+	if math.Abs(b.Q1-1.75) > 1e-12 || math.Abs(b.Q3-3.25) > 1e-12 {
+		t.Fatalf("interpolated quartiles = %v, %v", b.Q1, b.Q3)
+	}
+	if math.Abs(b.Median-2.5) > 1e-12 {
+		t.Fatalf("median = %v", b.Median)
+	}
+}
+
+func TestConsistencyBox(t *testing.T) {
+	ps := []pattern.Pattern{
+		{Groups: [][]trajectory.StayPoint{{stay(0, 0, home), stay(1, 0, home)}}},   // 1.0
+		{Groups: [][]trajectory.StayPoint{{stay(0, 0, home), stay(1, 0, office)}}}, // 0.0
+	}
+	b := ConsistencyBox(ps)
+	if b.Min != 0 || b.Max != 1 || b.Mean != 0.5 || b.N != 2 {
+		t.Fatalf("ConsistencyBox = %+v", b)
+	}
+}
+
+func TestBoxOrderingProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var clean []float64
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		b := Box(clean)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"csdm/internal/geo"
+	"csdm/internal/index"
+	"csdm/internal/trajectory"
+)
+
+// closureComputer evaluates a finished pattern's true support and
+// groups per Definitions 8–11: the set of database trajectories that
+// contain or reachable contain the pattern's representative trajectory
+// under (ε_t, δ_t, ⊇) containment, and the per-position collections of
+// their counterpart stay points.
+//
+// A naive closure scans the whole database per BFS level. Two
+// optimizations keep it fast without changing the result:
+//
+//   - spatial prefiltering: a trajectory can only contain a target if it
+//     has stays within ε_t of the target's first and last stay, so a
+//     grid index over all stays shortlists candidates;
+//   - frontier deduplication: counterpart sequences whose stays
+//     quantize to the same ε_t/4 cells (with equal semantics) expand to
+//     near-identical searches, so only one representative is kept.
+type closureComputer struct {
+	db     []trajectory.SemanticTrajectory
+	params trajectory.ContainParams
+	// stayIdx indexes every stay of every trajectory; stayTraj maps the
+	// indexed stay back to its trajectory.
+	stayIdx  index.Index
+	stayTraj []int
+	quantum  float64
+	// proj is a fixed projection for quantizing counterpart keys; it
+	// must be shared so that spatially distinct counterparts get
+	// distinct keys.
+	proj geo.Projection
+}
+
+// newClosureComputer indexes the database once per extraction run.
+func newClosureComputer(db []trajectory.SemanticTrajectory, params Params) *closureComputer {
+	cc := &closureComputer{
+		db: db,
+		params: trajectory.ContainParams{
+			MaxDist: params.EpsT,
+			MaxGap:  params.DeltaT,
+		},
+		quantum: math.Max(params.EpsT/4, 1),
+	}
+	var pts []geo.Point
+	for ti, st := range db {
+		for _, sp := range st.Stays {
+			pts = append(pts, sp.P)
+			cc.stayTraj = append(cc.stayTraj, ti)
+		}
+	}
+	cc.stayIdx = index.NewGrid(pts, math.Max(params.EpsT, 50))
+	cc.proj = geo.NewProjection(geo.Centroid(pts))
+	return cc
+}
+
+// candidates returns the database trajectories having stays within
+// ε_t of both endpoints of the target.
+func (cc *closureComputer) candidates(target trajectory.SemanticTrajectory) []int {
+	if target.Len() == 0 {
+		return nil
+	}
+	first := target.Stays[0].P
+	last := target.Stays[target.Len()-1].P
+	nearFirst := make(map[int]bool)
+	for _, si := range cc.stayIdx.Within(first, cc.params.MaxDist) {
+		nearFirst[cc.stayTraj[si]] = true
+	}
+	var out []int
+	seen := make(map[int]bool)
+	for _, si := range cc.stayIdx.Within(last, cc.params.MaxDist) {
+		ti := cc.stayTraj[si]
+		if nearFirst[ti] && !seen[ti] {
+			seen[ti] = true
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// key quantizes a counterpart sequence for frontier deduplication. The
+// shared projection keeps keys tied to absolute positions.
+func (cc *closureComputer) key(st trajectory.SemanticTrajectory) string {
+	out := make([]byte, 0, 16*st.Len())
+	for _, sp := range st.Stays {
+		m := cc.proj.ToMeters(sp.P)
+		out = fmt.Appendf(out, "%d:%d:%d;",
+			int(math.Floor(m.X/cc.quantum)), int(math.Floor(m.Y/cc.quantum)), sp.S)
+	}
+	return string(out)
+}
+
+// supportGroups runs the closure BFS for one pattern representative and
+// returns the support count and the per-position groups (Definition 10:
+// the representative's own stays are members of their groups).
+func (cc *closureComputer) supportGroups(rep []trajectory.StayPoint) (int, [][]trajectory.StayPoint) {
+	m := len(rep)
+	groups := make([][]trajectory.StayPoint, m)
+	query := trajectory.SemanticTrajectory{Stays: rep}
+
+	found := make(map[int]bool)
+	tried := map[string]bool{cc.key(query): true}
+	frontier := []trajectory.SemanticTrajectory{query}
+
+	for len(frontier) > 0 {
+		var next []trajectory.SemanticTrajectory
+		for _, target := range frontier {
+			for _, ti := range cc.candidates(target) {
+				if found[ti] {
+					continue
+				}
+				idxs, ok := trajectory.Contains(cc.db[ti], target, cc.params)
+				if !ok {
+					continue
+				}
+				found[ti] = true
+				cp := make([]trajectory.StayPoint, len(idxs))
+				for j, k := range idxs {
+					cp[j] = cc.db[ti].Stays[k]
+					groups[j] = append(groups[j], cp[j])
+				}
+				cpTraj := trajectory.SemanticTrajectory{Stays: cp}
+				if k := cc.key(cpTraj); !tried[k] {
+					tried[k] = true
+					next = append(next, cpTraj)
+				}
+			}
+		}
+		frontier = next
+	}
+	// Definition 10 includes sp_j itself in its group; as the
+	// representative is usually a member of some closure counterpart,
+	// add it only where it is not already present.
+	for j, sp := range rep {
+		present := false
+		for _, g := range groups[j] {
+			if g == sp {
+				present = true
+				break
+			}
+		}
+		if !present {
+			groups[j] = append(groups[j], sp)
+		}
+	}
+	return len(found), groups
+}
+
+// dedupeMaximal keeps only maximal patterns: a pattern is dropped when
+// another pattern of the same length sits at the same locations (reps
+// within ε_t at every position) with positionwise superset semantics.
+// Without this filter, tag flicker in the recognition stage makes one
+// physical flow surface as a stack of near-duplicate patterns — one per
+// tag flavor — inflating both pattern count and coverage. Reporting
+// maximal patterns is the sequential-pattern-mining norm.
+func dedupeMaximal(ps []Pattern, epsT float64) []Pattern {
+	drop := make([]bool, len(ps))
+	for i := range ps {
+		if drop[i] {
+			continue
+		}
+		for j := range ps {
+			if i == j || drop[j] || len(ps[j].Stays) != len(ps[i].Stays) {
+				continue
+			}
+			if subsumes(ps[j], ps[i], epsT) {
+				// Identical semantics: keep the better-supported one
+				// (ties break toward the earlier pattern).
+				if sameItems(ps[i], ps[j]) &&
+					(ps[i].Support > ps[j].Support || (ps[i].Support == ps[j].Support && i < j)) {
+					continue
+				}
+				drop[i] = true
+				break
+			}
+		}
+	}
+	out := ps[:0]
+	for i := range ps {
+		if !drop[i] {
+			out = append(out, ps[i])
+		}
+	}
+	return out
+}
+
+// subsumes reports whether b covers a: same length, positionwise
+// superset items, and co-located representatives.
+func subsumes(b, a Pattern, epsT float64) bool {
+	for k := range a.Stays {
+		if !b.Items[k].Contains(a.Items[k]) {
+			return false
+		}
+		if geo.Haversine(b.Stays[k].P, a.Stays[k].P) > epsT {
+			return false
+		}
+	}
+	return true
+}
+
+func sameItems(a, b Pattern) bool {
+	for k := range a.Items {
+		if a.Items[k] != b.Items[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// finalize recomputes every pattern's support and groups over the
+// containment closure (the paper's Table 2 definition of support and
+// Definition 10 groups), replacing the refinement-cluster approximation
+// built by buildPattern. Patterns are independent, so the closures run
+// in parallel.
+func finalize(db []trajectory.SemanticTrajectory, ps []Pattern, params Params) []Pattern {
+	if len(ps) == 0 {
+		return ps
+	}
+	ps = dedupeMaximal(ps, params.EpsT)
+	cc := newClosureComputer(db, params)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ps) {
+					return
+				}
+				sup, groups := cc.supportGroups(ps[i].Stays)
+				ps[i].Support = sup
+				ps[i].Groups = groups
+			}
+		}()
+	}
+	wg.Wait()
+	return ps
+}

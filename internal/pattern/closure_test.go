@@ -1,0 +1,184 @@
+package pattern
+
+import (
+	"testing"
+	"time"
+
+	"csdm/internal/poi"
+	"csdm/internal/trajectory"
+)
+
+// closureScenario builds a db with a chain of Residence→Office
+// trajectories drifting 80 m per step, so trajectory 0 is reached from
+// the representative only via reachable containment.
+func closureScenario() ([]trajectory.SemanticTrajectory, []trajectory.StayPoint) {
+	var db []trajectory.SemanticTrajectory
+	for i := 0; i < 4; i++ {
+		off := float64(i) * 80
+		db = append(db, trajectory.SemanticTrajectory{
+			ID: int64(i),
+			Stays: []trajectory.StayPoint{
+				{P: at(off, 0), T: t0, S: home},
+				{P: at(4000+off, 0), T: t0.Add(30 * time.Minute), S: office},
+			},
+		})
+	}
+	// Unrelated trajectory: wrong semantics at the right place.
+	db = append(db, trajectory.SemanticTrajectory{
+		ID: 99,
+		Stays: []trajectory.StayPoint{
+			{P: at(10, 0), T: t0, S: shop},
+			{P: at(4010, 0), T: t0.Add(30 * time.Minute), S: shop},
+		},
+	})
+	rep := []trajectory.StayPoint{
+		{P: at(0, 0), T: t0, S: home},
+		{P: at(4000, 0), T: t0.Add(30 * time.Minute), S: office},
+	}
+	return db, rep
+}
+
+func TestClosureMatchesTrajectoryDatabase(t *testing.T) {
+	db, rep := closureScenario()
+	params := testParams() // EpsT 100 via normalized? testParams has no EpsT
+	params.EpsT = 100
+	cc := newClosureComputer(db, params)
+	sup, groups := cc.supportGroups(rep)
+
+	// Reference: the trajectory package's Definition 8 closure.
+	ref := trajectory.Database(db).Closure(
+		trajectory.SemanticTrajectory{Stays: rep},
+		trajectory.ContainParams{MaxDist: params.EpsT, MaxGap: params.DeltaT},
+	)
+	if sup != len(ref) {
+		t.Fatalf("closure support = %d, reference = %d", sup, len(ref))
+	}
+	// Chain: trajectories 0,1 directly contain (0 m, 80 m); 2 via 1;
+	// 3 via 2. The shop trajectory is excluded.
+	if sup != 4 {
+		t.Fatalf("support = %d, want 4 (chain of drifting trajectories)", sup)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	for k, g := range groups {
+		if len(g) < sup {
+			t.Fatalf("group %d size %d < support %d", k, len(g), sup)
+		}
+		for _, sp := range g {
+			if !sp.S.Contains(rep[k].S) {
+				t.Fatalf("group %d member with semantics %v cannot support item %v", k, sp.S, rep[k].S)
+			}
+		}
+	}
+}
+
+func TestClosureCandidatePrefilterFindsSubsequenceMatches(t *testing.T) {
+	// A 3-stay trajectory contains the 2-stay representative by
+	// skipping its middle stay; its own endpoints are far from the
+	// representative's, so the prefilter must look at all stays.
+	db := []trajectory.SemanticTrajectory{
+		{ID: 1, Stays: []trajectory.StayPoint{
+			{P: at(-5000, 0), T: t0.Add(-30 * time.Minute), S: shop},
+			{P: at(10, 0), T: t0, S: home},
+			{P: at(4010, 0), T: t0.Add(30 * time.Minute), S: office},
+		}},
+	}
+	rep := []trajectory.StayPoint{
+		{P: at(0, 0), T: t0, S: home},
+		{P: at(4000, 0), T: t0.Add(30 * time.Minute), S: office},
+	}
+	params := testParams()
+	params.EpsT = 100
+	cc := newClosureComputer(db, params)
+	sup, _ := cc.supportGroups(rep)
+	if sup != 1 {
+		t.Fatalf("support = %d, want 1 (subsequence match)", sup)
+	}
+}
+
+func TestDedupeMaximalDropsSubsumedPattern(t *testing.T) {
+	rich := Pattern{
+		Items: []poi.Semantics{home.Union(shop), office},
+		Stays: []trajectory.StayPoint{
+			{P: at(0, 0), S: home.Union(shop)},
+			{P: at(4000, 0), S: office},
+		},
+		Support: 30,
+	}
+	thin := Pattern{
+		Items: []poi.Semantics{home, office},
+		Stays: []trajectory.StayPoint{
+			{P: at(10, 0), S: home},
+			{P: at(4010, 0), S: office},
+		},
+		Support: 40,
+	}
+	out := dedupeMaximal([]Pattern{thin, rich}, 100)
+	if len(out) != 1 {
+		t.Fatalf("deduped = %d patterns, want 1", len(out))
+	}
+	if out[0].Items[0] != home.Union(shop) {
+		t.Fatalf("kept the thin flavor instead of the maximal one")
+	}
+}
+
+func TestDedupeMaximalKeepsDistantSameItems(t *testing.T) {
+	a := Pattern{
+		Items:   []poi.Semantics{home, office},
+		Stays:   []trajectory.StayPoint{{P: at(0, 0), S: home}, {P: at(4000, 0), S: office}},
+		Support: 30,
+	}
+	b := Pattern{
+		Items:   []poi.Semantics{home, office},
+		Stays:   []trajectory.StayPoint{{P: at(2000, 0), S: home}, {P: at(6000, 0), S: office}},
+		Support: 30,
+	}
+	if out := dedupeMaximal([]Pattern{a, b}, 100); len(out) != 2 {
+		t.Fatalf("spatially distinct patterns were merged: %d", len(out))
+	}
+}
+
+func TestDedupeMaximalIdenticalItemsKeepsStrongest(t *testing.T) {
+	weak := Pattern{
+		Items:   []poi.Semantics{home, office},
+		Stays:   []trajectory.StayPoint{{P: at(0, 0), S: home}, {P: at(4000, 0), S: office}},
+		Support: 10,
+	}
+	strong := weak
+	strong.Support = 50
+	strong.Stays = []trajectory.StayPoint{{P: at(5, 0), S: home}, {P: at(4005, 0), S: office}}
+	out := dedupeMaximal([]Pattern{weak, strong}, 100)
+	if len(out) != 1 || out[0].Support != 50 {
+		t.Fatalf("dedupe kept %d patterns, support %d; want the stronger one", len(out), out[0].Support)
+	}
+}
+
+func TestDedupeMaximalDifferentLengthsUntouched(t *testing.T) {
+	short := Pattern{
+		Items:   []poi.Semantics{home, office},
+		Stays:   []trajectory.StayPoint{{P: at(0, 0), S: home}, {P: at(4000, 0), S: office}},
+		Support: 10,
+	}
+	long := Pattern{
+		Items: []poi.Semantics{home, office, shop},
+		Stays: []trajectory.StayPoint{
+			{P: at(0, 0), S: home}, {P: at(4000, 0), S: office}, {P: at(8000, 0), S: shop},
+		},
+		Support: 10,
+	}
+	if out := dedupeMaximal([]Pattern{short, long}, 100); len(out) != 2 {
+		t.Fatalf("different-length patterns should never subsume each other")
+	}
+}
+
+func TestParamsNormalized(t *testing.T) {
+	p := Params{}.normalized()
+	if p.EpsT != 100 {
+		t.Fatalf("normalized EpsT = %v", p.EpsT)
+	}
+	q := Params{EpsT: 42}.normalized()
+	if q.EpsT != 42 {
+		t.Fatalf("explicit EpsT overwritten: %v", q.EpsT)
+	}
+}

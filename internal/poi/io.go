@@ -1,0 +1,116 @@
+package poi
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"csdm/internal/geo"
+)
+
+// csvHeader is the column layout of the POI CSV exchange format.
+var csvHeader = []string{"id", "name", "lon", "lat", "minor"}
+
+// WriteCSV writes POIs in the CSV exchange format (header + one row per
+// POI; the minor category is stored by name).
+func WriteCSV(w io.Writer, ps []POI) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("poi: write header: %w", err)
+	}
+	for _, p := range ps {
+		rec := []string{
+			strconv.FormatInt(p.ID, 10),
+			p.Name,
+			strconv.FormatFloat(p.Location.Lon, 'f', -1, 64),
+			strconv.FormatFloat(p.Location.Lat, 'f', -1, 64),
+			p.Minor.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("poi: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses POIs from the CSV exchange format produced by WriteCSV.
+func ReadCSV(r io.Reader) ([]POI, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("poi: read header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("poi: unexpected header column %d: got %q, want %q", i, header[i], col)
+		}
+	}
+	var out []POI
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("poi: line %d: %w", line, err)
+		}
+		p, err := parseRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("poi: line %d: %w", line, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func parseRecord(rec []string) (POI, error) {
+	id, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return POI{}, fmt.Errorf("bad id %q: %w", rec[0], err)
+	}
+	lon, err := strconv.ParseFloat(rec[2], 64)
+	if err != nil {
+		return POI{}, fmt.Errorf("bad lon %q: %w", rec[2], err)
+	}
+	lat, err := strconv.ParseFloat(rec[3], 64)
+	if err != nil {
+		return POI{}, fmt.Errorf("bad lat %q: %w", rec[3], err)
+	}
+	minor, ok := MinorByName(rec[4])
+	if !ok {
+		return POI{}, fmt.Errorf("unknown minor category %q", rec[4])
+	}
+	p := POI{ID: id, Name: rec[1], Location: geo.Point{Lon: lon, Lat: lat}, Minor: minor}
+	if !p.Location.Valid() {
+		return POI{}, fmt.Errorf("invalid coordinate (%v, %v)", lon, lat)
+	}
+	return p, nil
+}
+
+// WriteJSON writes POIs as a JSON array.
+func WriteJSON(w io.Writer, ps []POI) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ps)
+}
+
+// ReadJSON parses a JSON array of POIs and validates categories and
+// coordinates.
+func ReadJSON(r io.Reader) ([]POI, error) {
+	var out []POI
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("poi: decode json: %w", err)
+	}
+	for i, p := range out {
+		if !p.Minor.Valid() {
+			return nil, fmt.Errorf("poi: entry %d: invalid minor category %d", i, p.Minor)
+		}
+		if !p.Location.Valid() {
+			return nil, fmt.Errorf("poi: entry %d: invalid location %v", i, p.Location)
+		}
+	}
+	return out, nil
+}

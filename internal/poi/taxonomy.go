@@ -1,0 +1,182 @@
+package poi
+
+import "fmt"
+
+// Minor is one of the 98 minor semantic categories. Each minor belongs
+// to exactly one major category; the registry below mirrors the
+// structure of the paper's AMAP dataset (15 major, 98 minor types).
+type Minor uint8
+
+// minorEntry describes one minor category.
+type minorEntry struct {
+	name  string
+	major Major
+}
+
+var minorTable = []minorEntry{
+	// Residence (7)
+	{"Residential Complex", Residence},
+	{"Apartment", Residence},
+	{"Villa", Residence},
+	{"Dormitory", Residence},
+	{"Community", Residence},
+	{"Old Town Housing", Residence},
+	{"Serviced Apartment", Residence},
+	// Shop & Market (8)
+	{"Supermarket", ShopMarket},
+	{"Convenience Store", ShopMarket},
+	{"Shopping Mall", ShopMarket},
+	{"Clothing Store", ShopMarket},
+	{"Electronics Store", ShopMarket},
+	{"Wet Market", ShopMarket},
+	{"Bookstore", ShopMarket},
+	{"Furniture Store", ShopMarket},
+	// Business & Office (7)
+	{"Office Building", BusinessOffice},
+	{"Corporate Headquarters", BusinessOffice},
+	{"Coworking Space", BusinessOffice},
+	{"Business Park", BusinessOffice},
+	{"Trade Center", BusinessOffice},
+	{"Agency Office", BusinessOffice},
+	{"Startup Incubator", BusinessOffice},
+	// Restaurant (8)
+	{"Chinese Restaurant", Restaurant},
+	{"Western Restaurant", Restaurant},
+	{"Fast Food", Restaurant},
+	{"Noodle House", Restaurant},
+	{"Hotpot Restaurant", Restaurant},
+	{"Cafe", Restaurant},
+	{"Teahouse", Restaurant},
+	{"Bakery", Restaurant},
+	// Entertainment (8)
+	{"Cinema", Entertainment},
+	{"KTV", Entertainment},
+	{"Bar", Entertainment},
+	{"Night Club", Entertainment},
+	{"Game Arcade", Entertainment},
+	{"Internet Cafe", Entertainment},
+	{"Theater", Entertainment},
+	{"Amusement Park", Entertainment},
+	// Public Service (6)
+	{"Police Station", PublicService},
+	{"Post Office", PublicService},
+	{"Library", PublicService},
+	{"Community Center", PublicService},
+	{"Public Toilet", PublicService},
+	{"Fire Station", PublicService},
+	// Traffic Stations (7)
+	{"Metro Station", TrafficStations},
+	{"Bus Stop", TrafficStations},
+	{"Railway Station", TrafficStations},
+	{"Airport Terminal", TrafficStations},
+	{"Taxi Stand", TrafficStations},
+	{"Ferry Terminal", TrafficStations},
+	{"Parking Lot", TrafficStations},
+	// Technology & Education (7)
+	{"University", TechEducation},
+	{"College", TechEducation},
+	{"High School", TechEducation},
+	{"Primary School", TechEducation},
+	{"Kindergarten", TechEducation},
+	{"Research Institute", TechEducation},
+	{"Training Center", TechEducation},
+	// Sports (6)
+	{"Gym", Sports},
+	{"Stadium", Sports},
+	{"Swimming Pool", Sports},
+	{"Basketball Court", Sports},
+	{"Football Field", Sports},
+	{"Badminton Hall", Sports},
+	// Government Agency (6)
+	{"City Hall", GovernmentAgency},
+	{"District Office", GovernmentAgency},
+	{"Tax Bureau", GovernmentAgency},
+	{"Court", GovernmentAgency},
+	{"Customs Office", GovernmentAgency},
+	{"Administrative Bureau", GovernmentAgency},
+	// Industry (5)
+	{"Factory", Industry},
+	{"Industrial Park", Industry},
+	{"Warehouse", Industry},
+	{"Logistics Center", Industry},
+	{"Manufacturing Plant", Industry},
+	// Financial Service (6)
+	{"Bank", FinancialService},
+	{"ATM", FinancialService},
+	{"Insurance Company", FinancialService},
+	{"Securities Firm", FinancialService},
+	{"Credit Union", FinancialService},
+	{"Finance Office", FinancialService},
+	// Medical Service (7)
+	{"General Hospital", MedicalService},
+	{"Children Hospital", MedicalService},
+	{"Clinic", MedicalService},
+	{"Pharmacy", MedicalService},
+	{"Dental Clinic", MedicalService},
+	{"Specialty Hospital", MedicalService},
+	{"Health Center", MedicalService},
+	// Accommodation & Hotel (5)
+	{"Luxury Hotel", AccommodationHotel},
+	{"Business Hotel", AccommodationHotel},
+	{"Budget Hotel", AccommodationHotel},
+	{"Hostel", AccommodationHotel},
+	{"Guesthouse", AccommodationHotel},
+	// Tourism (5)
+	{"Scenic Spot", Tourism},
+	{"Museum", Tourism},
+	{"Temple", Tourism},
+	{"City Park", Tourism},
+	{"Landmark", Tourism},
+}
+
+// NumMinors is the number of minor categories (98, as in the paper).
+var NumMinors = len(minorTable)
+
+// Major returns the major category the minor belongs to.
+func (m Minor) Major() Major {
+	if int(m) < len(minorTable) {
+		return minorTable[m].major
+	}
+	return Major(NumMajors) // invalid sentinel
+}
+
+// String implements fmt.Stringer.
+func (m Minor) String() string {
+	if int(m) < len(minorTable) {
+		return minorTable[m].name
+	}
+	return fmt.Sprintf("Minor(%d)", uint8(m))
+}
+
+// Valid reports whether m names a registered minor category.
+func (m Minor) Valid() bool { return int(m) < len(minorTable) }
+
+// Minors returns all minor categories.
+func Minors() []Minor {
+	out := make([]Minor, len(minorTable))
+	for i := range out {
+		out[i] = Minor(i)
+	}
+	return out
+}
+
+// MinorsOf returns the minor categories under major m.
+func MinorsOf(major Major) []Minor {
+	var out []Minor
+	for i, e := range minorTable {
+		if e.major == major {
+			out = append(out, Minor(i))
+		}
+	}
+	return out
+}
+
+// MinorByName resolves a minor category by its exact name.
+func MinorByName(name string) (Minor, bool) {
+	for i, e := range minorTable {
+		if e.name == name {
+			return Minor(i), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,52 @@
+package recognize
+
+import (
+	"csdm/internal/csd"
+	"csdm/internal/geo"
+	"csdm/internal/poi"
+)
+
+// CSDRecognizer implements Algorithm 3: a range search collects the
+// diagram's member POIs within R3σ of the stay point; each POI votes for
+// its fine-grained semantic unit with weight pop(p^I)·‖p^I, sp‖; the
+// highest-voted unit wins and the stay point receives the union of the
+// semantic properties of that unit's in-range POIs.
+//
+// Voting per unit — rather than picking the single most likely POI —
+// is what makes recognition robust to GPS noise near unit boundaries
+// (the river example of §4.2).
+type CSDRecognizer struct {
+	diagram *csd.Diagram
+}
+
+// NewCSDRecognizer wraps a built diagram.
+func NewCSDRecognizer(d *csd.Diagram) *CSDRecognizer {
+	return &CSDRecognizer{diagram: d}
+}
+
+// Name implements Recognizer.
+func (r *CSDRecognizer) Name() string { return "CSD" }
+
+// Recognize implements Recognizer (Algorithm 3 lines 5–11).
+func (r *CSDRecognizer) Recognize(p geo.Point) poi.Semantics {
+	d := r.diagram
+	kernel := d.Kernel()
+	in := d.MembersWithin(p, kernel.Radius())
+	if len(in) == 0 {
+		return 0
+	}
+	votes := make(map[int]float64)
+	tags := make(map[int]poi.Semantics)
+	for _, i := range in {
+		uid := d.UnitOf(i)
+		votes[uid] += d.Pop[i] * kernel.Weight(d.POIs[i].Location, p)
+		tags[uid] = tags[uid].Union(d.POIs[i].Semantics())
+	}
+	best, bestVote := -1, -1.0
+	for uid, v := range votes {
+		if v > bestVote || (v == bestVote && uid < best) {
+			best, bestVote = uid, v
+		}
+	}
+	return tags[best]
+}

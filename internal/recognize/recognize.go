@@ -1,0 +1,40 @@
+// Package recognize assigns semantic properties to stay points,
+// resolving the paper's semantic-absence challenge. It provides the
+// CSD-based voting recognizer of Algorithm 3, the ROI hot-region
+// baseline of Chen et al. [21] that the experiments compare against,
+// and a plain nearest-POI recognizer used by ablations.
+package recognize
+
+import (
+	"csdm/internal/geo"
+	"csdm/internal/poi"
+	"csdm/internal/trajectory"
+)
+
+// Recognizer resolves the semantic property of a stay-point location.
+type Recognizer interface {
+	// Name identifies the recognizer in experiment reports.
+	Name() string
+	// Recognize returns the semantic property of a stay at p; the empty
+	// set when nothing is known about the location.
+	Recognize(p geo.Point) poi.Semantics
+}
+
+// Annotate fills in the semantic property of every stay point of every
+// trajectory in db, in place — the outer loop of Algorithm 3.
+func Annotate(db []trajectory.SemanticTrajectory, r Recognizer) {
+	for ti := range db {
+		for si := range db[ti].Stays {
+			db[ti].Stays[si].S = r.Recognize(db[ti].Stays[si].P)
+		}
+	}
+}
+
+// AnnotateJourneys converts raw journeys into annotated semantic
+// trajectories: chain card-linked journeys (§5), then recognize every
+// stay point.
+func AnnotateJourneys(js []trajectory.Journey, chain trajectory.ChainParams, r Recognizer) []trajectory.SemanticTrajectory {
+	db := trajectory.Chain(js, chain)
+	Annotate(db, r)
+	return db
+}

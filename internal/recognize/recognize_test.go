@@ -1,0 +1,248 @@
+package recognize
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"csdm/internal/csd"
+	"csdm/internal/geo"
+	"csdm/internal/poi"
+	"csdm/internal/trajectory"
+)
+
+var origin = geo.Point{Lon: 121.47, Lat: 31.23}
+var proj = geo.NewProjection(origin)
+
+func at(x, y float64) geo.Point { return proj.ToPoint(geo.Meters{X: x, Y: y}) }
+
+func mkPOI(id int64, major poi.Major, x, y float64) poi.POI {
+	return poi.POI{ID: id, Location: at(x, y), Minor: poi.MinorsOf(major)[0]}
+}
+
+// shopVsRestaurantScene builds the Figure 7 scenario: a popular shop
+// unit and a less popular restaurant unit flanking a stay location.
+// Returns the POIs and the stay points that establish popularity.
+func shopVsRestaurantScene(rng *rand.Rand) ([]poi.POI, []geo.Point) {
+	var pois []poi.POI
+	var id int64 = 1
+	for i := 0; i < 10; i++ { // shop unit ~40 m west
+		pois = append(pois, mkPOI(id, poi.ShopMarket, -40+rng.NormFloat64()*5, rng.NormFloat64()*5))
+		id++
+	}
+	for i := 0; i < 6; i++ { // restaurant unit ~60 m east
+		pois = append(pois, mkPOI(id, poi.Restaurant, 60+rng.NormFloat64()*5, rng.NormFloat64()*5))
+		id++
+	}
+	// Popularity: many historical stays at the shops, few at the
+	// restaurants.
+	var stays []geo.Point
+	for i := 0; i < 120; i++ {
+		stays = append(stays, at(-40+rng.NormFloat64()*15, rng.NormFloat64()*15))
+	}
+	for i := 0; i < 15; i++ {
+		stays = append(stays, at(60+rng.NormFloat64()*15, rng.NormFloat64()*15))
+	}
+	return pois, stays
+}
+
+func TestCSDRecognizerPicksPopularUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pois, stays := shopVsRestaurantScene(rng)
+	d := csd.Build(pois, stays, csd.DefaultParams())
+	r := NewCSDRecognizer(d)
+	if r.Name() != "CSD" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	got := r.Recognize(origin)
+	if !got.Has(poi.ShopMarket) {
+		t.Fatalf("Recognize = %v, want shop unit (higher popularity, closer, more POIs)", got)
+	}
+	if got.Has(poi.Restaurant) {
+		t.Fatalf("Recognize = %v leaked restaurant tags from the losing unit", got)
+	}
+}
+
+func TestCSDRecognizerEmptyNeighborhood(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pois, stays := shopVsRestaurantScene(rng)
+	d := csd.Build(pois, stays, csd.DefaultParams())
+	r := NewCSDRecognizer(d)
+	if got := r.Recognize(at(5000, 5000)); !got.IsEmpty() {
+		t.Fatalf("Recognize far away = %v, want empty", got)
+	}
+}
+
+func TestCSDRecognizerStableUnderGPSNoise(t *testing.T) {
+	// The §4.2 robustness claim: jittered stay locations keep getting
+	// the same unit's tags far more often with unit voting than with
+	// nearest-POI annotation near a unit boundary.
+	rng := rand.New(rand.NewSource(3))
+	pois, stays := shopVsRestaurantScene(rng)
+	d := csd.Build(pois, stays, csd.DefaultParams())
+	votingR := NewCSDRecognizer(d)
+	nearestR := NewNearestPOIRecognizer(pois, 100)
+
+	base := at(5, 0) // near the boundary region between units
+	stable := func(r Recognizer) int {
+		ref := r.Recognize(base)
+		same := 0
+		for i := 0; i < 100; i++ {
+			p := at(5+rng.NormFloat64()*20, rng.NormFloat64()*20)
+			if r.Recognize(p) == ref {
+				same++
+			}
+		}
+		return same
+	}
+	v, n := stable(votingR), stable(nearestR)
+	if v < n {
+		t.Fatalf("voting stability %d/100 < nearest-POI %d/100", v, n)
+	}
+	if v < 80 {
+		t.Fatalf("voting stability only %d/100", v)
+	}
+}
+
+func TestROIRecognizerRegionAnnotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// One hot region chaining across two adjacent venues: shops at x=0,
+	// restaurants at x=250, stays along the whole strip.
+	var stays []geo.Point
+	for i := 0; i < 80; i++ {
+		stays = append(stays, at(rng.Float64()*250, rng.NormFloat64()*20))
+	}
+	var pois []poi.POI
+	var id int64 = 1
+	for i := 0; i < 10; i++ {
+		pois = append(pois, mkPOI(id, poi.ShopMarket, rng.NormFloat64()*20, rng.NormFloat64()*20))
+		id++
+	}
+	for i := 0; i < 10; i++ {
+		pois = append(pois, mkPOI(id, poi.Restaurant, 250+rng.NormFloat64()*20, rng.NormFloat64()*20))
+		id++
+	}
+	r := NewROIRecognizer(stays, pois, DefaultROIParams())
+	if r.Name() != "ROI" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	if r.NumRegions() == 0 {
+		t.Fatal("no hot regions detected")
+	}
+	if !r.InRegion(origin) {
+		t.Fatal("origin should be inside the hot region")
+	}
+	// Uncontrolled purity: stay points in one region receive different
+	// tag sets depending on where they fall — pure shop tags at one
+	// end, mixed in the middle, pure restaurant tags at the other end.
+	// This is the weakness the CSD purification step exists to fix.
+	west := r.Recognize(at(0, 0))
+	mid := r.Recognize(at(125, 0))
+	east := r.Recognize(at(250, 0))
+	if !west.Has(poi.ShopMarket) || west.Has(poi.Restaurant) {
+		t.Fatalf("west tags = %v, want pure shop", west)
+	}
+	if !east.Has(poi.Restaurant) || east.Has(poi.ShopMarket) {
+		t.Fatalf("east tags = %v, want pure restaurant", east)
+	}
+	if !mid.Has(poi.ShopMarket) || !mid.Has(poi.Restaurant) {
+		t.Fatalf("mid tags = %v, want mixed (uncontrolled purity)", mid)
+	}
+}
+
+func TestROIRecognizerUnannotatedOutsideRegions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var stays []geo.Point
+	for i := 0; i < 40; i++ {
+		stays = append(stays, at(rng.NormFloat64()*30, rng.NormFloat64()*30))
+	}
+	pois := []poi.POI{
+		mkPOI(1, poi.Restaurant, 0, 0),
+		mkPOI(2, poi.MedicalService, 2000, 0), // isolated hospital, no region
+	}
+	r := NewROIRecognizer(stays, pois, DefaultROIParams())
+	if got := r.Recognize(origin); !got.Has(poi.Restaurant) {
+		t.Fatalf("in-region annotation = %v, want restaurant", got)
+	}
+	// Strictly per [21], only hot regions annotate: the hospital has
+	// POIs but no stay density, so recognition fails there.
+	if got := r.Recognize(at(2010, 0)); !got.IsEmpty() {
+		t.Fatalf("outside regions = %v, want empty", got)
+	}
+}
+
+func TestROIRecognizerNoRegions(t *testing.T) {
+	pois := []poi.POI{mkPOI(1, poi.Restaurant, 0, 0)}
+	r := NewROIRecognizer([]geo.Point{origin}, pois, DefaultROIParams())
+	if r.NumRegions() != 0 {
+		t.Fatalf("regions = %d, want 0", r.NumRegions())
+	}
+	if got := r.Recognize(origin); !got.IsEmpty() {
+		t.Fatalf("no regions should mean no annotation, got %v", got)
+	}
+}
+
+func TestNearestPOIRecognizer(t *testing.T) {
+	pois := []poi.POI{
+		mkPOI(1, poi.Restaurant, 0, 0),
+		mkPOI(2, poi.ShopMarket, 50, 0),
+	}
+	r := NewNearestPOIRecognizer(pois, 100)
+	if r.Name() != "NearestPOI" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	if got := r.Recognize(at(10, 0)); !got.Has(poi.Restaurant) {
+		t.Fatalf("Recognize = %v", got)
+	}
+	if got := r.Recognize(at(45, 0)); !got.Has(poi.ShopMarket) {
+		t.Fatalf("Recognize = %v", got)
+	}
+	if got := r.Recognize(at(500, 0)); !got.IsEmpty() {
+		t.Fatalf("out of radius = %v", got)
+	}
+}
+
+func TestAnnotateFillsSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pois, stays := shopVsRestaurantScene(rng)
+	d := csd.Build(pois, stays, csd.DefaultParams())
+	r := NewCSDRecognizer(d)
+
+	t0 := time.Date(2015, 4, 6, 8, 0, 0, 0, time.UTC)
+	db := []trajectory.SemanticTrajectory{
+		{ID: 1, Stays: []trajectory.StayPoint{
+			{P: at(-40, 0), T: t0},
+			{P: at(60, 0), T: t0.Add(time.Hour)},
+		}},
+	}
+	Annotate(db, r)
+	if !db[0].Stays[0].S.Has(poi.ShopMarket) {
+		t.Fatalf("stay 0 = %v", db[0].Stays[0].S)
+	}
+	if !db[0].Stays[1].S.Has(poi.Restaurant) {
+		t.Fatalf("stay 1 = %v", db[0].Stays[1].S)
+	}
+}
+
+func TestAnnotateJourneys(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pois, stays := shopVsRestaurantScene(rng)
+	d := csd.Build(pois, stays, csd.DefaultParams())
+	r := NewCSDRecognizer(d)
+	t0 := time.Date(2015, 4, 6, 8, 0, 0, 0, time.UTC)
+	js := []trajectory.Journey{
+		{PassengerID: 1, Pickup: at(-40, 0), PickupTime: t0, Dropoff: at(60, 0), DropoffTime: t0.Add(20 * time.Minute)},
+		{PassengerID: 1, Pickup: at(62, 0), PickupTime: t0.Add(2 * time.Hour), Dropoff: at(-38, 0), DropoffTime: t0.Add(2*time.Hour + 20*time.Minute)},
+	}
+	// The scene's anchors are only ~100 m apart, so use a merge radius
+	// below that to keep the stays distinct.
+	sts := AnnotateJourneys(js, trajectory.ChainParams{MergeDist: 20, MinStays: 3}, r)
+	if len(sts) != 1 {
+		t.Fatalf("trajectories = %d, want 1", len(sts))
+	}
+	for i, sp := range sts[0].Stays {
+		if sp.S.IsEmpty() {
+			t.Fatalf("stay %d unannotated", i)
+		}
+	}
+}

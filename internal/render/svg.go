@@ -1,0 +1,120 @@
+// Package render draws City Semantic Diagrams and mined patterns as
+// standalone SVG documents — the closest stdlib-only equivalent of the
+// paper's map figures (Figure 6's unit diagram, Figure 14's pattern
+// maps). Output is deterministic for fixed input.
+package render
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"csdm/internal/csd"
+	"csdm/internal/geo"
+	"csdm/internal/pattern"
+)
+
+// Canvas maps a geographic extent onto SVG pixel coordinates.
+type Canvas struct {
+	proj   geo.Projection
+	extent float64 // half-width in meters
+	sizePx float64
+}
+
+// NewCanvas builds a canvas centered at center covering ±extent meters,
+// rendered at sizePx × sizePx pixels.
+func NewCanvas(center geo.Point, extentMeters, sizePx float64) Canvas {
+	if extentMeters <= 0 {
+		extentMeters = 1000
+	}
+	if sizePx <= 0 {
+		sizePx = 800
+	}
+	return Canvas{
+		proj:   geo.NewProjection(center),
+		extent: extentMeters,
+		sizePx: sizePx,
+	}
+}
+
+// escape renders a value XML-safe for tooltip text.
+func escape(v fmt.Stringer) string {
+	var b strings.Builder
+	_ = xml.EscapeText(&b, []byte(v.String()))
+	return b.String()
+}
+
+// xy converts a geographic point to pixel coordinates (y grows down).
+func (c Canvas) xy(p geo.Point) (float64, float64) {
+	m := c.proj.ToMeters(p)
+	x := (m.X + c.extent) / (2 * c.extent) * c.sizePx
+	y := (c.extent - m.Y) / (2 * c.extent) * c.sizePx
+	return x, y
+}
+
+// palette cycles distinct fill colors for units and patterns.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// svgHeader opens the document with a white background.
+func (c Canvas) svgHeader(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		c.sizePx, c.sizePx, c.sizePx, c.sizePx)
+	fmt.Fprintf(b, `<title>%s</title>`+"\n", title)
+	fmt.Fprintf(b, `<rect width="100%%" height="100%%" fill="#ffffff"/>`+"\n")
+}
+
+// Diagram renders every semantic unit as a colored circle scaled by its
+// member count, colored by its unit ID — the Figure 6 view.
+func (c Canvas) Diagram(w io.Writer, d *csd.Diagram) error {
+	var b strings.Builder
+	c.svgHeader(&b, "City Semantic Diagram")
+	for _, u := range d.Units {
+		x, y := c.xy(u.Center)
+		if x < 0 || x > c.sizePx || y < 0 || y > c.sizePx {
+			continue
+		}
+		r := 1.5 + 0.6*float64(min(len(u.Members), 60))
+		color := palette[u.ID%len(palette)]
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.55"><title>unit %d: %d POIs, %s</title></circle>`+"\n",
+			x, y, r/3, color, u.ID, len(u.Members), escape(u.Semantics))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Patterns renders mined patterns as arrows between their stay points,
+// stroke width scaled by support — the Figure 14 view.
+func (c Canvas) Patterns(w io.Writer, ps []pattern.Pattern) error {
+	var b strings.Builder
+	c.svgHeader(&b, "Fine-grained mobility patterns")
+	b.WriteString(`<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="6" markerHeight="6" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z" fill="context-stroke"/></marker></defs>` + "\n")
+	maxSupport := 1
+	for _, p := range ps {
+		if p.Support > maxSupport {
+			maxSupport = p.Support
+		}
+	}
+	for i, p := range ps {
+		color := palette[i%len(palette)]
+		width := 1 + 4*float64(p.Support)/float64(maxSupport)
+		for k := 1; k < len(p.Stays); k++ {
+			x1, y1 := c.xy(p.Stays[k-1].P)
+			x2, y2 := c.xy(p.Stays[k].P)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f" stroke-opacity="0.6" marker-end="url(#arrow)"><title>%s → %s (support %d)</title></line>`+"\n",
+				x1, y1, x2, y2, color, width,
+				escape(p.Stays[k-1].S), escape(p.Stays[k].S), p.Support)
+		}
+		for _, sp := range p.Stays {
+			x, y := c.xy(sp.P)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x, y, color)
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

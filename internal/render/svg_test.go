@@ -1,0 +1,140 @@
+package render
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"csdm/internal/csd"
+	"csdm/internal/geo"
+	"csdm/internal/pattern"
+	"csdm/internal/poi"
+	"csdm/internal/trajectory"
+)
+
+var center = geo.Point{Lon: 121.47, Lat: 31.23}
+
+func buildDiagram(t *testing.T) *csd.Diagram {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	proj := geo.NewProjection(center)
+	var pois []poi.POI
+	var id int64 = 1
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 8; i++ {
+			pois = append(pois, poi.POI{
+				ID: id,
+				Location: proj.ToPoint(geo.Meters{
+					X: float64(c)*400 + rng.NormFloat64()*6,
+					Y: rng.NormFloat64() * 6,
+				}),
+				Minor: poi.MinorsOf(poi.Restaurant)[0],
+			})
+			id++
+		}
+	}
+	var stays []geo.Point
+	for x := -100.0; x < 1000; x += 60 {
+		stays = append(stays, proj.ToPoint(geo.Meters{X: x, Y: 0}))
+	}
+	return csd.Build(pois, stays, csd.DefaultParams())
+}
+
+func TestDiagramSVGWellFormed(t *testing.T) {
+	d := buildDiagram(t)
+	c := NewCanvas(center, 1000, 400)
+	var buf bytes.Buffer
+	if err := c.Diagram(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatal("missing svg root")
+	}
+	if got := strings.Count(out, "<circle"); got < len(d.Units) {
+		t.Fatalf("circles = %d, units = %d", got, len(d.Units))
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+}
+
+func TestPatternsSVG(t *testing.T) {
+	proj := geo.NewProjection(center)
+	t0 := time.Date(2015, 4, 6, 8, 0, 0, 0, time.UTC)
+	ps := []pattern.Pattern{
+		{
+			Support: 40,
+			Items:   []poi.Semantics{poi.SemanticsOf(poi.Residence), poi.SemanticsOf(poi.BusinessOffice)},
+			Stays: []trajectory.StayPoint{
+				{P: proj.ToPoint(geo.Meters{X: -300, Y: 0}), T: t0, S: poi.SemanticsOf(poi.Residence)},
+				{P: proj.ToPoint(geo.Meters{X: 300, Y: 100}), T: t0, S: poi.SemanticsOf(poi.BusinessOffice)},
+			},
+		},
+		{
+			Support: 10,
+			Items:   []poi.Semantics{poi.SemanticsOf(poi.Restaurant)},
+			Stays: []trajectory.StayPoint{
+				{P: proj.ToPoint(geo.Meters{X: 0, Y: -200}), T: t0, S: poi.SemanticsOf(poi.Restaurant)},
+			},
+		},
+	}
+	c := NewCanvas(center, 800, 500)
+	var buf bytes.Buffer
+	if err := c.Patterns(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<line") != 1 {
+		t.Fatalf("lines = %d, want 1 (two-stay pattern)", strings.Count(out, "<line"))
+	}
+	if strings.Count(out, "<circle") != 3 {
+		t.Fatalf("circles = %d, want 3 stays", strings.Count(out, "<circle"))
+	}
+	if !strings.Contains(out, "Residence") {
+		t.Fatal("tooltips missing semantics")
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+}
+
+func TestCanvasClipsOutOfExtent(t *testing.T) {
+	d := buildDiagram(t)
+	// A canvas covering only the first cluster: fewer circles.
+	c := NewCanvas(center, 150, 400)
+	var buf bytes.Buffer
+	if err := c.Diagram(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "<circle"); got >= len(d.Units) && len(d.Units) > 1 {
+		t.Fatalf("expected clipping: %d circles for %d units", got, len(d.Units))
+	}
+}
+
+func TestCanvasZeroDefaults(t *testing.T) {
+	c := NewCanvas(center, 0, 0)
+	var buf bytes.Buffer
+	if err := c.Patterns(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="800"`) {
+		t.Fatal("default size not applied")
+	}
+}

@@ -1,0 +1,130 @@
+package seqpattern
+
+import "sort"
+
+// SetSequence is a sequence whose elements are item sets, encoded as
+// bitmasks. csdm uses it for semantic trajectories: each stay point's
+// semantic property is a set of major-category tags.
+type SetSequence []Item
+
+// MineSets runs PrefixSpan over set-valued sequences with the
+// containment matching of Definition 7 (iii): a pattern position holding
+// the single-tag item x matches a sequence element e when x ∈ e. Emitted
+// pattern items are single-bit masks, so a stay tagged
+// {Office, Shop} supports both an Office pattern and a Shop pattern —
+// exactly the superset semantics of the paper's containment relation.
+//
+// Support counts sequences; embeddings are leftmost, as in Mine.
+func MineSets(db []SetSequence, cfg Config) []Pattern {
+	if cfg.MinSupport < 1 {
+		cfg.MinSupport = 1
+	}
+	if cfg.MaxLen < 1 {
+		return nil
+	}
+	projs := make([]projection, 0, len(db))
+	for i := range db {
+		if len(db[i]) > 0 {
+			projs = append(projs, projection{seq: i, pos: 0})
+		}
+	}
+	var out []Pattern
+	mineSets(db, cfg, nil, projs, &out)
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].SeqIDs) != len(out[b].SeqIDs) {
+			return len(out[a].SeqIDs) > len(out[b].SeqIDs)
+		}
+		return lessItems(out[a].Items, out[b].Items)
+	})
+	return out
+}
+
+// setBits enumerates the single-bit masks present in a set element.
+func setBits(e Item) []Item {
+	var out []Item
+	for v := e; v != 0; v &= v - 1 {
+		out = append(out, v&-v)
+	}
+	return out
+}
+
+func mineSets(db []SetSequence, cfg Config, prefix []Item, projs []projection, out *[]Pattern) {
+	counts := make(map[Item]int)
+	for _, pr := range projs {
+		var seen Item
+		for _, e := range db[pr.seq][pr.pos:] {
+			for _, bit := range setBits(e &^ seen) {
+				counts[bit]++
+			}
+			seen |= e
+		}
+	}
+	items := make([]Item, 0, len(counts))
+	for it, c := range counts {
+		if c >= cfg.MinSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+
+	for _, it := range items {
+		newPrefix := append(append([]Item(nil), prefix...), it)
+		var newProjs []projection
+		for _, pr := range projs {
+			s := db[pr.seq]
+			for k := pr.pos; k < len(s); k++ {
+				if s[k]&it != 0 {
+					newProjs = append(newProjs, projection{seq: pr.seq, pos: k + 1})
+					break
+				}
+			}
+		}
+		if len(newPrefix) >= cfg.MinLen {
+			*out = append(*out, emitSets(db, newPrefix, newProjs))
+		}
+		if len(newPrefix) < cfg.MaxLen {
+			mineSets(db, cfg, newPrefix, newProjs, out)
+		}
+	}
+}
+
+func emitSets(db []SetSequence, items []Item, projs []projection) Pattern {
+	p := Pattern{Items: items}
+	for _, pr := range projs {
+		emb := leftmostSetEmbedding(db[pr.seq], items)
+		if emb == nil {
+			continue
+		}
+		p.SeqIDs = append(p.SeqIDs, pr.seq)
+		p.Embeddings = append(p.Embeddings, emb)
+	}
+	return p
+}
+
+// leftmostSetEmbedding returns the positions of the leftmost containment
+// embedding of items into seq, or nil if none exists.
+func leftmostSetEmbedding(seq SetSequence, items []Item) []int {
+	emb := make([]int, 0, len(items))
+	next := 0
+	for _, it := range items {
+		found := -1
+		for k := next; k < len(seq); k++ {
+			if seq[k]&it != 0 {
+				found = k
+				break
+			}
+		}
+		if found < 0 {
+			return nil
+		}
+		emb = append(emb, found)
+		next = found + 1
+	}
+	return emb
+}
+
+// IsSetSubsequence reports whether the single-bit pattern items embed
+// into seq under containment matching.
+func IsSetSubsequence(seq SetSequence, pattern []Item) bool {
+	return leftmostSetEmbedding(seq, pattern) != nil
+}

@@ -1,0 +1,423 @@
+// Package synth generates the synthetic Shanghai-like workload that
+// substitutes for the paper's proprietary data: an AMAP-style POI set
+// matching Table 3's category mix, a taxi-journey log with the
+// regularities Pervasive Miner exploits (commuting flows, weekday vs.
+// weekend contrast, an airport hotspot, hospital trips), and a biased
+// check-in sampler reproducing the Table 1 phenomenon.
+//
+// The generator is fully deterministic given its seed. It reproduces the
+// structural properties the algorithms depend on:
+//
+//   - mixed-use skyscrapers: POIs of different majors stacked within the
+//     paper's vertical-overlap distance d_v (semantic complexity);
+//   - single-purpose streets and blocks: semantically homogeneous
+//     neighborhoods (semantic homogeneity);
+//   - a river band with no POIs splitting downtown (the GPS-ambiguity
+//     scenario of §4.2);
+//   - a small number of popular home/work anchor sites shared by many
+//     commuters, so fine-grained patterns have real support.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"csdm/internal/geo"
+	"csdm/internal/poi"
+)
+
+// SiteKind classifies how POIs scatter around a site.
+type SiteKind int
+
+// The site kinds.
+const (
+	// SiteBlock is an ordinary city block: POIs scatter with ~40 m spread.
+	SiteBlock SiteKind = iota
+	// SiteTower is a multi-purpose skyscraper: POIs of several majors
+	// stack within a few meters of each other (the Shanghai Tower case).
+	SiteTower
+	// SiteStreet is a single-purpose street: POIs of one major category
+	// string out along a line (the Fifth Avenue / Lan Kwai Fong case).
+	SiteStreet
+)
+
+// Site is one POI placement site.
+type Site struct {
+	Center geo.Point
+	Kind   SiteKind
+	// Majors lists the major categories the site hosts.
+	Majors []poi.Major
+	// axis is the street direction for SiteStreet (radians).
+	axis float64
+}
+
+// Config parameterizes the synthetic city.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal cities.
+	Seed int64
+	// Center anchors the city; defaults to People's Square, Shanghai.
+	Center geo.Point
+	// ExtentMeters is the half-width of the square city area.
+	ExtentMeters float64
+	// NumPOIs is the size of the generated POI dataset.
+	NumPOIs int
+	// NumPassengers is the commuter population size.
+	NumPassengers int
+	// CardShare is the fraction of passengers identified by payment
+	// card (the paper's 20%).
+	CardShare float64
+	// Days is the number of simulated days (starting on a Monday).
+	Days int
+	// GPSNoiseMeters is the standard deviation of the Gaussian GPS
+	// error applied to every pick-up/drop-off coordinate.
+	GPSNoiseMeters float64
+	// TripsPerPassengerDay is the expected taxi journeys a passenger
+	// takes per day.
+	TripsPerPassengerDay float64
+}
+
+// DefaultConfig returns a laptop-scale city: large enough that every
+// pipeline stage has realistic structure, small enough to mine in
+// seconds. Scale NumPOIs/NumPassengers/Days up for benchmark runs.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		Center:               geo.Point{Lon: 121.47, Lat: 31.23},
+		ExtentMeters:         6000,
+		NumPOIs:              8000,
+		NumPassengers:        1200,
+		CardShare:            0.2,
+		Days:                 7,
+		GPSNoiseMeters:       15,
+		TripsPerPassengerDay: 2.2,
+	}
+}
+
+// tableThreeShares is the major-category distribution of Table 3.
+var tableThreeShares = [poi.NumMajors]float64{
+	poi.Residence:          0.1809,
+	poi.ShopMarket:         0.1636,
+	poi.BusinessOffice:     0.1500,
+	poi.Restaurant:         0.1130,
+	poi.Entertainment:      0.1003,
+	poi.PublicService:      0.0940,
+	poi.TrafficStations:    0.0755,
+	poi.TechEducation:      0.0267,
+	poi.Sports:             0.0194,
+	poi.GovernmentAgency:   0.0188,
+	poi.Industry:           0.0147,
+	poi.FinancialService:   0.0143,
+	poi.MedicalService:     0.0132,
+	poi.AccommodationHotel: 0.0106,
+	poi.Tourism:            0.0051,
+}
+
+// TableThreeShare returns the paper's Table 3 share for a major category.
+func TableThreeShare(m poi.Major) float64 { return tableThreeShares[m] }
+
+// City is a generated city: sites, POIs and landmark anchors.
+type City struct {
+	Config
+	Proj  geo.Projection
+	Sites []Site
+	POIs  []poi.POI
+
+	// sitesByMajor indexes the sites hosting each major category.
+	sitesByMajor [poi.NumMajors][]int
+
+	// Landmark anchors used by trip generation and the Figure 14 demos.
+	Airport       geo.Point
+	Hospital      geo.Point
+	HomeSites     []int // residential sites used as commuter homes
+	WorkSites     []int // office sites used as workplaces
+	LeisureSites  []int // shop/restaurant/entertainment sites
+	riverHalfWide float64
+}
+
+// NewCity generates a city from cfg.
+func NewCity(cfg Config) *City {
+	if cfg.Center == (geo.Point{}) {
+		cfg.Center = DefaultConfig().Center
+	}
+	if cfg.ExtentMeters <= 0 {
+		cfg.ExtentMeters = DefaultConfig().ExtentMeters
+	}
+	c := &City{
+		Config:        cfg,
+		Proj:          geo.NewProjection(cfg.Center),
+		riverHalfWide: 150,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c.buildSites(rng)
+	c.buildPOIs(rng)
+	c.pickAnchors(rng)
+	return c
+}
+
+// onRiver reports whether a planar point falls into the river band (a
+// vertical strip slightly east of the center, like the Huangpu).
+func (c *City) onRiver(m geo.Meters) bool {
+	const riverX = 800
+	return math.Abs(m.X-riverX) < c.riverHalfWide
+}
+
+// randomSitePos draws a site position avoiding the river.
+func (c *City) randomSitePos(rng *rand.Rand) geo.Meters {
+	for {
+		m := geo.Meters{
+			X: (rng.Float64()*2 - 1) * c.ExtentMeters,
+			Y: (rng.Float64()*2 - 1) * c.ExtentMeters,
+		}
+		if !c.onRiver(m) {
+			return m
+		}
+	}
+}
+
+// districtProfileFor maps a planar position to the majors its blocks
+// host, implementing coarse zoning: offices cluster downtown-west,
+// industry at the fringe, residence everywhere else, etc.
+func districtProfileFor(m geo.Meters, extent float64) []poi.Major {
+	r := math.Hypot(m.X, m.Y) / extent
+	switch {
+	case r < 0.25:
+		// Downtown core: offices, finance, hotels, government.
+		return []poi.Major{poi.BusinessOffice, poi.FinancialService, poi.AccommodationHotel, poi.GovernmentAgency}
+	case r < 0.5:
+		// Inner ring: commercial mix.
+		return []poi.Major{poi.ShopMarket, poi.Restaurant, poi.Entertainment, poi.PublicService, poi.Tourism}
+	case r < 0.85:
+		// Residential ring with services.
+		return []poi.Major{poi.Residence, poi.PublicService, poi.TechEducation, poi.Sports, poi.MedicalService, poi.TrafficStations}
+	default:
+		// Fringe: industry and transport.
+		return []poi.Major{poi.Industry, poi.TrafficStations, poi.Residence}
+	}
+}
+
+// buildSites lays out towers, streets and blocks. Sites are grouped
+// into neighborhoods of 2–4 venues 80–180 m apart — real cities pack
+// different venues along the same street, and that adjacency is what
+// makes purification matter: without it, every venue is an isolated
+// island and even a coarse recognizer never confuses two of them.
+func (c *City) buildSites(rng *rand.Rand) {
+	// Scale site count with the POI budget: ~25 POIs per site.
+	nSites := maxInt(c.NumPOIs/25, 40)
+
+	nTowers := nSites / 10  // 10% mixed-use towers
+	nStreets := nSites / 10 // 10% single-purpose streets
+
+	// Neighborhood centers; each hosts a handful of adjacent sites.
+	var centers []geo.Meters
+	nextSlot := 0 // index within the current neighborhood
+	slots := 0    // sites remaining in the current neighborhood
+
+	nextPos := func() geo.Meters {
+		if slots == 0 {
+			centers = append(centers, c.randomSitePos(rng))
+			slots = 2 + rng.Intn(3)
+			nextSlot = 0
+		}
+		center := centers[len(centers)-1]
+		ang := float64(nextSlot)*2.2 + rng.Float64()*0.8
+		dist := 80 + rng.Float64()*100
+		nextSlot++
+		slots--
+		pos := geo.Meters{
+			X: center.X + dist*math.Cos(ang),
+			Y: center.Y + dist*math.Sin(ang),
+		}
+		if c.onRiver(pos) {
+			pos.X += c.riverHalfWide*2 + 60
+		}
+		return pos
+	}
+
+	for i := 0; i < nSites; i++ {
+		pos := nextPos()
+		s := Site{Center: c.Proj.ToPoint(pos)}
+		switch {
+		case i < nTowers:
+			s.Kind = SiteTower
+			// Towers live downtown and mix 3–5 majors.
+			pos = geo.Meters{X: pos.X * 0.3, Y: pos.Y * 0.3}
+			if c.onRiver(pos) {
+				pos.X += c.riverHalfWide*2 + 50
+			}
+			s.Center = c.Proj.ToPoint(pos)
+			mix := []poi.Major{poi.BusinessOffice, poi.ShopMarket, poi.Restaurant, poi.AccommodationHotel, poi.TrafficStations}
+			rng.Shuffle(len(mix), func(a, b int) { mix[a], mix[b] = mix[b], mix[a] })
+			s.Majors = append([]poi.Major(nil), mix[:3+rng.Intn(3)]...)
+		case i < nTowers+nStreets:
+			s.Kind = SiteStreet
+			street := []poi.Major{poi.ShopMarket, poi.Restaurant, poi.Entertainment}[rng.Intn(3)]
+			s.Majors = []poi.Major{street}
+			s.axis = rng.Float64() * math.Pi
+		default:
+			s.Kind = SiteBlock
+			profile := districtProfileFor(pos, c.ExtentMeters)
+			// A block hosts 1–2 majors of its district profile.
+			k := 1 + rng.Intn(2)
+			idx := rng.Perm(len(profile))[:k]
+			for _, j := range idx {
+				s.Majors = append(s.Majors, profile[j])
+			}
+		}
+		c.Sites = append(c.Sites, s)
+	}
+
+	// Guarantee every major has at least two sites so Table 3 sampling
+	// always finds a home for each category.
+	var hosted [poi.NumMajors]int
+	for _, s := range c.Sites {
+		for _, m := range s.Majors {
+			hosted[m]++
+		}
+	}
+	for mj := 0; mj < poi.NumMajors; mj++ {
+		for hosted[mj] < 2 {
+			pos := c.randomSitePos(rng)
+			c.Sites = append(c.Sites, Site{
+				Center: c.Proj.ToPoint(pos),
+				Kind:   SiteBlock,
+				Majors: []poi.Major{poi.Major(mj)},
+			})
+			hosted[mj]++
+		}
+	}
+
+	for i, s := range c.Sites {
+		for _, m := range s.Majors {
+			c.sitesByMajor[m] = append(c.sitesByMajor[m], i)
+		}
+	}
+}
+
+// buildPOIs samples NumPOIs POIs with Table 3 major marginals, placing
+// each at a site hosting its major.
+func (c *City) buildPOIs(rng *rand.Rand) {
+	c.POIs = make([]poi.POI, 0, c.NumPOIs)
+	var id int64 = 1
+	for i := 0; i < c.NumPOIs; i++ {
+		mj := sampleMajor(rng)
+		siteIdx := c.sitesByMajor[mj][rng.Intn(len(c.sitesByMajor[mj]))]
+		site := c.Sites[siteIdx]
+		loc := c.placeAt(rng, site)
+		minors := poi.MinorsOf(mj)
+		p := poi.POI{
+			ID:       id,
+			Name:     fmt.Sprintf("%s #%d", mj, id),
+			Location: loc,
+			Minor:    minors[rng.Intn(len(minors))],
+		}
+		c.POIs = append(c.POIs, p)
+		id++
+	}
+}
+
+// placeAt scatters a POI around a site according to the site kind.
+func (c *City) placeAt(rng *rand.Rand, s Site) geo.Point {
+	m := c.Proj.ToMeters(s.Center)
+	switch s.Kind {
+	case SiteTower:
+		// Stacked within the vertical-overlap distance d_v = 15 m.
+		m.X += rng.NormFloat64() * 4
+		m.Y += rng.NormFloat64() * 4
+	case SiteStreet:
+		// Strung along the street axis over ~300 m.
+		t := (rng.Float64()*2 - 1) * 150
+		m.X += t*math.Cos(s.axis) + rng.NormFloat64()*8
+		m.Y += t*math.Sin(s.axis) + rng.NormFloat64()*8
+	default:
+		m.X += rng.NormFloat64() * 40
+		m.Y += rng.NormFloat64() * 40
+	}
+	return c.Proj.ToPoint(m)
+}
+
+// sampleMajor draws a major category from the Table 3 distribution.
+func sampleMajor(rng *rand.Rand) poi.Major {
+	u := rng.Float64()
+	acc := 0.0
+	for mj := 0; mj < poi.NumMajors; mj++ {
+		acc += tableThreeShares[mj]
+		if u < acc {
+			return poi.Major(mj)
+		}
+	}
+	return poi.Tourism
+}
+
+// pickAnchors selects the landmark and commuter anchor sites.
+func (c *City) pickAnchors(rng *rand.Rand) {
+	// The airport sits at the city fringe (Hongqiao analog).
+	airportPos := geo.Meters{X: -c.ExtentMeters * 0.9, Y: c.ExtentMeters * 0.1}
+	c.Airport = c.Proj.ToPoint(airportPos)
+	c.Sites = append(c.Sites, Site{
+		Center: c.Airport,
+		Kind:   SiteBlock,
+		Majors: []poi.Major{poi.TrafficStations, poi.AccommodationHotel},
+	})
+	airportSite := len(c.Sites) - 1
+	// Seed the airport with terminal POIs so recognition has material.
+	terminal, _ := poi.MinorByName("Airport Terminal")
+	for i := 0; i < 12; i++ {
+		c.POIs = append(c.POIs, poi.POI{
+			ID:       int64(len(c.POIs) + 1),
+			Name:     fmt.Sprintf("Terminal POI %d", i),
+			Location: c.placeAt(rng, c.Sites[airportSite]),
+			Minor:    terminal,
+		})
+	}
+	c.sitesByMajor[poi.TrafficStations] = append(c.sitesByMajor[poi.TrafficStations], airportSite)
+
+	// A children's hospital (Figure 14(h) analog).
+	hospPos := geo.Meters{X: c.ExtentMeters * 0.4, Y: -c.ExtentMeters * 0.5}
+	c.Hospital = c.Proj.ToPoint(hospPos)
+	c.Sites = append(c.Sites, Site{
+		Center: c.Hospital,
+		Kind:   SiteBlock,
+		Majors: []poi.Major{poi.MedicalService},
+	})
+	hospSite := len(c.Sites) - 1
+	children, _ := poi.MinorByName("Children Hospital")
+	for i := 0; i < 10; i++ {
+		c.POIs = append(c.POIs, poi.POI{
+			ID:       int64(len(c.POIs) + 1),
+			Name:     fmt.Sprintf("Children Hospital POI %d", i),
+			Location: c.placeAt(rng, c.Sites[hospSite]),
+			Minor:    children,
+		})
+	}
+	c.sitesByMajor[poi.MedicalService] = append(c.sitesByMajor[poi.MedicalService], hospSite)
+
+	// Commuter anchors: a set of popular home/work/leisure sites so
+	// flows concentrate enough for patterns to clear the support
+	// threshold, yet spread enough that no single flow dominates.
+	c.HomeSites = pickSome(rng, c.sitesByMajor[poi.Residence], 28)
+	c.WorkSites = pickSome(rng, c.sitesByMajor[poi.BusinessOffice], 14)
+	leisure := append(append([]int(nil), c.sitesByMajor[poi.ShopMarket]...), c.sitesByMajor[poi.Restaurant]...)
+	leisure = append(leisure, c.sitesByMajor[poi.Entertainment]...)
+	c.LeisureSites = pickSome(rng, leisure, 18)
+}
+
+// pickSome draws up to n distinct elements from pool.
+func pickSome(rng *rand.Rand, pool []int, n int) []int {
+	if len(pool) <= n {
+		return append([]int(nil), pool...)
+	}
+	perm := rng.Perm(len(pool))
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

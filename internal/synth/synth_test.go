@@ -1,0 +1,373 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"csdm/internal/geo"
+	"csdm/internal/poi"
+	"csdm/internal/trajectory"
+)
+
+// testConfig is a small, fast city used across this file.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumPOIs = 3000
+	cfg.NumPassengers = 300
+	cfg.Days = 7
+	return cfg
+}
+
+func TestNewCityDeterministic(t *testing.T) {
+	a := NewCity(testConfig())
+	b := NewCity(testConfig())
+	if len(a.POIs) != len(b.POIs) {
+		t.Fatalf("POI counts differ: %d vs %d", len(a.POIs), len(b.POIs))
+	}
+	for i := range a.POIs {
+		if a.POIs[i] != b.POIs[i] {
+			t.Fatalf("POI %d differs between equal-seed cities", i)
+		}
+	}
+	wa := a.GenerateWorkload()
+	wb := b.GenerateWorkload()
+	if len(wa.Journeys) != len(wb.Journeys) {
+		t.Fatalf("journey counts differ")
+	}
+	if wa.Journeys[0] != wb.Journeys[0] {
+		t.Fatalf("first journey differs between equal-seed runs")
+	}
+}
+
+func TestCityDiffersAcrossSeeds(t *testing.T) {
+	cfg := testConfig()
+	a := NewCity(cfg)
+	cfg.Seed = 2
+	b := NewCity(cfg)
+	same := 0
+	for i := range a.POIs {
+		if i < len(b.POIs) && a.POIs[i].Location == b.POIs[i].Location {
+			same++
+		}
+	}
+	if same == len(a.POIs) {
+		t.Fatal("different seeds produced identical cities")
+	}
+}
+
+func TestPOICategoryMixMatchesTable3(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumPOIs = 20000
+	c := NewCity(cfg)
+	counts := poi.CategoryCount(c.POIs)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	for mj := 0; mj < poi.NumMajors; mj++ {
+		got := float64(counts[mj]) / float64(total)
+		want := TableThreeShare(poi.Major(mj))
+		// 20k samples: allow 1.5 percentage points of drift (plus the
+		// few seeded landmark POIs).
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("%v share = %.4f, want %.4f±0.015", poi.Major(mj), got, want)
+		}
+	}
+}
+
+func TestPOIsAvoidRiverAndStayInBounds(t *testing.T) {
+	c := NewCity(testConfig())
+	inRiver := 0
+	for _, p := range c.POIs {
+		m := c.Proj.ToMeters(p.Location)
+		if c.onRiver(m) {
+			inRiver++
+		}
+		if math.Abs(m.X) > c.ExtentMeters*1.2 || math.Abs(m.Y) > c.ExtentMeters*1.2 {
+			t.Fatalf("POI %v far out of bounds", p.Location)
+		}
+	}
+	// Site centers avoid the river; only tail scatter may land there.
+	if frac := float64(inRiver) / float64(len(c.POIs)); frac > 0.02 {
+		t.Errorf("%.1f%% of POIs in the river band", frac*100)
+	}
+}
+
+func TestTowersAreStackedAndMixed(t *testing.T) {
+	c := NewCity(testConfig())
+	towers := 0
+	for _, s := range c.Sites {
+		if s.Kind != SiteTower {
+			continue
+		}
+		towers++
+		if len(s.Majors) < 3 {
+			t.Errorf("tower hosts only %d majors, want ≥3", len(s.Majors))
+		}
+	}
+	if towers == 0 {
+		t.Fatal("city has no towers")
+	}
+}
+
+func TestStreetsAreSingleMajor(t *testing.T) {
+	c := NewCity(testConfig())
+	streets := 0
+	for _, s := range c.Sites {
+		if s.Kind == SiteStreet {
+			streets++
+			if len(s.Majors) != 1 {
+				t.Errorf("street hosts %d majors, want 1", len(s.Majors))
+			}
+		}
+	}
+	if streets == 0 {
+		t.Fatal("city has no streets")
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	c := NewCity(testConfig())
+	w := c.GenerateWorkload()
+	if len(w.Passengers) != c.NumPassengers {
+		t.Fatalf("passengers = %d", len(w.Passengers))
+	}
+	nCard := 0
+	for _, p := range w.Passengers {
+		if p.ID != 0 {
+			nCard++
+		}
+	}
+	wantCard := int(float64(c.NumPassengers) * c.CardShare)
+	if nCard != wantCard {
+		t.Fatalf("card passengers = %d, want %d", nCard, wantCard)
+	}
+	if len(w.Journeys) == 0 {
+		t.Fatal("no journeys generated")
+	}
+	perDay := float64(len(w.Journeys)) / float64(c.NumPassengers) / float64(c.Days)
+	if perDay < 0.5 || perDay > 4 {
+		t.Errorf("journeys per passenger-day = %.2f, implausible", perDay)
+	}
+	for i, j := range w.Journeys {
+		if !j.Pickup.Valid() || !j.Dropoff.Valid() {
+			t.Fatalf("journey %d has invalid coordinates", i)
+		}
+		if j.DropoffTime.Before(j.PickupTime) {
+			t.Fatalf("journey %d ends before it starts", i)
+		}
+	}
+}
+
+func TestMeanTripDurationPlausible(t *testing.T) {
+	c := NewCity(testConfig())
+	w := c.GenerateWorkload()
+	mean := MeanTripMinutes(w.Journeys)
+	// The paper reports ~30 min average; the synthetic city targets the
+	// same regime.
+	if mean < 5 || mean > 45 {
+		t.Fatalf("mean trip = %.1f min, want 5–45", mean)
+	}
+	if MeanTripMinutes(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestWeekdayVsWeekendContrast(t *testing.T) {
+	c := NewCity(testConfig())
+	w := c.GenerateWorkload()
+	weekday, weekend := 0, 0
+	weekdayDays, weekendDays := 0, 0
+	for d := 0; d < c.Days; d++ {
+		wd := startDate.AddDate(0, 0, d).Weekday()
+		if wd == time.Saturday || wd == time.Sunday {
+			weekendDays++
+		} else {
+			weekdayDays++
+		}
+	}
+	for _, j := range w.Journeys {
+		wd := j.PickupTime.Weekday()
+		if wd == time.Saturday || wd == time.Sunday {
+			weekend++
+		} else {
+			weekday++
+		}
+	}
+	if weekdayDays == 0 || weekendDays == 0 {
+		t.Skip("config does not span both day types")
+	}
+	perWeekday := float64(weekday) / float64(weekdayDays)
+	perWeekend := float64(weekend) / float64(weekendDays)
+	if perWeekday <= perWeekend {
+		t.Fatalf("weekday demand (%.0f/day) should exceed weekend (%.0f/day)", perWeekday, perWeekend)
+	}
+}
+
+func TestMorningCommuteFlowsHomeToWork(t *testing.T) {
+	c := NewCity(testConfig())
+	w := c.GenerateWorkload()
+	// Among weekday journeys departing 7:00–9:30, most should start near
+	// a home anchor.
+	homeStart := 0
+	total := 0
+	for _, j := range w.Journeys {
+		wd := j.PickupTime.Weekday()
+		if wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		h := j.PickupTime.Hour()
+		if h < 7 || h > 9 {
+			continue
+		}
+		total++
+		for _, hs := range c.HomeSites {
+			if geo.Haversine(j.Pickup, c.Sites[hs].Center) < 300 {
+				homeStart++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no morning journeys")
+	}
+	if frac := float64(homeStart) / float64(total); frac < 0.6 {
+		t.Fatalf("only %.0f%% of morning pickups near homes", frac*100)
+	}
+}
+
+func TestAirportIsAHotspot(t *testing.T) {
+	c := NewCity(testConfig())
+	w := c.GenerateWorkload()
+	airport := 0
+	for _, j := range w.Journeys {
+		if geo.Haversine(j.Dropoff, c.Airport) < 500 {
+			airport++
+		}
+	}
+	if frac := float64(airport) / float64(len(w.Journeys)); frac < 0.01 {
+		t.Fatalf("airport share %.2f%%, want ≥1%%", frac*100)
+	}
+}
+
+func TestCardPassengersChainIntoLongTrajectories(t *testing.T) {
+	c := NewCity(testConfig())
+	w := c.GenerateWorkload()
+	sts := trajectory.Chain(w.Journeys, trajectory.DefaultChainParams())
+	if len(sts) == 0 {
+		t.Fatal("no chained trajectories")
+	}
+	long := 0
+	for _, st := range sts {
+		if st.Len() >= 3 {
+			long++
+			if st.PassengerID == 0 {
+				t.Fatal("multi-stay chain without passenger ID")
+			}
+		}
+	}
+	if long == 0 {
+		t.Fatal("no ≥3-stay trajectories recovered (paper recovers many)")
+	}
+}
+
+func TestStayPointsCount(t *testing.T) {
+	c := NewCity(testConfig())
+	w := c.GenerateWorkload()
+	sps := w.StayPoints()
+	if len(sps) != 2*len(w.Journeys) {
+		t.Fatalf("stay points = %d, want %d", len(sps), 2*len(w.Journeys))
+	}
+}
+
+func TestCheckinBiasSuppressesMedical(t *testing.T) {
+	c := NewCity(testConfig())
+	w := c.GenerateWorkload()
+	for _, profile := range []CheckinProfile{ProfileNewYork(), ProfileTokyo()} {
+		cs := c.SampleCheckins(w.Journeys, profile, 99)
+		if len(cs) == 0 {
+			t.Fatalf("%s produced no check-ins", profile.Name)
+		}
+		med := MajorShare(cs, poi.MedicalService)
+		if med > 0.01 {
+			t.Errorf("%s: medical share %.3f, should be suppressed below 1%%", profile.Name, med)
+		}
+	}
+}
+
+func TestCheckinProfilesDiffer(t *testing.T) {
+	c := NewCity(testConfig())
+	w := c.GenerateWorkload()
+	ny := c.SampleCheckins(w.Journeys, ProfileNewYork(), 99)
+	tk := c.SampleCheckins(w.Journeys, ProfileTokyo(), 99)
+	// Tokyo's station share should far exceed New York's (Table 1).
+	nyStations := MajorShare(ny, poi.TrafficStations)
+	tkStations := MajorShare(tk, poi.TrafficStations)
+	if tkStations <= nyStations {
+		t.Fatalf("Tokyo stations %.3f should exceed NY %.3f", tkStations, nyStations)
+	}
+	// New York homes visible, Tokyo homes hidden.
+	nyHomes := MajorShare(ny, poi.Residence)
+	tkHomes := MajorShare(tk, poi.Residence)
+	if nyHomes <= tkHomes {
+		t.Fatalf("NY residence %.3f should exceed Tokyo %.3f", nyHomes, tkHomes)
+	}
+}
+
+func TestTopTopics(t *testing.T) {
+	cs := []Checkin{{Topic: 1}, {Topic: 1}, {Topic: 2}, {Topic: 3}, {Topic: 1}, {Topic: 2}}
+	top := TopTopics(cs, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %d entries", len(top))
+	}
+	if top[0].Topic != 1 || top[0].Count != 3 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if math.Abs(top[0].Ratio-0.5) > 1e-12 {
+		t.Fatalf("top[0].Ratio = %v", top[0].Ratio)
+	}
+	if got := TopTopics(nil, 5); len(got) != 0 {
+		t.Fatalf("TopTopics(nil) = %v", got)
+	}
+}
+
+func TestGPSNoiseApplied(t *testing.T) {
+	cfg := testConfig()
+	cfg.GPSNoiseMeters = 0
+	clean := NewCity(cfg).GenerateWorkload()
+	cfg.GPSNoiseMeters = 25
+	noisy := NewCity(cfg).GenerateWorkload()
+	if len(clean.Journeys) == 0 || len(noisy.Journeys) == 0 {
+		t.Fatal("workloads empty")
+	}
+	// With zero noise, morning pickups coincide exactly across days for
+	// the same passenger anchor; with noise they scatter. Compare the
+	// first journey's pickup against its passenger anchor.
+	c := NewCity(cfg)
+	_ = c
+	moved := 0
+	for i := range noisy.Journeys {
+		if i < len(clean.Journeys) && noisy.Journeys[i].Pickup != clean.Journeys[i].Pickup {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("GPS noise had no effect")
+	}
+}
+
+func BenchmarkGenerateCity(b *testing.B) {
+	cfg := testConfig()
+	for i := 0; i < b.N; i++ {
+		NewCity(cfg)
+	}
+}
+
+func BenchmarkGenerateWorkload(b *testing.B) {
+	c := NewCity(testConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.GenerateWorkload()
+	}
+}

@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"testing"
+
+	"csdm/internal/geo"
+	"csdm/internal/trajectory"
+)
+
+func TestGenerateGPSTraces(t *testing.T) {
+	cfg := testConfig()
+	c := NewCity(cfg)
+	w := c.GenerateWorkload()
+	traces := c.GenerateGPSTraces(w, DefaultTraceConfig())
+	if len(traces) == 0 {
+		t.Fatal("no traces generated")
+	}
+	for i, tr := range traces {
+		if len(tr.Points) < 2 {
+			t.Fatalf("trace %d too short", i)
+		}
+		prev := tr.Points[0].T
+		for _, gp := range tr.Points[1:] {
+			if gp.T.Before(prev) {
+				t.Fatalf("trace %d timestamps not monotone", i)
+			}
+			prev = gp.T
+			if !gp.P.Valid() {
+				t.Fatalf("trace %d has invalid coordinate", i)
+			}
+		}
+	}
+}
+
+func TestTracesYieldStayPointsMatchingJourneys(t *testing.T) {
+	cfg := testConfig()
+	c := NewCity(cfg)
+	w := c.GenerateWorkload()
+	traces := c.GenerateGPSTraces(w, DefaultTraceConfig())
+
+	params := trajectory.DefaultStayPointParams()
+	recovered := 0
+	total := 0
+	for _, tr := range traces {
+		stays := trajectory.DetectStayPoints(tr, params)
+		total++
+		// A one-journey day dwells at two places: expect ≥2 stays; a
+		// chained day more. Require at least two for most traces.
+		if len(stays) >= 2 {
+			recovered++
+		}
+	}
+	if frac := float64(recovered) / float64(total); frac < 0.8 {
+		t.Fatalf("only %.0f%% of traces yield ≥2 stay points", frac*100)
+	}
+
+	// The stay points of a specific trace must land near its journeys'
+	// endpoints.
+	tr := traces[0]
+	stays := trajectory.DetectStayPoints(tr, params)
+	if len(stays) == 0 {
+		t.Fatal("first trace has no stays")
+	}
+	for _, sp := range stays {
+		nearest := 1e18
+		for _, gp := range tr.Points {
+			if d := geo.Haversine(sp.P, gp.P); d < nearest {
+				nearest = d
+			}
+		}
+		if nearest > 100 {
+			t.Fatalf("stay point %v is %f m from every trace sample", sp.P, nearest)
+		}
+	}
+}
+
+func TestTracesDeterministic(t *testing.T) {
+	cfg := testConfig()
+	c1 := NewCity(cfg)
+	w1 := c1.GenerateWorkload()
+	a := c1.GenerateGPSTraces(w1, DefaultTraceConfig())
+	c2 := NewCity(cfg)
+	w2 := c2.GenerateWorkload()
+	b := c2.GenerateGPSTraces(w2, DefaultTraceConfig())
+	if len(a) != len(b) {
+		t.Fatalf("trace counts differ: %d vs %d", len(a), len(b))
+	}
+	if len(a) > 0 && (a[0].Points[0] != b[0].Points[0] || len(a[0].Points) != len(b[0].Points)) {
+		t.Fatal("traces differ across equal seeds")
+	}
+}
+
+func TestTracesZeroConfigDefaults(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumPassengers = 50
+	c := NewCity(cfg)
+	w := c.GenerateWorkload()
+	traces := c.GenerateGPSTraces(w, TraceConfig{})
+	if len(traces) == 0 {
+		t.Fatal("zero config should fall back to defaults")
+	}
+}

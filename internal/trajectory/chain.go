@@ -1,0 +1,125 @@
+package trajectory
+
+import (
+	"sort"
+	"time"
+
+	"csdm/internal/geo"
+)
+
+// Journey is one taxi trip record: a pick-up and a drop-off, as stored
+// in the paper's Shanghai logs. PassengerID is non-zero for the ~20% of
+// passengers identified by payment-card information.
+type Journey struct {
+	TaxiID      int64     `json:"taxi_id"`
+	PassengerID int64     `json:"passenger_id,omitempty"`
+	Pickup      geo.Point `json:"pickup"`
+	PickupTime  time.Time `json:"pickup_time"`
+	Dropoff     geo.Point `json:"dropoff"`
+	DropoffTime time.Time `json:"dropoff_time"`
+}
+
+// StayPoints returns the journey's pick-up and drop-off as stay points —
+// the paper selects them as stay points directly (§5, Figure 8).
+func (j Journey) StayPoints() []StayPoint {
+	return []StayPoint{
+		{P: j.Pickup, T: j.PickupTime},
+		{P: j.Dropoff, T: j.DropoffTime},
+	}
+}
+
+// ChainParams controls how card-linked journeys are chained.
+type ChainParams struct {
+	// MergeDist merges a drop-off with the next pick-up when they are
+	// within this many meters (the passenger stayed at one place).
+	MergeDist float64
+	// MinStays drops chained card-passenger trajectories shorter than
+	// this; the paper recovers trajectories "with at least three stay
+	// points".
+	MinStays int
+	// KeepAnonymous keeps each journey without a passenger ID as a
+	// two-stay trajectory. The paper mines patterns from all pick-up/
+	// drop-off pairs (Figure 8), not only the card-linked chains.
+	KeepAnonymous bool
+}
+
+// DefaultChainParams mirror the paper's setup.
+func DefaultChainParams() ChainParams {
+	return ChainParams{MergeDist: 150, MinStays: 3, KeepAnonymous: true}
+}
+
+// Chain links the journeys of each card-identified passenger within one
+// calendar day into long movement trajectories (§5), and keeps anonymous
+// journeys as two-stay trajectories. Consecutive drop-off/pick-up pairs
+// at the same place merge into a single stay point. Trajectories with
+// fewer than MinStays stay points are dropped.
+func Chain(journeys []Journey, p ChainParams) []SemanticTrajectory {
+	type dayKey struct {
+		passenger int64
+		day       int64 // unix day number
+	}
+	byPassenger := make(map[dayKey][]Journey)
+	var anonymous []Journey
+	for _, j := range journeys {
+		if j.PassengerID == 0 {
+			anonymous = append(anonymous, j)
+			continue
+		}
+		k := dayKey{passenger: j.PassengerID, day: j.PickupTime.Unix() / 86400}
+		byPassenger[k] = append(byPassenger[k], j)
+	}
+
+	var out []SemanticTrajectory
+	var id int64 = 1
+
+	// Deterministic iteration over the map for reproducible output.
+	keys := make([]dayKey, 0, len(byPassenger))
+	for k := range byPassenger {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].passenger != keys[b].passenger {
+			return keys[a].passenger < keys[b].passenger
+		}
+		return keys[a].day < keys[b].day
+	})
+
+	for _, k := range keys {
+		js := byPassenger[k]
+		sort.Slice(js, func(a, b int) bool { return js[a].PickupTime.Before(js[b].PickupTime) })
+		var stays []StayPoint
+		for _, j := range js {
+			stays = appendStay(stays, StayPoint{P: j.Pickup, T: j.PickupTime}, p.MergeDist)
+			stays = appendStay(stays, StayPoint{P: j.Dropoff, T: j.DropoffTime}, p.MergeDist)
+		}
+		if len(stays) >= p.MinStays {
+			out = append(out, SemanticTrajectory{ID: id, PassengerID: k.passenger, Stays: stays})
+			id++
+		}
+	}
+
+	if p.KeepAnonymous {
+		for _, j := range anonymous {
+			out = append(out, SemanticTrajectory{ID: id, Stays: j.StayPoints()})
+			id++
+		}
+	}
+	return out
+}
+
+// appendStay appends sp, merging it into the previous stay when the two
+// are within mergeDist (keeping the earlier timestamp and the midpoint).
+func appendStay(stays []StayPoint, sp StayPoint, mergeDist float64) []StayPoint {
+	if n := len(stays); n > 0 && geo.Haversine(stays[n-1].P, sp.P) <= mergeDist {
+		prev := stays[n-1]
+		stays[n-1] = StayPoint{
+			P: geo.Point{
+				Lon: (prev.P.Lon + sp.P.Lon) / 2,
+				Lat: (prev.P.Lat + sp.P.Lat) / 2,
+			},
+			T: prev.T,
+		}
+		return stays
+	}
+	return append(stays, sp)
+}

@@ -1,0 +1,148 @@
+package trajectory
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"csdm/internal/geo"
+	"csdm/internal/poi"
+)
+
+// bruteContains exhaustively enumerates subsequences of st of length
+// len(stp) and checks the Definition 7 conditions — the reference
+// implementation for the backtracking matcher.
+func bruteContains(st, stp SemanticTrajectory, p ContainParams) bool {
+	n := len(stp.Stays)
+	if n == 0 || len(st.Stays) < n {
+		return false
+	}
+	for j := 0; j+1 < n; j++ {
+		if absDur(stp.Stays[j+1].T.Sub(stp.Stays[j].T)) > p.MaxGap {
+			return false
+		}
+	}
+	idx := make([]int, n)
+	var rec func(pos, from int) bool
+	rec = func(pos, from int) bool {
+		if pos == n {
+			return true
+		}
+		for k := from; k < len(st.Stays); k++ {
+			a, b := st.Stays[k], stp.Stays[pos]
+			if !a.S.Contains(b.S) || geo.Haversine(a.P, b.P) > p.MaxDist {
+				continue
+			}
+			if pos > 0 && absDur(a.T.Sub(st.Stays[idx[pos-1]].T)) > p.MaxGap {
+				continue
+			}
+			idx[pos] = k
+			if rec(pos+1, k+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+// randomST builds a random semantic trajectory with stays on a small
+// grid so that distance/semantic coincidences actually occur.
+func randomST(rng *rand.Rand, maxLen int) SemanticTrajectory {
+	n := 1 + rng.Intn(maxLen)
+	st := SemanticTrajectory{ID: rng.Int63()}
+	tt := t0
+	for i := 0; i < n; i++ {
+		tt = tt.Add(time.Duration(rng.Intn(90)) * time.Minute)
+		sems := poi.SemanticsOf(poi.Major(rng.Intn(4)))
+		if rng.Intn(3) == 0 {
+			sems = sems.Add(poi.Major(rng.Intn(4)))
+		}
+		st.Stays = append(st.Stays, StayPoint{
+			P: at(float64(rng.Intn(5))*60, 0),
+			T: tt,
+			S: sems,
+		})
+	}
+	return st
+}
+
+func TestContainsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := ContainParams{MaxDist: 100, MaxGap: time.Hour}
+	for trial := 0; trial < 2000; trial++ {
+		a := randomST(rng, 5)
+		b := randomST(rng, 3)
+		got, ok := Contains(a, b, p)
+		want := bruteContains(a, b, p)
+		if ok != want {
+			t.Fatalf("trial %d: Contains = %v, brute force = %v\na=%v\nb=%v", trial, ok, want, a, b)
+		}
+		if ok {
+			// Returned match must itself satisfy Definition 7.
+			prev := -1
+			for j, k := range got {
+				if k <= prev {
+					t.Fatalf("match not strictly increasing: %v", got)
+				}
+				prev = k
+				sa, sb := a.Stays[k], b.Stays[j]
+				if !sa.S.Contains(sb.S) || geo.Haversine(sa.P, sb.P) > p.MaxDist {
+					t.Fatalf("match violates conditions at %d", j)
+				}
+				if j > 0 && absDur(sa.T.Sub(a.Stays[got[j-1]].T)) > p.MaxGap {
+					t.Fatalf("match violates δ_t at %d", j)
+				}
+			}
+		}
+	}
+}
+
+func TestClosureContainsSelfSupport(t *testing.T) {
+	// A trajectory whose consecutive gaps respect δ_t contains itself
+	// (Definition 7 is reflexive under the temporal condition), so the
+	// closure of such a database member always includes it.
+	rng := rand.New(rand.NewSource(2))
+	p := ContainParams{MaxDist: 100, MaxGap: time.Hour}
+	withinDeltaT := func(st SemanticTrajectory) bool {
+		for j := 1; j < st.Len(); j++ {
+			if absDur(st.Stays[j].T.Sub(st.Stays[j-1].T)) > p.MaxGap {
+				return false
+			}
+		}
+		return true
+	}
+	for trial := 0; trial < 50; trial++ {
+		var db Database
+		for i := 0; i < 5; i++ {
+			db = append(db, randomST(rng, 4))
+		}
+		q := rng.Intn(len(db))
+		if !withinDeltaT(db[q]) {
+			continue
+		}
+		closure := db.Closure(db[q], p)
+		if _, ok := closure[q]; !ok {
+			t.Fatalf("trial %d: trajectory %d missing from its own closure", trial, q)
+		}
+	}
+}
+
+func TestClosureMonotoneInEps(t *testing.T) {
+	// Growing ε_t can only grow the closure.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		var db Database
+		for i := 0; i < 6; i++ {
+			db = append(db, randomST(rng, 3))
+		}
+		q := randomST(rng, 2)
+		small := db.Closure(q, ContainParams{MaxDist: 60, MaxGap: time.Hour})
+		large := db.Closure(q, ContainParams{MaxDist: 130, MaxGap: time.Hour})
+		for i := range small {
+			if _, ok := large[i]; !ok {
+				t.Fatalf("trial %d: closure shrank when ε_t grew", trial)
+			}
+		}
+	}
+}

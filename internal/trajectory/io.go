@@ -1,0 +1,131 @@
+package trajectory
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// journeyHeader is the column layout of the journey CSV format.
+var journeyHeader = []string{
+	"taxi_id", "passenger_id",
+	"pickup_lon", "pickup_lat", "pickup_time",
+	"dropoff_lon", "dropoff_lat", "dropoff_time",
+}
+
+// WriteJourneysCSV writes journeys in the CSV exchange format
+// (timestamps are RFC 3339).
+func WriteJourneysCSV(w io.Writer, js []Journey) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(journeyHeader); err != nil {
+		return fmt.Errorf("trajectory: write header: %w", err)
+	}
+	for _, j := range js {
+		rec := []string{
+			strconv.FormatInt(j.TaxiID, 10),
+			strconv.FormatInt(j.PassengerID, 10),
+			strconv.FormatFloat(j.Pickup.Lon, 'f', -1, 64),
+			strconv.FormatFloat(j.Pickup.Lat, 'f', -1, 64),
+			j.PickupTime.Format(time.RFC3339),
+			strconv.FormatFloat(j.Dropoff.Lon, 'f', -1, 64),
+			strconv.FormatFloat(j.Dropoff.Lat, 'f', -1, 64),
+			j.DropoffTime.Format(time.RFC3339),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trajectory: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadJourneysCSV parses journeys written by WriteJourneysCSV.
+func ReadJourneysCSV(r io.Reader) ([]Journey, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(journeyHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trajectory: read header: %w", err)
+	}
+	for i, col := range journeyHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("trajectory: header column %d: got %q, want %q", i, header[i], col)
+		}
+	}
+	var out []Journey
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: %w", line, err)
+		}
+		j, err := parseJourney(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: %w", line, err)
+		}
+		out = append(out, j)
+	}
+	return out, nil
+}
+
+func parseJourney(rec []string) (Journey, error) {
+	var j Journey
+	var err error
+	if j.TaxiID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+		return j, fmt.Errorf("bad taxi_id %q: %w", rec[0], err)
+	}
+	if j.PassengerID, err = strconv.ParseInt(rec[1], 10, 64); err != nil {
+		return j, fmt.Errorf("bad passenger_id %q: %w", rec[1], err)
+	}
+	if j.Pickup.Lon, err = strconv.ParseFloat(rec[2], 64); err != nil {
+		return j, fmt.Errorf("bad pickup_lon %q: %w", rec[2], err)
+	}
+	if j.Pickup.Lat, err = strconv.ParseFloat(rec[3], 64); err != nil {
+		return j, fmt.Errorf("bad pickup_lat %q: %w", rec[3], err)
+	}
+	if j.PickupTime, err = time.Parse(time.RFC3339, rec[4]); err != nil {
+		return j, fmt.Errorf("bad pickup_time %q: %w", rec[4], err)
+	}
+	if j.Dropoff.Lon, err = strconv.ParseFloat(rec[5], 64); err != nil {
+		return j, fmt.Errorf("bad dropoff_lon %q: %w", rec[5], err)
+	}
+	if j.Dropoff.Lat, err = strconv.ParseFloat(rec[6], 64); err != nil {
+		return j, fmt.Errorf("bad dropoff_lat %q: %w", rec[6], err)
+	}
+	if j.DropoffTime, err = time.Parse(time.RFC3339, rec[7]); err != nil {
+		return j, fmt.Errorf("bad dropoff_time %q: %w", rec[7], err)
+	}
+	if !j.Pickup.Valid() || !j.Dropoff.Valid() {
+		return j, fmt.Errorf("invalid coordinates")
+	}
+	if j.DropoffTime.Before(j.PickupTime) {
+		return j, fmt.Errorf("dropoff before pickup")
+	}
+	return j, nil
+}
+
+// WriteSemanticJSON writes semantic trajectories as a JSON array.
+func WriteSemanticJSON(w io.Writer, sts []SemanticTrajectory) error {
+	return json.NewEncoder(w).Encode(sts)
+}
+
+// ReadSemanticJSON parses semantic trajectories from a JSON array.
+func ReadSemanticJSON(r io.Reader) ([]SemanticTrajectory, error) {
+	var out []SemanticTrajectory
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("trajectory: decode json: %w", err)
+	}
+	for i, st := range out {
+		for k, sp := range st.Stays {
+			if !sp.P.Valid() {
+				return nil, fmt.Errorf("trajectory: entry %d stay %d: invalid location %v", i, k, sp.P)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+// Package trajectory implements the paper's trajectory model: raw GPS
+// trajectories (Definition 1), stay-point detection (Definition 5),
+// semantic trajectories (Definition 6), the containment relations and
+// counterpart function (Definitions 7–9), stay-point groups
+// (Definition 10), and the chaining of card-linked taxi journeys into
+// multi-stay movement trajectories (§5).
+package trajectory
+
+import (
+	"fmt"
+	"time"
+
+	"csdm/internal/geo"
+	"csdm/internal/poi"
+)
+
+// GPSPoint is one (p, t) sample of a raw GPS trajectory.
+type GPSPoint struct {
+	P geo.Point `json:"p"`
+	T time.Time `json:"t"`
+}
+
+// Trajectory is a raw GPS trajectory T = {(p_1,t_1), …, (p_n,t_n)}
+// (Definition 1).
+type Trajectory struct {
+	ID     int64      `json:"id"`
+	Points []GPSPoint `json:"points"`
+}
+
+// StayPoint is a location where a commuter stopped to perform an
+// activity (Definition 5): a coordinate, a representative timestamp and
+// a semantic property (empty until semantic recognition runs).
+type StayPoint struct {
+	P geo.Point     `json:"p"`
+	T time.Time     `json:"t"`
+	S poi.Semantics `json:"s"`
+}
+
+// String implements fmt.Stringer.
+func (sp StayPoint) String() string {
+	return fmt.Sprintf("stay%s@%s[%s]", sp.P, sp.T.Format("15:04"), sp.S)
+}
+
+// SemanticTrajectory is the stay-point sequence derived from one
+// trajectory (Definition 6). PassengerID links card-paying passengers
+// across journeys; it is zero for anonymous trips.
+type SemanticTrajectory struct {
+	ID          int64       `json:"id"`
+	PassengerID int64       `json:"passenger_id,omitempty"`
+	Stays       []StayPoint `json:"stays"`
+}
+
+// Len returns the number of stay points.
+func (st SemanticTrajectory) Len() int { return len(st.Stays) }
+
+// Points extracts the coordinates of all stay points.
+func (st SemanticTrajectory) Points() []geo.Point {
+	out := make([]geo.Point, len(st.Stays))
+	for i, sp := range st.Stays {
+		out[i] = sp.P
+	}
+	return out
+}
+
+// SemanticSequence returns the per-stay semantic properties, the item
+// sequence PrefixSpan mines over.
+func (st SemanticTrajectory) SemanticSequence() []poi.Semantics {
+	out := make([]poi.Semantics, len(st.Stays))
+	for i, sp := range st.Stays {
+		out[i] = sp.S
+	}
+	return out
+}
+
+// StayPointParams are the thresholds of Definition 5.
+type StayPointParams struct {
+	// MaxDist θ_d: every point of the stay sub-trajectory must be within
+	// this distance (meters) of its first point.
+	MaxDist float64
+	// MinDuration θ_t: the sub-trajectory must span at least this long.
+	MinDuration time.Duration
+}
+
+// DefaultStayPointParams are conventional values for urban GPS traces.
+func DefaultStayPointParams() StayPointParams {
+	return StayPointParams{MaxDist: 200, MinDuration: 20 * time.Minute}
+}
+
+// DetectStayPoints extracts the stay points of a raw trajectory per
+// Definition 5. A maximal run of points all within θ_d of the run's
+// first point and spanning at least θ_t becomes one stay point at the
+// run's centroid with the run's mean timestamp. Semantic properties are
+// left empty for the recognizer to fill.
+func DetectStayPoints(t Trajectory, p StayPointParams) []StayPoint {
+	pts := t.Points
+	var stays []StayPoint
+	i := 0
+	for i < len(pts) {
+		j := i + 1
+		for j < len(pts) && geo.Haversine(pts[i].P, pts[j].P) <= p.MaxDist {
+			j++
+		}
+		// pts[i:j] is the maximal run anchored at i.
+		if pts[j-1].T.Sub(pts[i].T) >= p.MinDuration {
+			stays = append(stays, centerOf(pts[i:j]))
+			i = j
+			continue
+		}
+		i++
+	}
+	return stays
+}
+
+// centerOf builds the stay point of a sub-trajectory: centroid location
+// and mean timestamp (Definition 5).
+func centerOf(run []GPSPoint) StayPoint {
+	var lon, lat float64
+	var nanos int64
+	base := run[0].T
+	for _, gp := range run {
+		lon += gp.P.Lon
+		lat += gp.P.Lat
+		nanos += gp.T.Sub(base).Nanoseconds()
+	}
+	n := float64(len(run))
+	return StayPoint{
+		P: geo.Point{Lon: lon / n, Lat: lat / n},
+		T: base.Add(time.Duration(nanos / int64(len(run)))),
+	}
+}
+
+// ToSemantic converts a raw trajectory into a semantic trajectory by
+// stay-point detection (semantics remain empty until recognition).
+func ToSemantic(t Trajectory, p StayPointParams) SemanticTrajectory {
+	return SemanticTrajectory{ID: t.ID, Stays: DetectStayPoints(t, p)}
+}

@@ -1,0 +1,338 @@
+package trajectory
+
+import (
+	"testing"
+	"time"
+
+	"csdm/internal/geo"
+	"csdm/internal/poi"
+)
+
+var (
+	origin = geo.Point{Lon: 121.47, Lat: 31.23}
+	proj   = geo.NewProjection(origin)
+	t0     = time.Date(2015, 4, 6, 8, 0, 0, 0, time.UTC)
+)
+
+// at returns the point offset (x, y) meters from origin.
+func at(x, y float64) geo.Point { return proj.ToPoint(geo.Meters{X: x, Y: y}) }
+
+func TestDetectStayPointsBasic(t *testing.T) {
+	// 30 min dwell at origin, a fast transit, 30 min dwell 5 km away.
+	var pts []GPSPoint
+	for i := 0; i < 10; i++ {
+		pts = append(pts, GPSPoint{P: at(float64(i), 0), T: t0.Add(time.Duration(i) * 4 * time.Minute)})
+	}
+	for i := 0; i < 5; i++ {
+		pts = append(pts, GPSPoint{P: at(1000*float64(i+1), 0), T: t0.Add(40*time.Minute + time.Duration(i)*time.Minute)})
+	}
+	for i := 0; i < 10; i++ {
+		pts = append(pts, GPSPoint{P: at(5000+float64(i), 0), T: t0.Add(50*time.Minute + time.Duration(i)*4*time.Minute)})
+	}
+	stays := DetectStayPoints(Trajectory{ID: 1, Points: pts}, StayPointParams{MaxDist: 200, MinDuration: 20 * time.Minute})
+	if len(stays) != 2 {
+		t.Fatalf("stays = %d, want 2", len(stays))
+	}
+	if d := geo.Haversine(stays[0].P, origin); d > 20 {
+		t.Errorf("first stay %.1f m from origin", d)
+	}
+	if d := geo.Haversine(stays[1].P, at(5000, 0)); d > 20 {
+		t.Errorf("second stay %.1f m from expected", d)
+	}
+	// Mean timestamp of the first dwell is t0 + 18 min.
+	if got := stays[0].T; absDur(got.Sub(t0.Add(18*time.Minute))) > time.Minute {
+		t.Errorf("first stay time = %v", got)
+	}
+}
+
+func TestDetectStayPointsNoDwell(t *testing.T) {
+	// Constant motion: no stay points.
+	var pts []GPSPoint
+	for i := 0; i < 60; i++ {
+		pts = append(pts, GPSPoint{P: at(float64(i)*500, 0), T: t0.Add(time.Duration(i) * time.Minute)})
+	}
+	if stays := DetectStayPoints(Trajectory{Points: pts}, DefaultStayPointParams()); len(stays) != 0 {
+		t.Fatalf("moving trajectory produced %d stays", len(stays))
+	}
+}
+
+func TestDetectStayPointsShortDwellRejected(t *testing.T) {
+	var pts []GPSPoint
+	for i := 0; i < 5; i++ { // only 8 minutes
+		pts = append(pts, GPSPoint{P: at(0, 0), T: t0.Add(time.Duration(i) * 2 * time.Minute)})
+	}
+	if stays := DetectStayPoints(Trajectory{Points: pts}, StayPointParams{MaxDist: 200, MinDuration: 20 * time.Minute}); len(stays) != 0 {
+		t.Fatalf("8-minute dwell should not qualify, got %d stays", len(stays))
+	}
+}
+
+func TestDetectStayPointsEmpty(t *testing.T) {
+	if stays := DetectStayPoints(Trajectory{}, DefaultStayPointParams()); stays != nil {
+		t.Fatalf("empty trajectory stays = %v", stays)
+	}
+}
+
+// mkST builds a semantic trajectory with stays at the given meter
+// offsets, one hour apart, carrying the given semantics.
+func mkST(id int64, sems []poi.Semantics, offsets [][2]float64, gap time.Duration) SemanticTrajectory {
+	st := SemanticTrajectory{ID: id}
+	for i, o := range offsets {
+		st.Stays = append(st.Stays, StayPoint{
+			P: at(o[0], o[1]),
+			T: t0.Add(time.Duration(i) * gap),
+			S: sems[i],
+		})
+	}
+	return st
+}
+
+var (
+	office     = poi.SemanticsOf(poi.BusinessOffice)
+	home       = poi.SemanticsOf(poi.Residence)
+	restaurant = poi.SemanticsOf(poi.Restaurant)
+)
+
+// figure1 reproduces the containment chain of Figure 1: four
+// Office→Home→Restaurant trajectories where consecutive ones are within
+// ε_t of each other but the first and the last are not.
+func figure1() (st1, st2, st3, st4 SemanticTrajectory, p ContainParams) {
+	sems := []poi.Semantics{office, home, restaurant}
+	gap := 30 * time.Minute
+	st1 = mkST(1, sems, [][2]float64{{0, 0}, {5000, 0}, {10000, 0}}, gap)
+	st2 = mkST(2, sems, [][2]float64{{80, 0}, {5080, 0}, {10080, 0}}, gap)
+	st3 = mkST(3, sems, [][2]float64{{160, 0}, {5160, 0}, {10160, 0}}, gap)
+	st4 = mkST(4, sems, [][2]float64{{240, 0}, {5240, 0}, {10240, 0}}, gap)
+	p = ContainParams{MaxDist: 100, MaxGap: time.Hour}
+	return
+}
+
+func TestContainsDirect(t *testing.T) {
+	st1, st2, st3, st4, p := figure1()
+	for _, pair := range []struct{ a, b SemanticTrajectory }{{st1, st2}, {st2, st3}, {st3, st4}} {
+		if _, ok := Contains(pair.a, pair.b, p); !ok {
+			t.Errorf("ST%d should contain ST%d", pair.a.ID, pair.b.ID)
+		}
+	}
+	// 160 m apart: beyond ε_t, so no direct containment.
+	if _, ok := Contains(st1, st3, p); ok {
+		t.Error("ST1 should NOT directly contain ST3")
+	}
+	_ = st4
+}
+
+func TestContainsReturnsAlignedMatch(t *testing.T) {
+	st1, st2, _, _, p := figure1()
+	idxs, ok := Contains(st1, st2, p)
+	if !ok || len(idxs) != 3 {
+		t.Fatalf("match = %v, ok = %v", idxs, ok)
+	}
+	for j, k := range idxs {
+		if k != j {
+			t.Fatalf("match[%d] = %d, want %d", j, k, j)
+		}
+	}
+}
+
+func TestContainsSemanticSuperset(t *testing.T) {
+	p := ContainParams{MaxDist: 100, MaxGap: time.Hour}
+	rich := mkST(1, []poi.Semantics{office.Union(restaurant), home}, [][2]float64{{0, 0}, {5000, 0}}, time.Hour)
+	poor := mkST(2, []poi.Semantics{office, home}, [][2]float64{{10, 0}, {5010, 0}}, time.Hour)
+	if _, ok := Contains(rich, poor, p); !ok {
+		t.Error("superset semantics should contain subset")
+	}
+	if _, ok := Contains(poor, rich, p); ok {
+		t.Error("subset semantics should not contain superset")
+	}
+}
+
+func TestContainsTemporalConstraintOnBothSides(t *testing.T) {
+	p := ContainParams{MaxDist: 100, MaxGap: 45 * time.Minute}
+	slow := mkST(1, []poi.Semantics{office, home}, [][2]float64{{0, 0}, {5000, 0}}, 2*time.Hour)
+	fast := mkST(2, []poi.Semantics{office, home}, [][2]float64{{10, 0}, {5010, 0}}, 30*time.Minute)
+	if _, ok := Contains(slow, fast, p); ok {
+		t.Error("containing trajectory violating δ_t must be rejected")
+	}
+	if _, ok := Contains(fast, slow, p); ok {
+		t.Error("contained trajectory violating δ_t must be rejected")
+	}
+}
+
+func TestContainsSubsequenceSkipsExtraStays(t *testing.T) {
+	p := ContainParams{MaxDist: 100, MaxGap: time.Hour}
+	long := mkST(1,
+		[]poi.Semantics{office, poi.SemanticsOf(poi.ShopMarket), home},
+		[][2]float64{{0, 0}, {2500, 0}, {5000, 0}}, 25*time.Minute)
+	short := SemanticTrajectory{ID: 2, Stays: []StayPoint{
+		{P: at(10, 0), T: t0, S: office},
+		{P: at(5010, 0), T: t0.Add(50 * time.Minute), S: home},
+	}}
+	idxs, ok := Contains(long, short, p)
+	if !ok {
+		t.Fatal("long trajectory should contain short one by skipping the middle stay")
+	}
+	if idxs[0] != 0 || idxs[1] != 2 {
+		t.Fatalf("match = %v, want [0 2]", idxs)
+	}
+}
+
+func TestContainsBacktracking(t *testing.T) {
+	// Two candidate matches for the first stay; the first candidate is
+	// spatially fine but breaks the temporal chain to the second stay.
+	// A greedy matcher would fail; backtracking must succeed.
+	p := ContainParams{MaxDist: 100, MaxGap: 40 * time.Minute}
+	long := SemanticTrajectory{ID: 1, Stays: []StayPoint{
+		{P: at(0, 0), T: t0, S: office},
+		{P: at(20, 0), T: t0.Add(2 * time.Hour), S: office},
+		{P: at(5000, 0), T: t0.Add(2*time.Hour + 30*time.Minute), S: home},
+	}}
+	short := SemanticTrajectory{ID: 2, Stays: []StayPoint{
+		{P: at(10, 0), T: t0.Add(2 * time.Hour), S: office},
+		{P: at(5010, 0), T: t0.Add(2*time.Hour + 25*time.Minute), S: home},
+	}}
+	idxs, ok := Contains(long, short, p)
+	if !ok {
+		t.Fatal("backtracking match should succeed")
+	}
+	if idxs[0] != 1 || idxs[1] != 2 {
+		t.Fatalf("match = %v, want [1 2]", idxs)
+	}
+}
+
+func TestContainsDegenerate(t *testing.T) {
+	p := ContainParams{MaxDist: 100, MaxGap: time.Hour}
+	st := mkST(1, []poi.Semantics{office}, [][2]float64{{0, 0}}, time.Hour)
+	if _, ok := Contains(st, SemanticTrajectory{}, p); ok {
+		t.Error("empty query should not be contained")
+	}
+	long := mkST(2, []poi.Semantics{office, home}, [][2]float64{{0, 0}, {5000, 0}}, time.Hour)
+	if _, ok := Contains(st, long, p); ok {
+		t.Error("shorter trajectory cannot contain longer one")
+	}
+}
+
+func TestClosureReachableContainment(t *testing.T) {
+	st1, st2, st3, st4, p := figure1()
+	db := Database{st1, st2, st3, st4}
+	closure := db.Closure(st4, p)
+	// ST3 contains ST4 directly; ST2 reaches via ST3; ST1 via ST2.
+	// ST4 contains itself.
+	if len(closure) != 4 {
+		t.Fatalf("closure size = %d, want 4 (ST1..ST4)", len(closure))
+	}
+	for i, cp := range closure {
+		if len(cp) != 3 {
+			t.Errorf("counterpart of db[%d] has %d stays, want 3", i, len(cp))
+		}
+	}
+	// Counterpart of ST1 must be ST1's own stays (Definition 9 case ii).
+	cp1 := closure[0]
+	for j := range cp1 {
+		if geo.Haversine(cp1[j].P, st1.Stays[j].P) > 1 {
+			t.Errorf("CP(ST1, ST4)[%d] not aligned with ST1", j)
+		}
+	}
+}
+
+func TestSupportAndGroups(t *testing.T) {
+	st1, st2, st3, st4, p := figure1()
+	db := Database{st1, st2, st3, st4}
+	if sup := db.Support(st4, p); sup != 4 {
+		t.Fatalf("support = %d, want 4", sup)
+	}
+	groups := db.Groups(st4, p)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	for j, g := range groups {
+		// Each group holds sp_j itself plus 4 counterparts (ST4 appears
+		// twice: once as the query stay, once via its self-containment).
+		if len(g) != 5 {
+			t.Fatalf("group %d size = %d, want 5", j, len(g))
+		}
+		for _, sp := range g {
+			if !sp.S.Contains(st4.Stays[j].S) {
+				t.Errorf("group %d member has incompatible semantics %v", j, sp.S)
+			}
+		}
+	}
+}
+
+func TestClosureUnrelatedTrajectoriesExcluded(t *testing.T) {
+	st1, st2, _, _, p := figure1()
+	far := mkST(9, []poi.Semantics{office, home, restaurant},
+		[][2]float64{{50000, 0}, {55000, 0}, {60000, 0}}, 30*time.Minute)
+	db := Database{st1, far}
+	closure := db.Closure(st2, p)
+	if _, ok := closure[1]; ok {
+		t.Error("distant trajectory must not join the closure")
+	}
+	if _, ok := closure[0]; !ok {
+		t.Error("st1 should be in the closure of st2")
+	}
+}
+
+func TestChainJourneysLinked(t *testing.T) {
+	// One passenger, three journeys in a day: home→office,
+	// office→restaurant, restaurant→home.
+	js := []Journey{
+		{TaxiID: 1, PassengerID: 42, Pickup: at(0, 0), PickupTime: t0, Dropoff: at(8000, 0), DropoffTime: t0.Add(30 * time.Minute)},
+		{TaxiID: 2, PassengerID: 42, Pickup: at(8020, 0), PickupTime: t0.Add(10 * time.Hour), Dropoff: at(12000, 0), DropoffTime: t0.Add(10*time.Hour + 20*time.Minute)},
+		{TaxiID: 3, PassengerID: 42, Pickup: at(12010, 0), PickupTime: t0.Add(12 * time.Hour), Dropoff: at(30, 0), DropoffTime: t0.Add(12*time.Hour + 40*time.Minute)},
+	}
+	sts := Chain(js, DefaultChainParams())
+	if len(sts) != 1 {
+		t.Fatalf("chained trajectories = %d, want 1", len(sts))
+	}
+	st := sts[0]
+	if st.PassengerID != 42 {
+		t.Errorf("passenger = %d", st.PassengerID)
+	}
+	// home, office(merged), restaurant(merged), home = 4 stays.
+	if st.Len() != 4 {
+		t.Fatalf("stays = %d, want 4", st.Len())
+	}
+}
+
+func TestChainSeparatesDaysAndPassengers(t *testing.T) {
+	day2 := t0.Add(24 * time.Hour)
+	js := []Journey{
+		{PassengerID: 1, Pickup: at(0, 0), PickupTime: t0, Dropoff: at(5000, 0), DropoffTime: t0.Add(20 * time.Minute)},
+		{PassengerID: 1, Pickup: at(5000, 0), PickupTime: t0.Add(time.Hour), Dropoff: at(9000, 0), DropoffTime: t0.Add(80 * time.Minute)},
+		{PassengerID: 1, Pickup: at(0, 0), PickupTime: day2, Dropoff: at(5000, 0), DropoffTime: day2.Add(20 * time.Minute)},
+		{PassengerID: 2, Pickup: at(0, 0), PickupTime: t0, Dropoff: at(5000, 0), DropoffTime: t0.Add(20 * time.Minute)},
+	}
+	sts := Chain(js, ChainParams{MergeDist: 150, MinStays: 3})
+	// Only passenger 1 day 1 has ≥3 distinct stays (0, 5000, 9000).
+	if len(sts) != 1 {
+		t.Fatalf("trajectories = %d, want 1", len(sts))
+	}
+	if sts[0].Len() != 3 {
+		t.Fatalf("stays = %d, want 3", sts[0].Len())
+	}
+}
+
+func TestChainKeepsAnonymousWhenAllowed(t *testing.T) {
+	js := []Journey{
+		{Pickup: at(0, 0), PickupTime: t0, Dropoff: at(5000, 0), DropoffTime: t0.Add(20 * time.Minute)},
+	}
+	if sts := Chain(js, ChainParams{MergeDist: 150, MinStays: 3}); len(sts) != 0 {
+		t.Fatalf("anonymous journey should be dropped without KeepAnonymous, got %d", len(sts))
+	}
+	sts := Chain(js, ChainParams{MergeDist: 150, MinStays: 3, KeepAnonymous: true})
+	if len(sts) != 1 || sts[0].Len() != 2 {
+		t.Fatalf("anonymous journey should survive with KeepAnonymous")
+	}
+}
+
+func TestSemanticTrajectoryAccessors(t *testing.T) {
+	st := mkST(5, []poi.Semantics{office, home}, [][2]float64{{0, 0}, {1000, 0}}, time.Hour)
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	if pts := st.Points(); len(pts) != 2 || pts[0] != st.Stays[0].P {
+		t.Fatalf("Points mismatch")
+	}
+	if seq := st.SemanticSequence(); len(seq) != 2 || seq[1] != home {
+		t.Fatalf("SemanticSequence mismatch")
+	}
+}
