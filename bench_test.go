@@ -330,6 +330,21 @@ func BenchmarkIndexComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkMine times the extraction stage alone (the recognition
+// artifacts are prebuilt), with no trace attached — the baseline the
+// telemetry layer's nil no-op path is held against.
+func BenchmarkMine(b *testing.B) {
+	env := sharedEnv()
+	params := benchParams()
+	env.Pipeline.Database(core.RecCSD)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(env.Pipeline.Mine(core.CSDPM, params))
+	}
+	b.ReportMetric(float64(n), "patterns")
+}
+
 // BenchmarkEndToEndCSDPM times the full pipeline — diagram, recognition,
 // extraction — from cold on a fresh pipeline.
 func BenchmarkEndToEndCSDPM(b *testing.B) {

@@ -10,12 +10,22 @@
 //	diagram    build the City Semantic Diagram and report its units
 //	recognize  annotate the journeys and write semantic trajectories
 //	mine       extract fine-grained patterns and report them
+//
+// Progress and timing messages go to stderr; stdout carries only the
+// machine-parseable results. -trace prints the per-stage telemetry
+// report to stderr after the run; -debug-addr serves net/http/pprof,
+// expvar (the live counters under "csdm") and /debug/trace (the span
+// tree as JSON) for inspecting a long run in flight.
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"time"
@@ -23,10 +33,17 @@ import (
 	"csdm/internal/core"
 	"csdm/internal/csd"
 	"csdm/internal/metrics"
+	"csdm/internal/obs"
 	"csdm/internal/pattern"
 	"csdm/internal/poi"
 	"csdm/internal/trajectory"
 )
+
+// progress reports loading/timing status on stderr, keeping stdout
+// machine-parseable.
+func progress(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -42,6 +59,8 @@ func main() {
 		out         = flag.String("out", "semantic_trajectories.json", "output file (recognize)")
 		saveDiagram = flag.String("save-diagram", "", "write the built City Semantic Diagram to this file")
 		loadDiagram = flag.String("load-diagram", "", "reuse a diagram previously written with -save-diagram")
+		traceFlag   = flag.Bool("trace", false, "print the per-stage telemetry report to stderr")
+		debugAddr   = flag.String("debug-addr", "", "serve pprof, expvar and /debug/trace on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -49,8 +68,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tr *obs.Trace
+	if *traceFlag || *debugAddr != "" {
+		tr = obs.New()
+	}
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, tr)
+	}
+
 	pois, journeys := loadInputs(*poiPath, *journeyPath)
 	pipe := core.NewPipeline(pois, journeys, core.DefaultConfig())
+	pipe.SetTrace(tr)
 	if *loadDiagram != "" {
 		f, err := os.Open(*loadDiagram)
 		if err != nil {
@@ -62,7 +90,7 @@ func main() {
 			log.Fatal(err)
 		}
 		pipe.UseDiagram(d)
-		fmt.Printf("loaded diagram with %d units from %s\n", len(d.Units), *loadDiagram)
+		progress("loaded diagram with %d units from %s", len(d.Units), *loadDiagram)
 	}
 
 	switch cmd := flag.Arg(0); cmd {
@@ -79,7 +107,7 @@ func main() {
 			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("diagram written to %s\n", *saveDiagram)
+			progress("diagram written to %s", *saveDiagram)
 		}
 	case "recognize":
 		runRecognize(pipe, *out)
@@ -92,6 +120,36 @@ func main() {
 	default:
 		log.Fatalf("unknown subcommand %q", cmd)
 	}
+
+	if *traceFlag {
+		fmt.Fprintln(os.Stderr, "--- stage report ---")
+		tr.WriteText(os.Stderr)
+	}
+}
+
+// serveDebug starts the live-inspection HTTP server in the background:
+// net/http/pprof and expvar register themselves on the default mux,
+// the trace's counters and gauges are published under the "csdm"
+// expvar, and /debug/trace returns the full span tree as JSON.
+func serveDebug(addr string, tr *obs.Trace) {
+	expvar.Publish("csdm", expvar.Func(func() any {
+		return map[string]any{
+			"counters": tr.Counters(),
+			"gauges":   tr.Gauges(),
+		}
+	}))
+	http.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(tr.Snapshot())
+	})
+	progress("debug server listening on http://%s/debug/pprof/ (also /debug/vars, /debug/trace)", addr)
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("debug server: %v", err)
+		}
+	}()
 }
 
 func loadInputs(poiPath, journeyPath string) ([]poi.POI, []trajectory.Journey) {
@@ -113,14 +171,14 @@ func loadInputs(poiPath, journeyPath string) ([]poi.POI, []trajectory.Journey) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("loaded %d POIs, %d journeys\n", len(pois), len(journeys))
+	progress("loaded %d POIs, %d journeys", len(pois), len(journeys))
 	return pois, journeys
 }
 
 func runDiagram(pipe *core.Pipeline) {
 	t0 := time.Now()
 	d := pipe.Diagram()
-	fmt.Printf("City Semantic Diagram built in %.1fs\n", time.Since(t0).Seconds())
+	progress("City Semantic Diagram built in %.1fs", time.Since(t0).Seconds())
 	fmt.Printf("units: %d, POI coverage: %.1f%%, mean purity: %.3f\n",
 		len(d.Units), d.Coverage()*100, d.MeanUnitPurity())
 	// Largest units.
@@ -150,7 +208,7 @@ func runRecognize(pipe *core.Pipeline, out string) {
 			}
 		}
 	}
-	fmt.Printf("recognized %d trajectories (%d/%d stays annotated) in %.1fs\n",
+	progress("recognized %d trajectories (%d/%d stays annotated) in %.1fs",
 		len(db), annotated, total, time.Since(t0).Seconds())
 	f, err := os.Create(out)
 	if err != nil {
@@ -163,7 +221,7 @@ func runRecognize(pipe *core.Pipeline, out string) {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", out)
+	progress("wrote %s", out)
 }
 
 func runMine(pipe *core.Pipeline, approach string, params pattern.Params, top int) {
@@ -181,10 +239,10 @@ func runMine(pipe *core.Pipeline, approach string, params pattern.Params, top in
 	t0 := time.Now()
 	ps := pipe.Mine(*chosen, params)
 	s := metrics.Summarize(ps)
-	fmt.Printf("%s mined %d patterns in %.1fs (σ=%d, ρ=%g, δt=%s)\n",
+	progress("%s mined %d patterns in %.1fs (σ=%d, ρ=%g, δt=%s)",
 		approach, len(ps), time.Since(t0).Seconds(), params.Sigma, params.Rho, params.DeltaT)
-	fmt.Printf("coverage=%d  avg sparsity=%.1f m  avg consistency=%.3f\n",
-		s.Coverage, s.MeanSparsity, s.MeanConsistency)
+	fmt.Printf("approach=%s patterns=%d coverage=%d sparsity=%.1f consistency=%.3f\n",
+		approach, len(ps), s.Coverage, s.MeanSparsity, s.MeanConsistency)
 
 	sort.Slice(ps, func(a, b int) bool { return ps[a].Support > ps[b].Support })
 	if top > len(ps) {

@@ -6,9 +6,16 @@
 //	experiments [-exp all|table1|table3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig14g|fig14h]
 //	            [-pois N] [-passengers N] [-days N] [-seed N]
 //	            [-sigma N] [-rho F] [-deltat D]
+//	            [-timings timings.json]
+//
+// -timings writes a machine-readable JSON record of the run: wall time
+// per experiment stage plus the pipeline's telemetry snapshot (spans
+// and counters), giving future changes a perf trajectory to regress
+// against.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +25,25 @@ import (
 
 	"csdm/internal/core"
 	"csdm/internal/experiments"
+	"csdm/internal/obs"
 	"csdm/internal/pattern"
 	"csdm/internal/render"
 )
+
+// stageTiming is one -timings entry.
+type stageTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// timingsFile is the -timings JSON document.
+type timingsFile struct {
+	Workload     string        `json:"workload"`
+	SetupSeconds float64       `json:"setup_seconds"`
+	Stages       []stageTiming `json:"stages"`
+	TotalSeconds float64       `json:"total_seconds"`
+	Trace        obs.Snapshot  `json:"trace"`
+}
 
 func main() {
 	var (
@@ -33,6 +56,7 @@ func main() {
 		rho        = flag.Float64("rho", experiments.MiningParams().Rho, "density threshold ρ (points/m²)")
 		deltaT     = flag.Duration("deltat", experiments.MiningParams().DeltaT, "temporal constraint δ_t")
 		svgDir     = flag.String("svg-dir", "", "also write fig6.svg (CSD units) and fig14.svg (patterns) into this directory")
+		timings    = flag.String("timings", "", "write per-stage timing JSON (stages + pipeline telemetry) to this file")
 	)
 	flag.Parse()
 
@@ -46,8 +70,16 @@ func main() {
 	fmt.Printf("generating synthetic Shanghai: %d POIs, %d passengers, %d days (seed %d)\n",
 		scale.NumPOIs, scale.NumPassengers, scale.Days, scale.Seed)
 	env := experiments.Setup(scale)
-	fmt.Printf("workload ready: %s (%.1fs)\n", env.Pipeline.Describe(), time.Since(start).Seconds())
+	setupSeconds := time.Since(start).Seconds()
+	fmt.Printf("workload ready: %s (%.1fs)\n", env.Pipeline.Describe(), setupSeconds)
 
+	var tr *obs.Trace
+	if *timings != "" {
+		tr = obs.New()
+		env.Pipeline.SetTrace(tr)
+	}
+
+	var stages []stageTiming
 	w := os.Stdout
 	run := func(name string, fn func()) {
 		if *exp != "all" && *exp != name {
@@ -55,7 +87,9 @@ func main() {
 		}
 		t0 := time.Now()
 		fn()
-		fmt.Fprintf(w, "[%s done in %.1fs]\n", name, time.Since(t0).Seconds())
+		secs := time.Since(t0).Seconds()
+		stages = append(stages, stageTiming{Name: name, Seconds: secs})
+		fmt.Fprintf(w, "[%s done in %.1fs]\n", name, secs)
 	}
 
 	run("table1", func() { env.RenderTable1(w) })
@@ -85,6 +119,32 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("total %.1fs\n", time.Since(start).Seconds())
+
+	if *timings != "" {
+		doc := timingsFile{
+			Workload:     env.Pipeline.Describe(),
+			SetupSeconds: setupSeconds,
+			Stages:       stages,
+			TotalSeconds: time.Since(start).Seconds(),
+			Trace:        tr.Snapshot(),
+		}
+		f, err := os.Create(*timings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timings:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "timings:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "timings:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *timings)
+	}
 }
 
 // writeSVGs renders the Figure 6 and Figure 14 map views.

@@ -7,6 +7,7 @@ import (
 	"csdm/internal/csd"
 	"csdm/internal/geo"
 	"csdm/internal/metrics"
+	"csdm/internal/obs"
 	"csdm/internal/pattern"
 	"csdm/internal/poi"
 	"csdm/internal/recognize"
@@ -47,6 +48,9 @@ type (
 	CityConfig = synth.Config
 	// City is a generated synthetic city.
 	City = synth.City
+	// Trace collects per-stage telemetry — hierarchical wall-time
+	// spans plus named counters and gauges — for one pipeline run.
+	Trace = obs.Trace
 )
 
 // The six approaches compared in the paper.
@@ -98,6 +102,20 @@ func NewMiner(pois []POI, journeys []Journey, cfg Config) *Miner {
 
 // Diagram returns the City Semantic Diagram, building it on first use.
 func (m *Miner) Diagram() *Diagram { return m.pipeline.Diagram() }
+
+// EnableTrace attaches a fresh telemetry trace to the miner and
+// returns it; every pipeline stage run afterwards records spans and
+// counters. Call before the first Diagram, Mine or Database call —
+// already-built artifacts are not re-traced.
+func (m *Miner) EnableTrace() *Trace {
+	tr := obs.New()
+	m.pipeline.SetTrace(tr)
+	return tr
+}
+
+// Trace returns the miner's telemetry trace, nil when tracing was
+// never enabled. A nil trace is safe to use — all its methods no-op.
+func (m *Miner) Trace() *Trace { return m.pipeline.Trace() }
 
 // UseDiagram installs a pre-built diagram (e.g. loaded with
 // ReadDiagram) instead of constructing one; it must be called before

@@ -13,6 +13,7 @@ import (
 
 	"csdm/internal/csd"
 	"csdm/internal/geo"
+	"csdm/internal/obs"
 	"csdm/internal/pattern"
 	"csdm/internal/poi"
 	"csdm/internal/recognize"
@@ -114,6 +115,9 @@ type Pipeline struct {
 	pois     []poi.POI
 	journeys []trajectory.Journey
 
+	// trace is the optional telemetry sink (nil-safe no-op when absent).
+	trace *obs.Trace
+
 	once struct {
 		stays, diagram, roi, dbCSD, dbROI sync.Once
 	}
@@ -123,6 +127,14 @@ type Pipeline struct {
 	dbCSD   []trajectory.SemanticTrajectory
 	dbROI   []trajectory.SemanticTrajectory
 }
+
+// SetTrace attaches a telemetry trace; every stage built afterwards
+// records spans and counters on it. Attach before the first Diagram,
+// Database or Mine call — already-built artifacts are not re-traced.
+func (p *Pipeline) SetTrace(t *obs.Trace) { p.trace = t }
+
+// Trace returns the attached telemetry trace (nil when tracing is off).
+func (p *Pipeline) Trace() *obs.Trace { return p.trace }
 
 // NewPipeline prepares a pipeline over the given POI dataset and taxi
 // journey log.
@@ -145,7 +157,7 @@ func (p *Pipeline) StayPoints() []geo.Point {
 // Diagram returns the City Semantic Diagram, building it on first use.
 func (p *Pipeline) Diagram() *csd.Diagram {
 	p.once.diagram.Do(func() {
-		p.diagram = csd.Build(p.pois, p.StayPoints(), p.cfg.CSD)
+		p.diagram = csd.BuildTraced(p.pois, p.StayPoints(), p.cfg.CSD, p.trace)
 	})
 	return p.diagram
 }
@@ -172,12 +184,12 @@ func (p *Pipeline) Database(kind RecognizerKind) []trajectory.SemanticTrajectory
 	switch kind {
 	case RecROI:
 		p.once.dbROI.Do(func() {
-			p.dbROI = recognize.AnnotateJourneys(p.journeys, p.cfg.Chain, p.ROIRecognizer())
+			p.dbROI = recognize.AnnotateJourneysTraced(p.journeys, p.cfg.Chain, p.ROIRecognizer(), p.trace)
 		})
 		return p.dbROI
 	default:
 		p.once.dbCSD.Do(func() {
-			p.dbCSD = recognize.AnnotateJourneys(p.journeys, p.cfg.Chain, recognize.NewCSDRecognizer(p.Diagram()))
+			p.dbCSD = recognize.AnnotateJourneysTraced(p.journeys, p.cfg.Chain, recognize.NewCSDRecognizer(p.Diagram()), p.trace)
 		})
 		return p.dbCSD
 	}
@@ -198,7 +210,11 @@ func extractor(kind ExtractorKind) pattern.Extractor {
 // Mine runs one approach end to end under the given mining parameters.
 func (p *Pipeline) Mine(a Approach, params pattern.Params) []pattern.Pattern {
 	db := p.Database(a.Recognizer)
-	return extractor(a.Extractor).Extract(db, params)
+	ex := extractor(a.Extractor)
+	if te, ok := ex.(pattern.TracedExtractor); ok {
+		return te.ExtractTraced(db, params, p.trace)
+	}
+	return ex.Extract(db, params)
 }
 
 // MineAll runs all six approaches under the same mining parameters; the

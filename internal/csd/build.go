@@ -6,6 +6,7 @@ import (
 
 	"csdm/internal/geo"
 	"csdm/internal/index"
+	"csdm/internal/obs"
 	"csdm/internal/poi"
 )
 
@@ -13,26 +14,54 @@ import (
 // stay points derived from a trajectory corpus (§4.1). Stay points only
 // drive the popularity model; they are not stored.
 func Build(pois []poi.POI, stays []geo.Point, params Params) *Diagram {
+	return BuildTraced(pois, stays, params, nil)
+}
+
+// BuildTraced is Build with telemetry: each construction stage —
+// popularity model, popularity clustering (Algorithm 1), semantic
+// purification (Algorithm 2), unit merging — records a span under
+// "csd.build", with counters for clusters grown, purification splits,
+// units merged and singletons kept. A nil trace is a no-op.
+func BuildTraced(pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace) *Diagram {
+	root := tr.Start("csd.build")
+	defer root.End()
+
 	d := &Diagram{
 		Params: params,
 		POIs:   pois,
 		kernel: newKernelFor(params),
 	}
+	sp := root.Start("popularity")
 	d.Pop = Popularity(pois, stays, d.kernel)
+	sp.End()
 
+	sp = root.Start("clustering")
 	clusters, leftover := d.popularityClusters()
+	sp.End()
+	tr.Add("csd.clusters.grown", int64(len(clusters)))
+
 	if !params.SkipPurification {
-		clusters = d.purify(clusters)
+		sp = root.Start("purification")
+		clusters = d.purify(clusters, tr)
+		sp.End()
 	}
 	if !params.SkipMerging {
+		sp = root.Start("merging")
+		before := len(clusters)
 		clusters, leftover = d.merge(clusters, leftover)
+		sp.End()
+		tr.Add("csd.units.merged", int64(before-len(clusters)))
 	}
 	if params.KeepSingletons {
+		tr.Add("csd.singletons.kept", int64(len(leftover)))
 		for _, i := range leftover {
 			clusters = append(clusters, []int{i})
 		}
 	}
+	sp = root.Start("finalize")
 	d.finalize(clusters)
+	sp.End()
+	tr.Add("csd.units.final", int64(len(d.Units)))
 	return d
 }
 
@@ -114,7 +143,8 @@ func gridCell(eps float64) float64 {
 // are neither single-semantic nor spatially tight are split at the
 // median KL divergence from the center POI's local semantic
 // distribution, until every cluster qualifies as a fine-grained unit.
-func (d *Diagram) purify(clusters [][]int) [][]int {
+// KL and fallback-major splits are counted on tr (nil-safe).
+func (d *Diagram) purify(clusters [][]int, tr *obs.Trace) [][]int {
 	// The paper picks clusters randomly; a work stack is equivalent and
 	// deterministic.
 	work := append([][]int(nil), clusters...)
@@ -137,6 +167,9 @@ func (d *Diagram) purify(clusters [][]int) [][]int {
 				units = append(units, ci)
 				continue
 			}
+			tr.Add("csd.purify.major_splits", 1)
+		} else {
+			tr.Add("csd.purify.kl_splits", 1)
 		}
 		work = append(work, kept, split)
 	}

@@ -115,10 +115,11 @@ type Histogram struct {
 // of the given width starting at lo — Figure 9 uses 20 bins of width 5
 // over [0, 100].
 func SparsityHistogram(ps []pattern.Pattern, lo, width float64, nBins int) Histogram {
-	h := Histogram{Lo: lo, Width: width, Counts: make([]int, nBins)}
-	if nBins == 0 || width <= 0 {
+	h := Histogram{Lo: lo, Width: width}
+	if nBins <= 0 || width <= 0 {
 		return h
 	}
+	h.Counts = make([]int, nBins)
 	for _, p := range ps {
 		bin := int(math.Floor((SpatialSparsity(p) - lo) / width))
 		if bin < 0 {

@@ -143,6 +143,27 @@ func TestSparsityHistogramBinning(t *testing.T) {
 	}
 }
 
+// TestSparsityHistogramDegenerateBins is a regression test: a negative
+// nBins used to reach make([]int, nBins) before the guard and panic.
+func TestSparsityHistogramDegenerateBins(t *testing.T) {
+	ps := []pattern.Pattern{{Groups: [][]trajectory.StayPoint{
+		{stay(0, 0, home), stay(5, 0, home)},
+	}}}
+	for _, nBins := range []int{-1, -100, 0} {
+		h := SparsityHistogram(ps, 0, 5, nBins)
+		if len(h.Counts) != 0 {
+			t.Errorf("nBins=%d: Counts = %v, want empty", nBins, h.Counts)
+		}
+		if h.Lo != 0 || h.Width != 5 {
+			t.Errorf("nBins=%d: bounds not preserved: %+v", nBins, h)
+		}
+	}
+	// A non-positive width is equally degenerate regardless of nBins.
+	if h := SparsityHistogram(ps, 0, 0, 10); len(h.Counts) != 0 {
+		t.Errorf("zero width: Counts = %v, want empty", h.Counts)
+	}
+}
+
 func TestBoxStats(t *testing.T) {
 	b := Box([]float64{1, 2, 3, 4, 5})
 	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Mean != 3 || b.N != 5 {

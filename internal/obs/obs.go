@@ -1,0 +1,314 @@
+// Package obs is the pipeline telemetry layer: hierarchical wall-time
+// spans plus atomically updated named counters and gauges, collected
+// into a Trace that renders as an indented text report or as JSON.
+//
+// Every method is nil-safe: a nil *Trace — and the nil *Span that its
+// Start returns — is a complete no-op, so instrumented code threads a
+// trace unconditionally and never branches on whether telemetry is on.
+// The nil fast path is a single pointer comparison, keeping untraced
+// pipeline runs at their uninstrumented speed.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace owns the spans, counters and gauges of one pipeline run. The
+// zero value is not useful; use New. All methods are safe for
+// concurrent use — extraction stages update counters from worker
+// goroutines.
+type Trace struct {
+	mu    sync.Mutex
+	roots []*Span
+
+	counters sync.Map // string -> *int64
+	gauges   sync.Map // string -> *uint64 (math.Float64bits)
+}
+
+// New returns an empty trace ready to collect telemetry.
+func New() *Trace { return &Trace{} }
+
+// Start opens a root span. On a nil trace it returns a nil span, whose
+// methods are all no-ops.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{trace: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Add increments the named counter by delta, creating it at zero on
+// first use.
+func (t *Trace) Add(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	v, ok := t.counters.Load(name)
+	if !ok {
+		v, _ = t.counters.LoadOrStore(name, new(int64))
+	}
+	atomic.AddInt64(v.(*int64), delta)
+}
+
+// Counter returns the named counter's current value (zero when the
+// counter was never incremented).
+func (t *Trace) Counter(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	v, ok := t.counters.Load(name)
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(v.(*int64))
+}
+
+// Counters snapshots every counter.
+func (t *Trace) Counters() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]int64)
+	t.counters.Range(func(k, v any) bool {
+		out[k.(string)] = atomic.LoadInt64(v.(*int64))
+		return true
+	})
+	return out
+}
+
+// SetGauge records the latest value of the named gauge.
+func (t *Trace) SetGauge(name string, value float64) {
+	if t == nil {
+		return
+	}
+	v, ok := t.gauges.Load(name)
+	if !ok {
+		v, _ = t.gauges.LoadOrStore(name, new(uint64))
+	}
+	atomic.StoreUint64(v.(*uint64), math.Float64bits(value))
+}
+
+// Gauge returns the named gauge's latest value and whether it was set.
+func (t *Trace) Gauge(name string) (float64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	v, ok := t.gauges.Load(name)
+	if !ok {
+		return 0, false
+	}
+	return math.Float64frombits(atomic.LoadUint64(v.(*uint64))), true
+}
+
+// Gauges snapshots every gauge.
+func (t *Trace) Gauges() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	t.gauges.Range(func(k, v any) bool {
+		out[k.(string)] = math.Float64frombits(atomic.LoadUint64(v.(*uint64)))
+		return true
+	})
+	return out
+}
+
+// Span is one timed region of the pipeline. Spans nest: children are
+// opened with Start and closed with End. A nil *Span is a no-op.
+type Span struct {
+	trace *Trace
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	children []*Span
+	ended    bool
+	dur      time.Duration
+}
+
+// Start opens a child span.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{trace: s.trace, name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its wall time. Ending twice is harmless.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// Add increments a counter on the span's trace — a convenience so
+// stage code holding only a span can still count.
+func (s *Span) Add(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.trace.Add(name, delta)
+}
+
+// Name returns the span's name ("" for a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's wall time; for a still-open span, the
+// time elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SpanSnapshot is the serializable form of one span.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	Millis   float64        `json:"ms"`
+	Running  bool           `json:"running,omitempty"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot is the serializable form of a whole trace.
+type Snapshot struct {
+	Spans    []SpanSnapshot     `json:"spans"`
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	running := !s.ended
+	dur := s.dur
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if running {
+		dur = time.Since(s.start)
+	}
+	snap := SpanSnapshot{
+		Name:    s.name,
+		Millis:  float64(dur) / float64(time.Millisecond),
+		Running: running,
+	}
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot())
+	}
+	return snap
+}
+
+// Snapshot captures the trace's current spans, counters and gauges.
+// Open spans report their elapsed time so far, so a live debug
+// endpoint can snapshot mid-run.
+func (t *Trace) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	snap := Snapshot{Counters: t.Counters(), Gauges: t.Gauges()}
+	for _, r := range roots {
+		snap.Spans = append(snap.Spans, r.snapshot())
+	}
+	return snap
+}
+
+// MarshalJSON renders the trace's snapshot.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.Snapshot())
+}
+
+// WriteText writes the indented stage report: the span tree with wall
+// times, then counters and gauges sorted by name.
+func (t *Trace) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	snap := t.Snapshot()
+	var b strings.Builder
+	if len(snap.Spans) > 0 {
+		b.WriteString("spans:\n")
+		for _, s := range snap.Spans {
+			writeSpanText(&b, s, 1)
+		}
+	}
+	if len(snap.Counters) > 0 {
+		b.WriteString("counters:\n")
+		names := make([]string, 0, len(snap.Counters))
+		for n := range snap.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-52s %d\n", n, snap.Counters[n])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		names := make([]string, 0, len(snap.Gauges))
+		for n := range snap.Gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-52s %g\n", n, snap.Gauges[n])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSpanText(b *strings.Builder, s SpanSnapshot, depth int) {
+	indent := strings.Repeat("  ", depth)
+	state := ""
+	if s.Running {
+		state = " (running)"
+	}
+	fmt.Fprintf(b, "%s%-*s %9.1fms%s\n", indent, 54-2*depth, s.Name, s.Millis, state)
+	for _, c := range s.Children {
+		writeSpanText(b, c, depth+1)
+	}
+}
+
+// Report returns the text report as a string ("" for a nil trace).
+func (t *Trace) Report() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	t.WriteText(&b)
+	return b.String()
+}

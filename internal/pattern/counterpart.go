@@ -3,6 +3,7 @@ package pattern
 import (
 	"csdm/internal/cluster"
 	"csdm/internal/geo"
+	"csdm/internal/obs"
 	"csdm/internal/trajectory"
 )
 
@@ -30,15 +31,20 @@ func (c *CounterpartCluster) Name() string { return "CounterpartCluster" }
 
 // Extract implements Extractor.
 func (c *CounterpartCluster) Extract(db []trajectory.SemanticTrajectory, params Params) []Pattern {
-	params = params.normalized()
-	out := refineAll(minePrefixSpan(db, params), func(pa coarsePattern) []Pattern {
-		return c.refine(pa, params)
-	})
-	return finalize(db, out, params)
+	return c.ExtractTraced(db, params, nil)
 }
 
-// refine runs Algorithm 4 lines 3–20 on one coarse pattern.
-func (c *CounterpartCluster) refine(pa coarsePattern, params Params) []Pattern {
+// ExtractTraced implements TracedExtractor.
+func (c *CounterpartCluster) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
+	params = params.normalized()
+	return extractStages(c.Name(), db, params, tr, func(pa coarsePattern) []Pattern {
+		return c.refine(pa, params, tr)
+	})
+}
+
+// refine runs Algorithm 4 lines 3–20 on one coarse pattern, counting
+// gathered counterpart candidate sets and σ/ρ prunes on tr.
+func (c *CounterpartCluster) refine(pa coarsePattern, params Params, tr *obs.Trace) []Pattern {
 	m := len(pa.items)
 	n := len(pa.stays)
 	if n < params.Sigma {
@@ -58,6 +64,7 @@ func (c *CounterpartCluster) refine(pa coarsePattern, params Params) []Pattern {
 
 	removed := make([]bool, n) // "pa ← pa − …" bookkeeping
 	var out []Pattern
+	var candidates, pruned int64
 
 	for i := 0; i < n; i++ {
 		if removed[i] {
@@ -111,7 +118,9 @@ func (c *CounterpartCluster) refine(pa coarsePattern, params Params) []Pattern {
 		for _, j := range candidate {
 			removed[j] = true
 		}
+		candidates++
 		if !valid || len(candidate) < params.Sigma {
+			pruned++
 			continue
 		}
 		// Lines 18–20: representative points form the fine pattern.
@@ -121,5 +130,8 @@ func (c *CounterpartCluster) refine(pa coarsePattern, params Params) []Pattern {
 		}
 		out = append(out, buildPattern(pa.items, support))
 	}
+	pfx := "extract." + c.Name()
+	tr.Add(pfx+".candidates", candidates)
+	tr.Add(pfx+".pruned", pruned)
 	return out
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"csdm/internal/geo"
+	"csdm/internal/obs"
 	"csdm/internal/poi"
 	"csdm/internal/seqpattern"
 	"csdm/internal/trajectory"
@@ -83,6 +84,42 @@ type Extractor interface {
 	Name() string
 	// Extract mines all fine-grained patterns under the given params.
 	Extract(db []trajectory.SemanticTrajectory, params Params) []Pattern
+}
+
+// TracedExtractor is an Extractor that can record telemetry: stage
+// spans under "extract.<name>" plus counters for coarse patterns
+// mined, fine candidates generated, candidates pruned by the σ/ρ
+// thresholds, and patterns surviving. All extractors in this package
+// implement it; a nil trace degrades to plain Extract.
+type TracedExtractor interface {
+	Extractor
+	// ExtractTraced mines like Extract, recording telemetry on tr.
+	ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern
+}
+
+// extractStages runs the shared coarse-detection → refinement →
+// closure skeleton with spans and counters keyed by the extractor
+// name. refine receives the trace so per-candidate counts land on the
+// same counters from the refinement workers.
+func extractStages(name string, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, refine func(coarsePattern) []Pattern) []Pattern {
+	root := tr.Start("extract." + name)
+	defer root.End()
+
+	sp := root.Start("prefixspan")
+	coarse := minePrefixSpan(db, params)
+	sp.End()
+	tr.Add("extract."+name+".coarse", int64(len(coarse)))
+
+	sp = root.Start("refine")
+	out := refineAll(coarse, refine)
+	sp.End()
+
+	sp = root.Start("closure")
+	final := finalize(db, out, params)
+	sp.End()
+	tr.Add("extract."+name+".deduped", int64(len(out)-len(final)))
+	tr.Add("extract."+name+".patterns", int64(len(final)))
+	return final
 }
 
 // coarsePattern is one PrefixSpan result resolved to stay points:

@@ -3,6 +3,7 @@ package pattern
 import (
 	"csdm/internal/cluster"
 	"csdm/internal/geo"
+	"csdm/internal/obs"
 	"csdm/internal/trajectory"
 )
 
@@ -26,15 +27,19 @@ func (s *SDBSCAN) Name() string { return "SDBSCAN" }
 
 // Extract implements Extractor.
 func (s *SDBSCAN) Extract(db []trajectory.SemanticTrajectory, params Params) []Pattern {
+	return s.ExtractTraced(db, params, nil)
+}
+
+// ExtractTraced implements TracedExtractor.
+func (s *SDBSCAN) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
 	params = params.normalized()
 	minPts := s.MinPts
 	if minPts <= 0 {
 		minPts = params.Sigma
 	}
-	out := refineAll(minePrefixSpan(db, params), func(pa coarsePattern) []Pattern {
+	return extractStages(s.Name(), db, params, tr, func(pa coarsePattern) []Pattern {
 		return refineByModes(pa, params, func(pts []geo.Point) []int {
 			return cluster.DBSCAN(pts, s.Eps, minPts).Labels
-		})
+		}, tr, "extract."+s.Name())
 	})
-	return finalize(db, out, params)
 }

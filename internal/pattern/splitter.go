@@ -5,6 +5,7 @@ import (
 
 	"csdm/internal/cluster"
 	"csdm/internal/geo"
+	"csdm/internal/obs"
 	"csdm/internal/trajectory"
 )
 
@@ -26,20 +27,26 @@ func (s *Splitter) Name() string { return "Splitter" }
 
 // Extract implements Extractor.
 func (s *Splitter) Extract(db []trajectory.SemanticTrajectory, params Params) []Pattern {
+	return s.ExtractTraced(db, params, nil)
+}
+
+// ExtractTraced implements TracedExtractor.
+func (s *Splitter) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
 	params = params.normalized()
-	out := refineAll(minePrefixSpan(db, params), func(pa coarsePattern) []Pattern {
+	return extractStages(s.Name(), db, params, tr, func(pa coarsePattern) []Pattern {
 		return refineByModes(pa, params, func(pts []geo.Point) []int {
 			return cluster.MeanShift(pts, s.Bandwidth).Labels
-		})
+		}, tr, "extract."+s.Name())
 	})
-	return finalize(db, out, params)
 }
 
 // refineByModes groups a coarse pattern's trajectories by the tuple of
 // per-position cluster labels produced by clusterFn, then applies the
 // universal σ/δ_t/ρ filters. Both Splitter and SDBSCAN share this
-// skeleton; they differ only in the clustering strategy (§2).
-func refineByModes(pa coarsePattern, params Params, clusterFn func([]geo.Point) []int) []Pattern {
+// skeleton; they differ only in the clustering strategy (§2). Label
+// tuples form the candidate fine patterns; candidate and prune counts
+// land on tr under pfx (nil-safe).
+func refineByModes(pa coarsePattern, params Params, clusterFn func([]geo.Point) []int, tr *obs.Trace, pfx string) []Pattern {
 	m := len(pa.items)
 	n := len(pa.stays)
 	if n < params.Sigma {
@@ -81,9 +88,11 @@ func refineByModes(pa coarsePattern, params Params, clusterFn func([]geo.Point) 
 	sort.Strings(keys)
 
 	var out []Pattern
+	var pruned int64
 	for _, ks := range keys {
 		members := groups[ks]
 		if len(members) < params.Sigma {
+			pruned++
 			continue
 		}
 		// Density threshold ρ on every position group.
@@ -98,6 +107,7 @@ func refineByModes(pa coarsePattern, params Params, clusterFn func([]geo.Point) 
 			}
 		}
 		if !dense {
+			pruned++
 			continue
 		}
 		support := make([][]trajectory.StayPoint, len(members))
@@ -106,5 +116,7 @@ func refineByModes(pa coarsePattern, params Params, clusterFn func([]geo.Point) 
 		}
 		out = append(out, buildPattern(pa.items, support))
 	}
+	tr.Add(pfx+".candidates", int64(len(keys)))
+	tr.Add(pfx+".pruned", pruned)
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"csdm/internal/geo"
+	"csdm/internal/obs"
 	"csdm/internal/poi"
 	"csdm/internal/seqpattern"
 	"csdm/internal/trajectory"
@@ -38,6 +39,13 @@ func (t *TPattern) Name() string { return "T-Pattern" }
 // extractors' (spatial+temporal containment only, since there are no
 // tags to constrain).
 func (t *TPattern) Extract(db []trajectory.SemanticTrajectory, params Params) []Pattern {
+	return t.ExtractTraced(db, params, nil)
+}
+
+// ExtractTraced implements TracedExtractor.
+func (t *TPattern) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
+	root := tr.Start("extract." + t.Name())
+	defer root.End()
 	params = params.normalized()
 	cell := t.CellMeters
 	if cell <= 0 {
@@ -137,11 +145,15 @@ func (t *TPattern) Extract(db []trajectory.SemanticTrajectory, params Params) []
 		MaxLen:     params.MaxLen,
 	})
 
+	pfx := "extract." + t.Name()
+	tr.Add(pfx+".coarse", int64(len(mined)))
 	var out []Pattern
+	var candidates, pruned int64
 	for _, m := range mined {
 		if containsItem(m.Items, noROI) {
 			continue
 		}
+		candidates++
 		var support [][]trajectory.StayPoint
 		for si, seqID := range m.SeqIDs {
 			stays := make([]trajectory.StayPoint, len(m.Items))
@@ -155,6 +167,7 @@ func (t *TPattern) Extract(db []trajectory.SemanticTrajectory, params Params) []
 			support = append(support, stays)
 		}
 		if len(support) < params.Sigma {
+			pruned++
 			continue
 		}
 		// ρ density check per position.
@@ -169,10 +182,14 @@ func (t *TPattern) Extract(db []trajectory.SemanticTrajectory, params Params) []
 			}
 		}
 		if !okDense {
+			pruned++
 			continue
 		}
 		out = append(out, buildPattern(make([]poi.Semantics, len(m.Items)), support))
 	}
+	tr.Add(pfx+".candidates", candidates)
+	tr.Add(pfx+".pruned", pruned)
+	tr.Add(pfx+".patterns", int64(len(out)))
 	return out
 }
 

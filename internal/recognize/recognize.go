@@ -7,6 +7,7 @@ package recognize
 
 import (
 	"csdm/internal/geo"
+	"csdm/internal/obs"
 	"csdm/internal/poi"
 	"csdm/internal/trajectory"
 )
@@ -34,7 +35,39 @@ func Annotate(db []trajectory.SemanticTrajectory, r Recognizer) {
 // trajectories: chain card-linked journeys (§5), then recognize every
 // stay point.
 func AnnotateJourneys(js []trajectory.Journey, chain trajectory.ChainParams, r Recognizer) []trajectory.SemanticTrajectory {
+	return AnnotateJourneysTraced(js, chain, r, nil)
+}
+
+// AnnotateJourneysTraced is AnnotateJourneys with telemetry: a
+// "recognize.<name>" span with chain and annotate children, plus
+// counters for the stays the recognizer annotated versus left unknown
+// (the empty property). A nil trace is a no-op.
+func AnnotateJourneysTraced(js []trajectory.Journey, chain trajectory.ChainParams, r Recognizer, tr *obs.Trace) []trajectory.SemanticTrajectory {
+	root := tr.Start("recognize." + r.Name())
+	defer root.End()
+
+	sp := root.Start("chain")
 	db := trajectory.Chain(js, chain)
+	sp.End()
+
+	sp = root.Start("annotate")
 	Annotate(db, r)
+	sp.End()
+
+	if tr != nil {
+		var annotated, unknown int64
+		for _, st := range db {
+			for _, stay := range st.Stays {
+				if stay.S.IsEmpty() {
+					unknown++
+				} else {
+					annotated++
+				}
+			}
+		}
+		tr.Add("recognize."+r.Name()+".stays.annotated", annotated)
+		tr.Add("recognize."+r.Name()+".stays.unknown", unknown)
+		tr.Add("recognize."+r.Name()+".trajectories", int64(len(db)))
+	}
 	return db
 }
