@@ -8,6 +8,8 @@ package csdm
 // the timings. The shared synthetic environment is built once.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -321,7 +323,7 @@ func BenchmarkIndexComparison(b *testing.B) {
 	stays := env.Pipeline.StayPoints()
 	for _, kind := range []index.Kind{index.KindGrid, index.KindKDTree, index.KindRTree} {
 		b.Run(kind.String(), func(b *testing.B) {
-			idx := index.New(kind, pts)
+			idx := index.New(kind, pts, 100)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				idx.Within(stays[i%len(stays)], 100)
@@ -331,18 +333,30 @@ func BenchmarkIndexComparison(b *testing.B) {
 }
 
 // BenchmarkMine times the extraction stage alone (the recognition
-// artifacts are prebuilt), with no trace attached — the baseline the
-// telemetry layer's nil no-op path is held against.
+// artifacts are prebuilt), with no trace attached. The sub-benchmarks
+// pin the worker budget: workers-1 is the sequential baseline and
+// workers-N uses every core, so comparing the two lines measures the
+// execution layer's speedup on the same (bit-identical) mining output.
 func BenchmarkMine(b *testing.B) {
-	env := sharedEnv()
 	params := benchParams()
-	env.Pipeline.Database(core.RecCSD)
-	b.ResetTimer()
-	var n int
-	for i := 0; i < b.N; i++ {
-		n = len(env.Pipeline.Mine(core.CSDPM, params))
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
 	}
-	b.ReportMetric(float64(n), "patterns")
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = workers
+			env := experiments.SetupConfig(benchScale(), cfg)
+			env.Pipeline.Database(core.RecCSD)
+			b.ResetTimer()
+			var n int
+			for i := 0; i < b.N; i++ {
+				n = len(env.Pipeline.Mine(core.CSDPM, params))
+			}
+			b.ReportMetric(float64(n), "patterns")
+		})
+	}
 }
 
 // BenchmarkEndToEndCSDPM times the full pipeline — diagram, recognition,

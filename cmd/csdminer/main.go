@@ -12,10 +12,13 @@
 //	mine       extract fine-grained patterns and report them
 //
 // Progress and timing messages go to stderr; stdout carries only the
-// machine-parseable results. -trace prints the per-stage telemetry
-// report to stderr after the run; -debug-addr serves net/http/pprof,
-// expvar (the live counters under "csdm") and /debug/trace (the span
-// tree as JSON) for inspecting a long run in flight.
+// machine-parseable results. -workers bounds the parallelism of every
+// pipeline stage (1 = sequential; results are identical either way)
+// and -index selects the spatial-index backend (grid, kdtree, rtree).
+// -trace prints the per-stage telemetry report to stderr after the
+// run; -debug-addr serves net/http/pprof, expvar (the live counters
+// under "csdm") and /debug/trace (the span tree as JSON) for
+// inspecting a long run in flight.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 
 	"csdm/internal/core"
 	"csdm/internal/csd"
+	"csdm/internal/index"
 	"csdm/internal/metrics"
 	"csdm/internal/obs"
 	"csdm/internal/pattern"
@@ -61,6 +65,8 @@ func main() {
 		loadDiagram = flag.String("load-diagram", "", "reuse a diagram previously written with -save-diagram")
 		traceFlag   = flag.Bool("trace", false, "print the per-stage telemetry report to stderr")
 		debugAddr   = flag.String("debug-addr", "", "serve pprof, expvar and /debug/trace on this address (e.g. localhost:6060)")
+		workers     = flag.Int("workers", 0, "worker budget for parallel pipeline stages (0 = all cores, 1 = sequential)")
+		indexKind   = flag.String("index", "grid", "spatial index backend (grid, kdtree, rtree)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -76,8 +82,18 @@ func main() {
 		serveDebug(*debugAddr, tr)
 	}
 
+	cfg := core.DefaultConfig()
+	if *workers != 0 {
+		cfg.Workers = *workers
+	}
+	kind, err := index.ParseKind(*indexKind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Index = kind
+
 	pois, journeys := loadInputs(*poiPath, *journeyPath)
-	pipe := core.NewPipeline(pois, journeys, core.DefaultConfig())
+	pipe := core.NewPipeline(pois, journeys, cfg)
 	pipe.SetTrace(tr)
 	if *loadDiagram != "" {
 		f, err := os.Open(*loadDiagram)

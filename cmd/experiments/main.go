@@ -6,6 +6,7 @@
 //	experiments [-exp all|table1|table3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig14g|fig14h]
 //	            [-pois N] [-passengers N] [-days N] [-seed N]
 //	            [-sigma N] [-rho F] [-deltat D]
+//	            [-workers N] [-index grid|kdtree|rtree]
 //	            [-timings timings.json]
 //
 // -timings writes a machine-readable JSON record of the run: wall time
@@ -25,6 +26,7 @@ import (
 
 	"csdm/internal/core"
 	"csdm/internal/experiments"
+	"csdm/internal/index"
 	"csdm/internal/obs"
 	"csdm/internal/pattern"
 	"csdm/internal/render"
@@ -57,6 +59,8 @@ func main() {
 		deltaT     = flag.Duration("deltat", experiments.MiningParams().DeltaT, "temporal constraint δ_t")
 		svgDir     = flag.String("svg-dir", "", "also write fig6.svg (CSD units) and fig14.svg (patterns) into this directory")
 		timings    = flag.String("timings", "", "write per-stage timing JSON (stages + pipeline telemetry) to this file")
+		workers    = flag.Int("workers", 0, "worker budget for parallel pipeline stages (0 = all cores, 1 = sequential)")
+		indexKind  = flag.String("index", "grid", "spatial index backend (grid, kdtree, rtree)")
 	)
 	flag.Parse()
 
@@ -66,10 +70,21 @@ func main() {
 	params.Rho = *rho
 	params.DeltaT = *deltaT
 
+	pipeCfg := core.DefaultConfig()
+	if *workers != 0 {
+		pipeCfg.Workers = *workers
+	}
+	kind, err := index.ParseKind(*indexKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pipeCfg.Index = kind
+
 	start := time.Now()
 	fmt.Printf("generating synthetic Shanghai: %d POIs, %d passengers, %d days (seed %d)\n",
 		scale.NumPOIs, scale.NumPassengers, scale.Days, scale.Seed)
-	env := experiments.Setup(scale)
+	env := experiments.SetupConfig(scale, pipeCfg)
 	setupSeconds := time.Since(start).Seconds()
 	fmt.Printf("workload ready: %s (%.1fs)\n", env.Pipeline.Describe(), setupSeconds)
 

@@ -1,6 +1,7 @@
 package csdm
 
 import (
+	"context"
 	"io"
 
 	"csdm/internal/core"
@@ -38,8 +39,11 @@ type (
 	MiningParams = pattern.Params
 	// Summary aggregates the four evaluation metrics over a result set.
 	Summary = metrics.Summary
-	// Config bundles the construction parameters of the pipeline.
+	// Config bundles the construction parameters of the pipeline,
+	// including the Workers budget and the spatial Index backend.
 	Config = core.Config
+	// ApproachResult pairs an approach with its mined patterns.
+	ApproachResult = core.ApproachResult
 	// Approach selects one of the six systems of the paper's §5.
 	Approach = core.Approach
 	// Diagram is a built City Semantic Diagram.
@@ -131,10 +135,23 @@ func (m *Miner) Mine(a Approach, params MiningParams) []Pattern {
 	return m.pipeline.Mine(a, params)
 }
 
+// MineContext is Mine under a cancellation context: the pipeline runs
+// on the configured worker pool and a canceled ctx aborts promptly with
+// ctx.Err().
+func (m *Miner) MineContext(ctx context.Context, a Approach, params MiningParams) ([]Pattern, error) {
+	return m.pipeline.MineCtx(ctx, a, params)
+}
+
 // MineAll runs all six approaches under the same parameters, keyed by
 // the approach's paper name (e.g. "CSD-PM").
 func (m *Miner) MineAll(params MiningParams) map[string][]Pattern {
 	return m.pipeline.MineAll(params)
+}
+
+// MineAllContext runs all six approaches under the shared worker budget
+// and a cancellation context, returning results in Approaches() order.
+func (m *Miner) MineAllContext(ctx context.Context, params MiningParams) ([]ApproachResult, error) {
+	return m.pipeline.MineAllCtx(ctx, params)
 }
 
 // Database returns the annotated semantic-trajectory database built by

@@ -10,6 +10,9 @@
 package cluster
 
 import (
+	"context"
+
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/index"
 )
@@ -51,6 +54,15 @@ func (r Result) NoiseCount() int {
 // a core point when its eps-neighborhood, itself included, holds at
 // least minPts points).
 func DBSCAN(pts []geo.Point, eps float64, minPts int) Result {
+	return DBSCANWith(pts, eps, minPts, exec.Options{})
+}
+
+// DBSCANWith is DBSCAN with execution-layer options: the spatial index
+// backend comes from opt.Index, and every point's eps-neighborhood —
+// the dominant cost — is precomputed on opt's worker pool before the
+// sequential cluster-growth phase consumes the neighborhoods in the
+// usual order. The labeling is identical for any worker budget.
+func DBSCANWith(pts []geo.Point, eps float64, minPts int, opt exec.Options) Result {
 	labels := make([]int, len(pts))
 	for i := range labels {
 		labels[i] = Noise
@@ -58,7 +70,8 @@ func DBSCAN(pts []geo.Point, eps float64, minPts int) Result {
 	if len(pts) == 0 || eps <= 0 || minPts <= 0 {
 		return Result{Labels: labels}
 	}
-	idx := index.NewGrid(pts, gridCellFor(eps))
+	idx := index.New(opt.Index, pts, eps)
+	neighbors := neighborhoods(idx, pts, eps, opt.Workers)
 
 	visited := make([]bool, len(pts))
 	next := 0
@@ -67,13 +80,12 @@ func DBSCAN(pts []geo.Point, eps float64, minPts int) Result {
 			continue
 		}
 		visited[i] = true
-		neighbors := idx.Within(pts[i], eps)
-		if len(neighbors) < minPts {
+		if len(neighbors[i]) < minPts {
 			continue
 		}
 		labels[i] = next
 		// Expand the cluster with a seed queue.
-		queue := append([]int(nil), neighbors...)
+		queue := append([]int(nil), neighbors[i]...)
 		for qi := 0; qi < len(queue); qi++ {
 			j := queue[qi]
 			if labels[j] == Noise {
@@ -84,8 +96,7 @@ func DBSCAN(pts []geo.Point, eps float64, minPts int) Result {
 			}
 			visited[j] = true
 			labels[j] = next
-			jn := idx.Within(pts[j], eps)
-			if len(jn) >= minPts {
+			if jn := neighbors[j]; len(jn) >= minPts {
 				queue = append(queue, jn...)
 			}
 		}
@@ -94,10 +105,17 @@ func DBSCAN(pts []geo.Point, eps float64, minPts int) Result {
 	return Result{Labels: labels, NumClusters: next}
 }
 
-// gridCellFor picks a grid cell size matched to the query radius.
-func gridCellFor(eps float64) float64 {
-	if eps < 10 {
-		return 10
-	}
-	return eps
+// neighborhoods answers every point's eps range query up front on the
+// worker pool. The density-based algorithms query each point's
+// neighborhood exactly once, so precomputation does no extra work over
+// the lazy form — it only reorders it into an embarrassingly parallel
+// phase; slot i always holds point i's result, keeping downstream
+// iteration order worker-count independent.
+func neighborhoods(idx index.Index, pts []geo.Point, eps float64, workers int) [][]int {
+	out := make([][]int, len(pts))
+	_ = exec.ParallelFor(context.Background(), workers, len(pts), func(i int) error {
+		out[i] = idx.Within(pts[i], eps)
+		return nil
+	})
+	return out
 }

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"math"
 
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/index"
 )
@@ -23,6 +25,15 @@ const meanShiftMaxIter = 100
 // merged into one cluster. This is the top-down refinement strategy the
 // Splitter baseline uses to break coarse patterns apart.
 func MeanShift(pts []geo.Point, bandwidth float64) MeanShiftResult {
+	return MeanShiftWith(pts, bandwidth, exec.Options{})
+}
+
+// MeanShiftWith is MeanShift with execution-layer options: each point's
+// hill-climb is independent, so the climbs fan out over opt's worker
+// pool (modes[i] is point i's converged mode regardless of schedule);
+// the greedy mode merge that follows stays sequential. The clustering
+// is identical for any worker budget.
+func MeanShiftWith(pts []geo.Point, bandwidth float64, opt exec.Options) MeanShiftResult {
 	n := len(pts)
 	labels := make([]int, n)
 	if n == 0 || bandwidth <= 0 {
@@ -36,11 +47,11 @@ func MeanShift(pts []geo.Point, bandwidth float64) MeanShiftResult {
 	for i, p := range pts {
 		planar[i] = proj.ToMeters(p)
 	}
-	idx := index.NewGrid(pts, gridCellFor(bandwidth))
+	idx := index.New(opt.Index, pts, bandwidth)
 	tol := bandwidth * 0.01
 
 	modes := make([]geo.Meters, n)
-	for i := range pts {
+	_ = exec.ParallelFor(context.Background(), opt.Workers, n, func(i int) error {
 		cur := planar[i]
 		for iter := 0; iter < meanShiftMaxIter; iter++ {
 			neighbors := idx.Within(proj.ToPoint(cur), bandwidth)
@@ -60,7 +71,8 @@ func MeanShift(pts []geo.Point, bandwidth float64) MeanShiftResult {
 			cur = next
 		}
 		modes[i] = cur
-	}
+		return nil
+	})
 
 	// Merge modes within bandwidth/2 of each other (greedy union).
 	mergeR := bandwidth / 2

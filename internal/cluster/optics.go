@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/index"
 )
@@ -29,6 +30,14 @@ type OpticsResult struct {
 // Optics computes the OPTICS ordering of pts with the given generating
 // maximum radius maxEps (meters) and core threshold minPts.
 func Optics(pts []geo.Point, maxEps float64, minPts int) *OpticsResult {
+	return OpticsWith(pts, maxEps, minPts, exec.Options{})
+}
+
+// OpticsWith is Optics with execution-layer options: neighborhoods are
+// precomputed on opt's worker pool over an opt.Index backend, then the
+// sequential ordering phase walks them. The ordering and reachability
+// plot are identical for any worker budget.
+func OpticsWith(pts []geo.Point, maxEps float64, minPts int, opt exec.Options) *OpticsResult {
 	n := len(pts)
 	res := &OpticsResult{
 		pts:      pts,
@@ -44,7 +53,8 @@ func Optics(pts []geo.Point, maxEps float64, minPts int) *OpticsResult {
 	if n == 0 || maxEps <= 0 || minPts <= 0 {
 		return res
 	}
-	idx := index.NewGrid(pts, gridCellFor(maxEps))
+	idx := index.New(opt.Index, pts, maxEps)
+	nbrs := neighborhoods(idx, pts, maxEps, opt.Workers)
 	processed := make([]bool, n)
 
 	// All internal distance math runs in a local planar projection:
@@ -78,7 +88,7 @@ func Optics(pts []geo.Point, maxEps float64, minPts int) *OpticsResult {
 		}
 		processed[start] = true
 		res.Order = append(res.Order, start)
-		neighbors := idx.Within(pts[start], maxEps)
+		neighbors := nbrs[start]
 		res.CoreDist[start] = coreDist(start, neighbors)
 		if math.IsInf(res.CoreDist[start], 1) {
 			continue
@@ -92,7 +102,7 @@ func Optics(pts []geo.Point, maxEps float64, minPts int) *OpticsResult {
 			}
 			processed[cur] = true
 			res.Order = append(res.Order, cur)
-			curNeighbors := idx.Within(pts[cur], maxEps)
+			curNeighbors := nbrs[cur]
 			res.CoreDist[cur] = coreDist(cur, curNeighbors)
 			if !math.IsInf(res.CoreDist[cur], 1) {
 				update(res, curNeighbors, cur, seeds, processed)

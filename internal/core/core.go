@@ -8,11 +8,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"csdm/internal/csd"
+	"csdm/internal/exec"
 	"csdm/internal/geo"
+	"csdm/internal/index"
 	"csdm/internal/obs"
 	"csdm/internal/pattern"
 	"csdm/internal/poi"
@@ -89,6 +93,18 @@ type Config struct {
 	ROI recognize.ROIParams
 	// Chain parameterizes journey chaining (§5).
 	Chain trajectory.ChainParams
+	// Workers bounds the parallelism of every pipeline stage. Zero or
+	// negative means runtime.NumCPU(); one runs the whole pipeline
+	// sequentially. Every output is identical for any worker count.
+	Workers int
+	// Index selects the spatial-index backend of every stage.
+	Index index.Kind
+}
+
+// ExecOptions derives the execution-layer option bundle every stage
+// receives from the config.
+func (c Config) ExecOptions() exec.Options {
+	return exec.Options{Workers: c.Workers, Index: c.Index}
 }
 
 // DefaultConfig returns the paper's default construction parameters,
@@ -101,12 +117,50 @@ type Config struct {
 // "unknown" exactly where traffic is highest.
 func DefaultConfig() Config {
 	c := Config{
-		CSD:   csd.DefaultParams(),
-		ROI:   recognize.DefaultROIParams(),
-		Chain: trajectory.DefaultChainParams(),
+		CSD:     csd.DefaultParams(),
+		ROI:     recognize.DefaultROIParams(),
+		Chain:   trajectory.DefaultChainParams(),
+		Workers: runtime.NumCPU(),
+		Index:   index.KindGrid,
 	}
 	c.CSD.KeepSingletons = true
 	return c
+}
+
+// lazy is a build-once artifact cell. Unlike sync.Once, a build that
+// fails (e.g. a canceled context) does not poison the cell: the next
+// get retries, so a pipeline survives an aborted warm-up.
+type lazy[T any] struct {
+	mu   sync.Mutex
+	done bool
+	v    T
+}
+
+// get returns the cached value, building it first when absent. The
+// cell's lock is held across the build, so concurrent callers wait for
+// one build instead of duplicating it.
+func (l *lazy[T]) get(build func() (T, error)) (T, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return l.v, nil
+	}
+	v, err := build()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	l.v, l.done = v, true
+	return l.v, nil
+}
+
+// set installs v unless the cell is already built.
+func (l *lazy[T]) set(v T) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.done {
+		l.v, l.done = v, true
+	}
 }
 
 // Pipeline owns the inputs and the lazily built shared artifacts.
@@ -118,14 +172,11 @@ type Pipeline struct {
 	// trace is the optional telemetry sink (nil-safe no-op when absent).
 	trace *obs.Trace
 
-	once struct {
-		stays, diagram, roi, dbCSD, dbROI sync.Once
-	}
-	stays   []geo.Point
-	diagram *csd.Diagram
-	roi     *recognize.ROIRecognizer
-	dbCSD   []trajectory.SemanticTrajectory
-	dbROI   []trajectory.SemanticTrajectory
+	stays   lazy[[]geo.Point]
+	diagram lazy[*csd.Diagram]
+	roi     lazy[*recognize.ROIRecognizer]
+	dbCSD   lazy[[]trajectory.SemanticTrajectory]
+	dbROI   lazy[[]trajectory.SemanticTrajectory]
 }
 
 // SetTrace attaches a telemetry trace; every stage built afterwards
@@ -145,58 +196,74 @@ func NewPipeline(pois []poi.POI, journeys []trajectory.Journey, cfg Config) *Pip
 // StayPoints returns the pick-up/drop-off locations of every journey
 // (built once; the popularity model and ROI detection share them).
 func (p *Pipeline) StayPoints() []geo.Point {
-	p.once.stays.Do(func() {
-		p.stays = make([]geo.Point, 0, 2*len(p.journeys))
+	stays, _ := p.stays.get(func() ([]geo.Point, error) {
+		out := make([]geo.Point, 0, 2*len(p.journeys))
 		for _, j := range p.journeys {
-			p.stays = append(p.stays, j.Pickup, j.Dropoff)
+			out = append(out, j.Pickup, j.Dropoff)
 		}
+		return out, nil
 	})
-	return p.stays
+	return stays
 }
 
 // Diagram returns the City Semantic Diagram, building it on first use.
 func (p *Pipeline) Diagram() *csd.Diagram {
-	p.once.diagram.Do(func() {
-		p.diagram = csd.BuildTraced(p.pois, p.StayPoints(), p.cfg.CSD, p.trace)
+	d, _ := p.DiagramCtx(context.Background())
+	return d
+}
+
+// DiagramCtx is Diagram under a cancellation context: a canceled ctx
+// aborts an in-flight build with ctx.Err() without poisoning the cell —
+// a later call rebuilds.
+func (p *Pipeline) DiagramCtx(ctx context.Context) (*csd.Diagram, error) {
+	return p.diagram.get(func() (*csd.Diagram, error) {
+		return csd.BuildContext(ctx, p.pois, p.StayPoints(), p.cfg.CSD, p.trace, p.cfg.ExecOptions())
 	})
-	return p.diagram
 }
 
 // UseDiagram installs a pre-built (e.g. deserialized) diagram instead
 // of constructing one. It must be called before the first Diagram or
 // Database call; afterwards it has no effect.
-func (p *Pipeline) UseDiagram(d *csd.Diagram) {
-	p.once.diagram.Do(func() { p.diagram = d })
-}
+func (p *Pipeline) UseDiagram(d *csd.Diagram) { p.diagram.set(d) }
 
 // ROIRecognizer returns the hot-region baseline recognizer, building it
 // on first use.
 func (p *Pipeline) ROIRecognizer() *recognize.ROIRecognizer {
-	p.once.roi.Do(func() {
-		p.roi = recognize.NewROIRecognizer(p.StayPoints(), p.pois, p.cfg.ROI)
+	r, _ := p.roi.get(func() (*recognize.ROIRecognizer, error) {
+		return recognize.NewROIRecognizerWith(p.StayPoints(), p.pois, p.cfg.ROI, p.cfg.ExecOptions()), nil
 	})
-	return p.roi
+	return r
 }
 
 // Database returns the annotated semantic-trajectory database for the
 // given recognizer kind, building it on first use.
 func (p *Pipeline) Database(kind RecognizerKind) []trajectory.SemanticTrajectory {
+	db, _ := p.DatabaseCtx(context.Background(), kind)
+	return db
+}
+
+// DatabaseCtx is Database under a cancellation context; annotation runs
+// on the configured worker pool. A canceled ctx aborts with ctx.Err()
+// and leaves the artifact unbuilt.
+func (p *Pipeline) DatabaseCtx(ctx context.Context, kind RecognizerKind) ([]trajectory.SemanticTrajectory, error) {
 	switch kind {
 	case RecROI:
-		p.once.dbROI.Do(func() {
-			p.dbROI = recognize.AnnotateJourneysTraced(p.journeys, p.cfg.Chain, p.ROIRecognizer(), p.trace)
+		return p.dbROI.get(func() ([]trajectory.SemanticTrajectory, error) {
+			return recognize.AnnotateJourneysCtx(ctx, p.journeys, p.cfg.Chain, p.ROIRecognizer(), p.trace, p.cfg.ExecOptions())
 		})
-		return p.dbROI
 	default:
-		p.once.dbCSD.Do(func() {
-			p.dbCSD = recognize.AnnotateJourneysTraced(p.journeys, p.cfg.Chain, recognize.NewCSDRecognizer(p.Diagram()), p.trace)
+		return p.dbCSD.get(func() ([]trajectory.SemanticTrajectory, error) {
+			d, err := p.DiagramCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return recognize.AnnotateJourneysCtx(ctx, p.journeys, p.cfg.Chain, recognize.NewCSDRecognizer(d), p.trace, p.cfg.ExecOptions())
 		})
-		return p.dbCSD
 	}
 }
 
 // extractor instantiates the extraction stage for an approach.
-func extractor(kind ExtractorKind) pattern.Extractor {
+func extractor(kind ExtractorKind) pattern.ContextExtractor {
 	switch kind {
 	case ExtSplitter:
 		return pattern.NewSplitter()
@@ -209,35 +276,65 @@ func extractor(kind ExtractorKind) pattern.Extractor {
 
 // Mine runs one approach end to end under the given mining parameters.
 func (p *Pipeline) Mine(a Approach, params pattern.Params) []pattern.Pattern {
-	db := p.Database(a.Recognizer)
-	ex := extractor(a.Extractor)
-	if te, ok := ex.(pattern.TracedExtractor); ok {
-		return te.ExtractTraced(db, params, p.trace)
+	ps, _ := p.MineCtx(context.Background(), a, params)
+	return ps
+}
+
+// MineCtx is Mine under a cancellation context: recognition and
+// extraction run on the configured worker pool and a canceled ctx
+// aborts with ctx.Err().
+func (p *Pipeline) MineCtx(ctx context.Context, a Approach, params pattern.Params) ([]pattern.Pattern, error) {
+	db, err := p.DatabaseCtx(ctx, a.Recognizer)
+	if err != nil {
+		return nil, err
 	}
-	return ex.Extract(db, params)
+	return extractor(a.Extractor).ExtractCtx(ctx, db, params, p.trace, p.cfg.ExecOptions())
+}
+
+// ApproachResult pairs an approach with its mined patterns.
+type ApproachResult struct {
+	Approach Approach
+	Patterns []pattern.Pattern
 }
 
 // MineAll runs all six approaches under the same mining parameters; the
-// result is keyed by the approach's paper name. The shared recognition
-// artifacts are built first, then the six extractions run concurrently.
+// result is keyed by the approach's paper name.
 func (p *Pipeline) MineAll(params pattern.Params) map[string][]pattern.Pattern {
-	p.Database(RecCSD)
-	p.Database(RecROI)
-	out := make(map[string][]pattern.Pattern, 6)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for _, a := range Approaches() {
-		wg.Add(1)
-		go func(a Approach) {
-			defer wg.Done()
-			ps := p.Mine(a, params)
-			mu.Lock()
-			out[a.String()] = ps
-			mu.Unlock()
-		}(a)
+	res, _ := p.MineAllCtx(context.Background(), params)
+	out := make(map[string][]pattern.Pattern, len(res))
+	for _, r := range res {
+		out[r.Approach.String()] = r.Patterns
 	}
-	wg.Wait()
 	return out
+}
+
+// MineAllCtx runs all six approaches under the shared worker budget:
+// the shared recognition artifacts are built first, then the six
+// extractions fan out over the configured pool (bounded, unlike the
+// unbounded per-approach goroutines it replaces) and the results come
+// back in Approaches() order for stable experiment output.
+func (p *Pipeline) MineAllCtx(ctx context.Context, params pattern.Params) ([]ApproachResult, error) {
+	if _, err := p.DatabaseCtx(ctx, RecCSD); err != nil {
+		return nil, err
+	}
+	if _, err := p.DatabaseCtx(ctx, RecROI); err != nil {
+		return nil, err
+	}
+	as := Approaches()
+	opt := p.cfg.ExecOptions()
+	p.trace.SetGauge("index.backend", float64(opt.Index))
+	exec.Note(p.trace, len(as), exec.Workers(opt.Workers))
+	patterns, err := exec.ParallelMap(ctx, opt.Workers, len(as), func(i int) ([]pattern.Pattern, error) {
+		return p.MineCtx(ctx, as[i], params)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ApproachResult, len(as))
+	for i, a := range as {
+		out[i] = ApproachResult{Approach: a, Patterns: patterns[i]}
+	}
+	return out, nil
 }
 
 // Journeys returns the pipeline's journey log.

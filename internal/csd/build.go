@@ -1,9 +1,11 @@
 package csd
 
 import (
+	"context"
 	"math"
 	"sort"
 
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/index"
 	"csdm/internal/obs"
@@ -17,14 +19,25 @@ func Build(pois []poi.POI, stays []geo.Point, params Params) *Diagram {
 	return BuildTraced(pois, stays, params, nil)
 }
 
-// BuildTraced is Build with telemetry: each construction stage —
-// popularity model, popularity clustering (Algorithm 1), semantic
+// BuildTraced is Build with telemetry recorded on tr (nil-safe).
+func BuildTraced(pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace) *Diagram {
+	d, _ := BuildContext(context.Background(), pois, stays, params, tr, exec.Options{})
+	return d
+}
+
+// BuildContext is the full-control constructor: each construction stage
+// — popularity model, popularity clustering (Algorithm 1), semantic
 // purification (Algorithm 2), unit merging — records a span under
 // "csd.build", with counters for clusters grown, purification splits,
-// units merged and singletons kept. A nil trace is a no-op.
-func BuildTraced(pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace) *Diagram {
+// units merged and singletons kept. The popularity sums and the
+// purification split trees run on opt's worker pool; opt.Index selects
+// the spatial backend of every range structure built along the way. The
+// diagram is identical for any worker budget. A canceled ctx aborts
+// between units of work with ctx.Err() and a nil diagram.
+func BuildContext(ctx context.Context, pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace, opt exec.Options) (*Diagram, error) {
 	root := tr.Start("csd.build")
 	defer root.End()
+	tr.SetGauge("index.backend", float64(opt.Index))
 
 	d := &Diagram{
 		Params: params,
@@ -32,24 +45,38 @@ func BuildTraced(pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace
 		kernel: newKernelFor(params),
 	}
 	sp := root.Start("popularity")
-	d.Pop = Popularity(pois, stays, d.kernel)
+	pop, err := popularity(ctx, pois, stays, d.kernel, opt)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	d.Pop = pop
+	exec.Note(tr, len(pois), exec.Workers(opt.Workers))
 
 	sp = root.Start("clustering")
-	clusters, leftover := d.popularityClusters()
+	clusters, leftover, err := d.popularityClusters(ctx, opt.Index)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 	tr.Add("csd.clusters.grown", int64(len(clusters)))
 
 	if !params.SkipPurification {
 		sp = root.Start("purification")
-		clusters = d.purify(clusters, tr)
+		clusters, err = d.purify(ctx, clusters, tr, opt)
 		sp.End()
+		if err != nil {
+			return nil, err
+		}
 	}
 	if !params.SkipMerging {
 		sp = root.Start("merging")
 		before := len(clusters)
-		clusters, leftover = d.merge(clusters, leftover)
+		clusters, leftover, err = d.merge(ctx, clusters, leftover, opt.Index)
 		sp.End()
+		if err != nil {
+			return nil, err
+		}
 		tr.Add("csd.units.merged", int64(before-len(clusters)))
 	}
 	if params.KeepSingletons {
@@ -59,10 +86,10 @@ func BuildTraced(pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace
 		}
 	}
 	sp = root.Start("finalize")
-	d.finalize(clusters)
+	d.finalize(clusters, opt.Index)
 	sp.End()
 	tr.Add("csd.units.final", int64(len(d.Units)))
-	return d
+	return d, nil
 }
 
 // newKernelFor builds the diagram's Gaussian kernel from its params.
@@ -73,14 +100,19 @@ func newKernelFor(params Params) geo.GaussianKernel {
 // popularityClusters implements Algorithm 1 (Popularity Based
 // Clustering). It returns the coarse clusters (each a slice of POI
 // indices) and the leftover POIs that were consumed into sub-MinPts
-// clusters or never reached.
-func (d *Diagram) popularityClusters() (clusters [][]int, leftover []int) {
+// clusters or never reached. Cluster growth is inherently sequential
+// (each removal changes the candidate set), so the loop stays on one
+// goroutine and only polls ctx between seeds.
+func (d *Diagram) popularityClusters(ctx context.Context, kind index.Kind) (clusters [][]int, leftover []int, err error) {
 	n := len(d.POIs)
-	locIdx := index.NewGrid(poi.Locations(d.POIs), gridCell(d.Params.EpsP))
+	locIdx := index.New(kind, poi.Locations(d.POIs), d.Params.EpsP)
 	removed := make([]bool, n) // "P ← P − {p}" bookkeeping
 	inCluster := make([]bool, n)
 
 	for seed := 0; seed < n; seed++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if removed[seed] {
 			continue
 		}
@@ -118,7 +150,7 @@ func (d *Diagram) popularityClusters() (clusters [][]int, leftover []int) {
 			leftover = append(leftover, i)
 		}
 	}
-	return clusters, leftover
+	return clusters, leftover, nil
 }
 
 // availableWithin returns the not-yet-removed POIs within ε_p of POI i.
@@ -132,22 +164,38 @@ func (d *Diagram) availableWithin(locIdx index.Index, removed []bool, i int) []i
 	return out
 }
 
-func gridCell(eps float64) float64 {
-	if eps < 10 {
-		return 10
-	}
-	return eps
-}
-
 // purify implements Algorithm 2 (Semantic Purification): clusters that
 // are neither single-semantic nor spatially tight are split at the
 // median KL divergence from the center POI's local semantic
 // distribution, until every cluster qualifies as a fine-grained unit.
 // KL and fallback-major splits are counted on tr (nil-safe).
-func (d *Diagram) purify(clusters [][]int, tr *obs.Trace) [][]int {
-	// The paper picks clusters randomly; a work stack is equivalent and
-	// deterministic.
-	work := append([][]int(nil), clusters...)
+//
+// Each initial cluster's split tree is independent of the others, so
+// the clusters fan out over the worker pool. The sequential version
+// popped a shared LIFO stack seeded with all clusters, which processes
+// cluster n-1's tree first, then n-2's, and so on; concatenating the
+// per-cluster unit lists in reverse input order reproduces that unit
+// order exactly.
+func (d *Diagram) purify(ctx context.Context, clusters [][]int, tr *obs.Trace, opt exec.Options) ([][]int, error) {
+	exec.Note(tr, len(clusters), exec.Workers(opt.Workers))
+	perCluster, err := exec.ParallelMap(ctx, opt.Workers, len(clusters), func(i int) ([][]int, error) {
+		return d.purifyCluster(clusters[i], tr), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var units [][]int
+	for i := len(perCluster) - 1; i >= 0; i-- {
+		units = append(units, perCluster[i]...)
+	}
+	return units, nil
+}
+
+// purifyCluster runs one cluster's split tree to completion. The paper
+// picks sub-clusters randomly; a work stack is equivalent and
+// deterministic.
+func (d *Diagram) purifyCluster(cl []int, tr *obs.Trace) [][]int {
+	work := [][]int{cl}
 	var units [][]int
 	for len(work) > 0 {
 		ci := work[len(work)-1]
@@ -292,10 +340,11 @@ func medianOf(vals []float64) float64 {
 // popularity-weighted semantic distributions (Equation (6)) have cosine
 // similarity (Equation (8)) above the threshold fuse into one, and
 // leftover POIs attach to a compatible nearby unit. It returns the
-// merged clusters and the leftovers that attached nowhere.
-func (d *Diagram) merge(clusters [][]int, leftover []int) ([][]int, []int) {
+// merged clusters and the leftovers that attached nowhere. Union-find
+// order matters, so the step is sequential; ctx is polled per unit.
+func (d *Diagram) merge(ctx context.Context, clusters [][]int, leftover []int, kind index.Kind) ([][]int, []int, error) {
 	if len(clusters) == 0 {
-		return clusters, leftover
+		return clusters, leftover, nil
 	}
 	parent := make([]int, len(clusters))
 	for i := range parent {
@@ -317,8 +366,11 @@ func (d *Diagram) merge(clusters [][]int, leftover []int) ([][]int, []int) {
 		centers[i] = d.clusterCentroid(cl)
 		dists[i] = d.popWeightedDistribution(cl)
 	}
-	centerIdx := index.NewGrid(centers, d.Params.MergeDist)
+	centerIdx := index.New(kind, centers, d.Params.MergeDist)
 	for i := range clusters {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		for _, j := range centerIdx.Within(centers[i], d.Params.MergeDist) {
 			if j <= i {
 				continue
@@ -351,9 +403,12 @@ func (d *Diagram) merge(clusters [][]int, leftover []int) ([][]int, []int) {
 		mergedCenters[i] = d.clusterCentroid(cl)
 		mergedDists[i] = d.popWeightedDistribution(cl)
 	}
-	mIdx := index.NewGrid(mergedCenters, d.Params.MergeDist)
+	mIdx := index.New(kind, mergedCenters, d.Params.MergeDist)
 	var unattached []int
 	for _, p := range leftover {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		single := make([]float64, poi.NumMajors)
 		single[d.POIs[p].Major()] = 1
 		bestUnit, bestDist := -1, d.Params.MergeDist+1
@@ -371,7 +426,7 @@ func (d *Diagram) merge(clusters [][]int, leftover []int) ([][]int, []int) {
 			unattached = append(unattached, p)
 		}
 	}
-	return merged, unattached
+	return merged, unattached, nil
 }
 
 // clusterCentroid returns the centroid of a cluster's POI locations.
@@ -427,8 +482,8 @@ func sqrt(x float64) float64 {
 }
 
 // finalize materializes the units, the POI→unit map and the member
-// spatial index.
-func (d *Diagram) finalize(clusters [][]int) {
+// spatial index (built on the requested backend).
+func (d *Diagram) finalize(clusters [][]int, kind index.Kind) {
 	d.unitOf = make([]int, len(d.POIs))
 	for i := range d.unitOf {
 		d.unitOf[i] = -1
@@ -455,5 +510,5 @@ func (d *Diagram) finalize(clusters [][]int) {
 	for k, i := range d.members {
 		pts[k] = d.POIs[i].Location
 	}
-	d.memberIdx = index.NewGrid(pts, d.Params.R3Sigma)
+	d.memberIdx = index.New(kind, pts, d.Params.R3Sigma)
 }

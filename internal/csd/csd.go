@@ -16,8 +16,10 @@
 package csd
 
 import (
+	"context"
 	"math"
 
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/index"
 	"csdm/internal/poi"
@@ -168,17 +170,33 @@ func (d *Diagram) MeanUnitPurity() float64 {
 // Popularity computes pop(p^I) for every POI per Equations (2)–(3):
 // the Gaussian-kernel sum over the stay points within R3σ.
 func Popularity(pois []poi.POI, stays []geo.Point, kernel geo.GaussianKernel) []float64 {
+	pop, _ := popularity(context.Background(), pois, stays, kernel, exec.Options{})
+	return pop
+}
+
+// popularity is the execution-layer core of Popularity: each POI's
+// kernel sum is independent, so the loop fans out over the worker pool.
+// pop[i] is accumulated in the index's result order regardless of the
+// worker count, so the sums are bit-identical across budgets.
+func popularity(ctx context.Context, pois []poi.POI, stays []geo.Point, kernel geo.GaussianKernel, opt exec.Options) ([]float64, error) {
 	pop := make([]float64, len(pois))
 	if len(stays) == 0 {
-		return pop
+		return pop, nil
 	}
-	stayIdx := index.NewGrid(stays, kernel.Radius())
-	for i, p := range pois {
-		for _, s := range stayIdx.Within(p.Location, kernel.Radius()) {
-			pop[i] += kernel.Weight(p.Location, stays[s])
+	stayIdx := index.New(opt.Index, stays, kernel.Radius())
+	err := exec.ParallelFor(ctx, opt.Workers, len(pois), func(i int) error {
+		loc := pois[i].Location
+		var sum float64
+		for _, s := range stayIdx.Within(loc, kernel.Radius()) {
+			sum += kernel.Weight(loc, stays[s])
 		}
+		pop[i] = sum
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return pop
+	return pop, nil
 }
 
 // popRatioOK implements line 5 of Algorithm 1: both popularity ratios

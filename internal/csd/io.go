@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"csdm/internal/index"
 	"csdm/internal/poi"
 )
 
@@ -87,6 +88,6 @@ func Read(r io.Reader) (*Diagram, error) {
 		Pop:    f.Pop,
 		kernel: newKernelFor(f.Params),
 	}
-	d.finalize(f.Units)
+	d.finalize(f.Units, index.KindGrid)
 	return d, nil
 }

@@ -1,0 +1,141 @@
+// Package exec is the pipeline's execution layer: context-aware bounded
+// worker pools shared by every stage of the Pervasive Miner. The two
+// entry points, ParallelFor and ParallelMap, split an index range over a
+// fixed number of workers with deterministic result placement — task i's
+// result always lands at slot i — so a stage produces bit-identical
+// output whether it runs on one worker or many. The first error (or a
+// context cancellation) stops the pool and is returned; with a worker
+// budget of one the loop runs inline, reproducing the sequential
+// pipeline exactly.
+//
+// The package also defines Options, the cross-cutting knob bundle —
+// worker budget plus spatial-index backend — that flows from
+// core.Config into every stage, and Note, which records a stage's
+// task/worker counts on the telemetry trace.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"csdm/internal/index"
+	"csdm/internal/obs"
+)
+
+// Options carries the execution-layer knobs every pipeline stage
+// shares. The zero value means "all cores, grid index".
+type Options struct {
+	// Workers bounds a stage's parallelism. Zero or negative means
+	// runtime.NumCPU(); one runs the stage sequentially inline.
+	Workers int
+	// Index selects the spatial-index backend stages build their
+	// range/kNN structures with.
+	Index index.Kind
+}
+
+// Workers resolves a configured worker count: non-positive means
+// runtime.NumCPU().
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) on at most workers
+// goroutines (non-positive workers means runtime.NumCPU()). The first
+// error cancels the remaining work and is returned; a canceled ctx
+// aborts promptly with ctx.Err(). With an effective worker count of
+// one, fn runs inline in index order — no goroutines — so a
+// single-worker run is exactly the sequential loop.
+func ParallelFor(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// ParallelMap runs fn(i) for every i in [0, n) under the same pool
+// semantics as ParallelFor and returns the results in index order:
+// out[i] is fn(i)'s value regardless of which worker computed it or
+// when. On error the partial results are discarded.
+func ParallelMap[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ParallelFor(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Note records one parallel stage on the trace: the exec.tasks counter
+// accumulates how many tasks ran through the execution layer, and
+// exec.workers accumulates the worker slots granted to stages (so the
+// ratio is the mean fan-out). A nil trace is a no-op.
+func Note(tr *obs.Trace, tasks, workers int) {
+	tr.Add("exec.tasks", int64(tasks))
+	tr.Add("exec.workers", int64(workers))
+}

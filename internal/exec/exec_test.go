@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 1000
+		counts := make([]int32, n)
+		err := ParallelFor(context.Background(), workers, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelMapDeterministicOrdering(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		out, err := ParallelMap(context.Background(), workers, 500, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParallelForFirstErrorStopsWork(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		var ran atomic.Int64
+		err := ParallelFor(context.Background(), workers, 10000, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+		if got := ran.Load(); got == 10000 {
+			t.Fatalf("workers=%d: error did not stop the pool (all %d tasks ran)", workers, got)
+		}
+	}
+}
+
+func TestParallelForCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		called := false
+		err := ParallelFor(ctx, workers, 100, func(i int) error {
+			called = true
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if called {
+			t.Fatalf("workers=%d: fn ran despite pre-canceled context", workers)
+		}
+	}
+}
+
+func TestParallelForMidFlightCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ParallelFor(ctx, 4, 100000, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got == 100000 {
+		t.Fatal("cancellation did not stop the pool")
+	}
+}
+
+func TestParallelMapErrorDiscardsResults(t *testing.T) {
+	out, err := ParallelMap(context.Background(), 4, 100, func(i int) (int, error) {
+		if i == 50 {
+			return 0, errors.New("mid-run failure")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if out != nil {
+		t.Fatal("partial results should be discarded on error")
+	}
+}
+
+func TestParallelForEmptyAndWorkerResolution(t *testing.T) {
+	if err := ParallelFor(context.Background(), 4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must resolve non-positive budgets to at least 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("Workers must pass positive budgets through")
+	}
+}

@@ -45,8 +45,16 @@ type Env struct {
 	Pipeline *core.Pipeline
 }
 
-// Setup generates the synthetic environment for a scale.
+// Setup generates the synthetic environment for a scale with the
+// default pipeline configuration.
 func Setup(s Scale) *Env {
+	return SetupConfig(s, core.DefaultConfig())
+}
+
+// SetupConfig generates the synthetic environment for a scale with an
+// explicit pipeline configuration (worker budget, index backend, stage
+// parameters).
+func SetupConfig(s Scale, pipeCfg core.Config) *Env {
 	cfg := synth.DefaultConfig()
 	cfg.Seed = s.Seed
 	cfg.NumPOIs = s.NumPOIs
@@ -57,7 +65,7 @@ func Setup(s Scale) *Env {
 	return &Env{
 		City:     city,
 		Workload: w,
-		Pipeline: core.NewPipeline(city.POIs, w.Journeys, core.DefaultConfig()),
+		Pipeline: core.NewPipeline(city.POIs, w.Journeys, pipeCfg),
 	}
 }
 

@@ -1,0 +1,97 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"csdm/internal/geo"
+)
+
+// backendKinds lists every Kind the factory can build, so conformance
+// coverage automatically extends when a backend is added.
+var backendKinds = []Kind{KindGrid, KindKDTree, KindRTree}
+
+// TestBackendConformance cross-checks the three backends against each
+// other on random point sets: for any query, Within must return the
+// same id set, Nearest the same ordered ids, and Len the same count.
+// The grid is built through the factory so the CellHint path is the
+// one exercised, exactly as production call sites use it.
+func TestBackendConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(400)
+		extent := 200 + rng.Float64()*3000
+		pts := randomPoints(rng, n, extent)
+		radius := rng.Float64() * extent
+
+		idxs := make([]Index, len(backendKinds))
+		for i, kind := range backendKinds {
+			idxs[i] = New(kind, pts, radius)
+		}
+		for _, idx := range idxs {
+			if idx.Len() != n {
+				t.Fatalf("trial %d: Len = %d, want %d", trial, idx.Len(), n)
+			}
+		}
+
+		for q := 0; q < 10; q++ {
+			center := randomPoints(rng, 1, extent*1.2)[0]
+			want := sortedCopy(idxs[0].Within(center, radius))
+			for i, idx := range idxs[1:] {
+				got := sortedCopy(idx.Within(center, radius))
+				if !equalIDs(got, want) {
+					t.Fatalf("trial %d: Within(%v, %.1f): %s = %v, %s = %v",
+						trial, center, radius, backendKinds[i+1], got, backendKinds[0], want)
+				}
+			}
+
+			k := rng.Intn(n + 2)
+			wantNear := idxs[0].Nearest(center, k)
+			for i, idx := range idxs[1:] {
+				got := idx.Nearest(center, k)
+				if !equalIDs(got, wantNear) {
+					t.Fatalf("trial %d: Nearest(%v, %d): %s = %v, %s = %v",
+						trial, center, k, backendKinds[i+1], got, backendKinds[0], wantNear)
+				}
+			}
+		}
+	}
+}
+
+// TestBackendConformanceEdges pins the degenerate queries every backend
+// must agree on: an empty point set, a zero radius, and k beyond the
+// set size.
+func TestBackendConformanceEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomPoints(rng, 50, 500)
+
+	for _, kind := range backendKinds {
+		empty := New(kind, nil, 100)
+		if empty.Len() != 0 {
+			t.Errorf("%s: empty Len = %d, want 0", kind, empty.Len())
+		}
+		if got := empty.Within(origin, 1e6); len(got) != 0 {
+			t.Errorf("%s: empty Within = %v, want none", kind, got)
+		}
+		if got := empty.Nearest(origin, 3); len(got) != 0 {
+			t.Errorf("%s: empty Nearest = %v, want none", kind, got)
+		}
+
+		idx := New(kind, pts, 0)
+		// Radius 0 hits exactly the points coincident with the center:
+		// the queried point itself, and nothing for an off-set center.
+		if got := idx.Within(pts[7], 0); !equalIDs(sortedCopy(got), []int{7}) {
+			t.Errorf("%s: Within(pts[7], 0) = %v, want [7]", kind, got)
+		}
+		off := geo.Point{Lon: origin.Lon + 1, Lat: origin.Lat + 1}
+		if got := idx.Within(off, 0); len(got) != 0 {
+			t.Errorf("%s: Within(off, 0) = %v, want none", kind, got)
+		}
+		if got := idx.Nearest(pts[0], len(pts)+10); len(got) != len(pts) {
+			t.Errorf("%s: Nearest k>n returned %d ids, want %d", kind, len(got), len(pts))
+		}
+		if got := idx.Nearest(pts[0], 0); len(got) != 0 {
+			t.Errorf("%s: Nearest k=0 = %v, want none", kind, got)
+		}
+	}
+}

@@ -11,7 +11,11 @@
 // index was built from, so callers can keep payloads in parallel slices.
 package index
 
-import "csdm/internal/geo"
+import (
+	"fmt"
+
+	"csdm/internal/geo"
+)
 
 // Index answers spatial queries over the point set it was built from.
 type Index interface {
@@ -50,16 +54,46 @@ func (k Kind) String() string {
 	}
 }
 
-// New builds an index of the requested kind over pts. The grid's cell
-// size defaults to 100 m, a good match for the paper's R3σ queries.
-func New(kind Kind, pts []geo.Point) Index {
+// ParseKind resolves a backend name from a CLI flag or config file.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "grid", "":
+		return KindGrid, nil
+	case "kdtree":
+		return KindKDTree, nil
+	case "rtree":
+		return KindRTree, nil
+	default:
+		return KindGrid, fmt.Errorf("index: unknown backend %q (want grid, kdtree or rtree)", s)
+	}
+}
+
+// CellHint converts an expected query radius into a grid cell size:
+// non-positive radii default to the 100 m R3σ scale and tiny radii
+// clamp to 10 m so a fine search radius does not explode the cell
+// count. The tree backends ignore the hint, so every construction site
+// can pass its query radius unconditionally.
+func CellHint(radius float64) float64 {
+	if radius <= 0 {
+		return 100
+	}
+	if radius < 10 {
+		return 10
+	}
+	return radius
+}
+
+// New builds an index of the requested kind over pts. hint is the
+// expected query radius in meters; the grid derives its cell size from
+// it via CellHint, the k-d tree and R-tree ignore it.
+func New(kind Kind, pts []geo.Point, hint float64) Index {
 	switch kind {
 	case KindKDTree:
 		return NewKDTree(pts)
 	case KindRTree:
 		return NewRTree(pts)
 	default:
-		return NewGrid(pts, 100)
+		return NewGrid(pts, CellHint(hint))
 	}
 }
 

@@ -76,7 +76,7 @@ func TestWithinMatchesBruteForce(t *testing.T) {
 	pts := randomPoints(rng, 500, 3000)
 	pr := geo.NewProjection(origin)
 	for _, kind := range allKinds {
-		idx := New(kind, pts)
+		idx := New(kind, pts, 100)
 		for trial := 0; trial < 50; trial++ {
 			c := pr.ToPoint(geo.Meters{
 				X: (rng.Float64()*2 - 1) * 3000,
@@ -97,7 +97,7 @@ func TestNearestMatchesBruteForce(t *testing.T) {
 	pts := randomPoints(rng, 400, 2000)
 	pr := geo.NewProjection(origin)
 	for _, kind := range allKinds {
-		idx := New(kind, pts)
+		idx := New(kind, pts, 100)
 		for trial := 0; trial < 30; trial++ {
 			q := pr.ToPoint(geo.Meters{
 				X: (rng.Float64()*2 - 1) * 2500,
@@ -136,7 +136,7 @@ func TestWithinPropertyRandomConfigs(t *testing.T) {
 		pts := randomPoints(rng, n, 1500)
 		want := sortedCopy(bruteWithin(pts, origin, r))
 		for _, kind := range allKinds {
-			got := sortedCopy(New(kind, pts).Within(origin, r))
+			got := sortedCopy(New(kind, pts, 100).Within(origin, r))
 			if !equalIDs(got, want) {
 				return false
 			}
@@ -150,7 +150,7 @@ func TestWithinPropertyRandomConfigs(t *testing.T) {
 
 func TestEmptyIndexes(t *testing.T) {
 	for _, kind := range allKinds {
-		idx := New(kind, nil)
+		idx := New(kind, nil, 100)
 		if idx.Len() != 0 {
 			t.Errorf("%v empty Len = %d", kind, idx.Len())
 		}
@@ -166,7 +166,7 @@ func TestEmptyIndexes(t *testing.T) {
 func TestSinglePointIndex(t *testing.T) {
 	pts := []geo.Point{origin}
 	for _, kind := range allKinds {
-		idx := New(kind, pts)
+		idx := New(kind, pts, 100)
 		if got := idx.Within(origin, 1); len(got) != 1 || got[0] != 0 {
 			t.Errorf("%v single Within = %v", kind, got)
 		}
@@ -179,7 +179,7 @@ func TestSinglePointIndex(t *testing.T) {
 func TestDuplicatePoints(t *testing.T) {
 	pts := []geo.Point{origin, origin, origin, origin}
 	for _, kind := range allKinds {
-		idx := New(kind, pts)
+		idx := New(kind, pts, 100)
 		if got := idx.Within(origin, 0); len(got) != 4 {
 			t.Errorf("%v duplicates Within(r=0) = %d ids, want 4", kind, len(got))
 		}
@@ -193,7 +193,7 @@ func TestNegativeRadiusAndZeroK(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	pts := randomPoints(rng, 20, 500)
 	for _, kind := range allKinds {
-		idx := New(kind, pts)
+		idx := New(kind, pts, 100)
 		if got := idx.Within(origin, -5); got != nil {
 			t.Errorf("%v Within(r<0) = %v, want nil", kind, got)
 		}
@@ -210,7 +210,7 @@ func TestKLargerThanN(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	pts := randomPoints(rng, 7, 500)
 	for _, kind := range allKinds {
-		got := New(kind, pts).Nearest(origin, 100)
+		got := New(kind, pts, 100).Nearest(origin, 100)
 		if len(got) != 7 {
 			t.Errorf("%v Nearest(k>n) returned %d ids, want 7", kind, len(got))
 		}
@@ -236,7 +236,7 @@ func TestClusteredDataCorrectness(t *testing.T) {
 		}))
 	}
 	for _, kind := range allKinds {
-		idx := New(kind, pts)
+		idx := New(kind, pts, 100)
 		for _, r := range []float64{10, 50, 1000, 30000} {
 			got := sortedCopy(idx.Within(origin, r))
 			want := sortedCopy(bruteWithin(pts, origin, r))
@@ -259,7 +259,7 @@ func TestKindString(t *testing.T) {
 func benchmarkWithin(b *testing.B, kind Kind, n int) {
 	rng := rand.New(rand.NewSource(42))
 	pts := randomPoints(rng, n, 10000)
-	idx := New(kind, pts)
+	idx := New(kind, pts, 100)
 	queries := randomPoints(rng, 256, 10000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -276,7 +276,7 @@ func benchmarkBuild(b *testing.B, kind Kind, n int) {
 	pts := randomPoints(rng, n, 10000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		New(kind, pts)
+		New(kind, pts, 100)
 	}
 }
 

@@ -1,12 +1,11 @@
 package pattern
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/index"
 	"csdm/internal/trajectory"
@@ -41,8 +40,9 @@ type closureComputer struct {
 	proj geo.Projection
 }
 
-// newClosureComputer indexes the database once per extraction run.
-func newClosureComputer(db []trajectory.SemanticTrajectory, params Params) *closureComputer {
+// newClosureComputer indexes the database once per extraction run on
+// the requested backend.
+func newClosureComputer(db []trajectory.SemanticTrajectory, params Params, kind index.Kind) *closureComputer {
 	cc := &closureComputer{
 		db: db,
 		params: trajectory.ContainParams{
@@ -58,7 +58,7 @@ func newClosureComputer(db []trajectory.SemanticTrajectory, params Params) *clos
 			cc.stayTraj = append(cc.stayTraj, ti)
 		}
 	}
-	cc.stayIdx = index.NewGrid(pts, math.Max(params.EpsT, 50))
+	cc.stayIdx = index.New(kind, pts, math.Max(params.EpsT, 50))
 	cc.proj = geo.NewProjection(geo.Centroid(pts))
 	return cc
 }
@@ -220,34 +220,22 @@ func sameItems(a, b Pattern) bool {
 // containment closure (the paper's Table 2 definition of support and
 // Definition 10 groups), replacing the refinement-cluster approximation
 // built by buildPattern. Patterns are independent, so the closures run
-// in parallel.
-func finalize(db []trajectory.SemanticTrajectory, ps []Pattern, params Params) []Pattern {
+// on the worker pool; pattern i's support/groups land back at slot i,
+// keeping the output worker-count independent.
+func finalize(ctx context.Context, db []trajectory.SemanticTrajectory, ps []Pattern, params Params, opt exec.Options) ([]Pattern, error) {
 	if len(ps) == 0 {
-		return ps
+		return ps, nil
 	}
 	ps = dedupeMaximal(ps, params.EpsT)
-	cc := newClosureComputer(db, params)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ps) {
-		workers = len(ps)
+	cc := newClosureComputer(db, params, opt.Index)
+	err := exec.ParallelFor(ctx, opt.Workers, len(ps), func(i int) error {
+		sup, groups := cc.supportGroups(ps[i].Stays)
+		ps[i].Support = sup
+		ps[i].Groups = groups
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ps) {
-					return
-				}
-				sup, groups := cc.supportGroups(ps[i].Stays)
-				ps[i].Support = sup
-				ps[i].Groups = groups
-			}
-		}()
-	}
-	wg.Wait()
-	return ps
+	return ps, nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"csdm/internal/index"
 	"csdm/internal/poi"
 	"csdm/internal/trajectory"
 )
@@ -42,7 +43,7 @@ func TestClosureMatchesTrajectoryDatabase(t *testing.T) {
 	db, rep := closureScenario()
 	params := testParams() // EpsT 100 via normalized? testParams has no EpsT
 	params.EpsT = 100
-	cc := newClosureComputer(db, params)
+	cc := newClosureComputer(db, params, index.KindGrid)
 	sup, groups := cc.supportGroups(rep)
 
 	// Reference: the trajectory package's Definition 8 closure.
@@ -90,7 +91,7 @@ func TestClosureCandidatePrefilterFindsSubsequenceMatches(t *testing.T) {
 	}
 	params := testParams()
 	params.EpsT = 100
-	cc := newClosureComputer(db, params)
+	cc := newClosureComputer(db, params, index.KindGrid)
 	sup, _ := cc.supportGroups(rep)
 	if sup != 1 {
 		t.Fatalf("support = %d, want 1 (subsequence match)", sup)

@@ -1,7 +1,10 @@
 package pattern
 
 import (
+	"context"
+
 	"csdm/internal/cluster"
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/obs"
 	"csdm/internal/trajectory"
@@ -36,15 +39,21 @@ func (c *CounterpartCluster) Extract(db []trajectory.SemanticTrajectory, params 
 
 // ExtractTraced implements TracedExtractor.
 func (c *CounterpartCluster) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
+	out, _ := c.ExtractCtx(context.Background(), db, params, tr, exec.Options{})
+	return out
+}
+
+// ExtractCtx implements ContextExtractor.
+func (c *CounterpartCluster) ExtractCtx(ctx context.Context, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options) ([]Pattern, error) {
 	params = params.normalized()
-	return extractStages(c.Name(), db, params, tr, func(pa coarsePattern) []Pattern {
-		return c.refine(pa, params, tr)
+	return extractStages(ctx, c.Name(), db, params, tr, opt, func(pa coarsePattern) []Pattern {
+		return c.refine(pa, params, tr, opt)
 	})
 }
 
 // refine runs Algorithm 4 lines 3–20 on one coarse pattern, counting
 // gathered counterpart candidate sets and σ/ρ prunes on tr.
-func (c *CounterpartCluster) refine(pa coarsePattern, params Params, tr *obs.Trace) []Pattern {
+func (c *CounterpartCluster) refine(pa coarsePattern, params Params, tr *obs.Trace, opt exec.Options) []Pattern {
 	m := len(pa.items)
 	n := len(pa.stays)
 	if n < params.Sigma {
@@ -58,7 +67,7 @@ func (c *CounterpartCluster) refine(pa coarsePattern, params Params, tr *obs.Tra
 		for i := range pa.stays {
 			pts[i] = pa.stays[i][k].P
 		}
-		res := cluster.Optics(pts, c.OpticsMaxEps, params.Sigma).ExtractLeaves(params.Sigma)
+		res := cluster.OpticsWith(pts, c.OpticsMaxEps, params.Sigma, opt).ExtractLeaves(params.Sigma)
 		clusters[k] = res.Labels
 	}
 

@@ -9,11 +9,10 @@
 package pattern
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"context"
 	"time"
 
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/obs"
 	"csdm/internal/poi"
@@ -97,11 +96,22 @@ type TracedExtractor interface {
 	ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern
 }
 
+// ContextExtractor is the full-control extractor interface: mining under
+// a cancellation context and explicit execution-layer options (worker
+// budget, spatial backend). The mined pattern set is identical for any
+// worker budget; a canceled ctx aborts with ctx.Err(). All extractors in
+// this package implement it.
+type ContextExtractor interface {
+	TracedExtractor
+	// ExtractCtx mines like ExtractTraced under ctx and opt.
+	ExtractCtx(ctx context.Context, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options) ([]Pattern, error)
+}
+
 // extractStages runs the shared coarse-detection → refinement →
 // closure skeleton with spans and counters keyed by the extractor
 // name. refine receives the trace so per-candidate counts land on the
 // same counters from the refinement workers.
-func extractStages(name string, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, refine func(coarsePattern) []Pattern) []Pattern {
+func extractStages(ctx context.Context, name string, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options, refine func(coarsePattern) []Pattern) ([]Pattern, error) {
 	root := tr.Start("extract." + name)
 	defer root.End()
 
@@ -111,15 +121,22 @@ func extractStages(name string, db []trajectory.SemanticTrajectory, params Param
 	tr.Add("extract."+name+".coarse", int64(len(coarse)))
 
 	sp = root.Start("refine")
-	out := refineAll(coarse, refine)
+	exec.Note(tr, len(coarse), exec.Workers(opt.Workers))
+	out, err := refineAll(ctx, opt.Workers, coarse, refine)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	sp = root.Start("closure")
-	final := finalize(db, out, params)
+	final, err := finalize(ctx, db, out, params, opt)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 	tr.Add("extract."+name+".deduped", int64(len(out)-len(final)))
 	tr.Add("extract."+name+".patterns", int64(len(final)))
-	return final
+	return final, nil
 }
 
 // coarsePattern is one PrefixSpan result resolved to stay points:
@@ -177,35 +194,21 @@ func minePrefixSpan(db []trajectory.SemanticTrajectory, params Params) []coarseP
 	return out
 }
 
-// refineAll refines every coarse pattern in parallel (coarse patterns
-// are independent) and concatenates the results in input order.
-func refineAll(coarse []coarsePattern, refine func(coarsePattern) []Pattern) []Pattern {
-	results := make([][]Pattern, len(coarse))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(coarse) {
-		workers = len(coarse)
+// refineAll refines every coarse pattern on the worker pool (coarse
+// patterns are independent) and concatenates the results in input
+// order, so the pattern list is the same for any worker budget.
+func refineAll(ctx context.Context, workers int, coarse []coarsePattern, refine func(coarsePattern) []Pattern) ([]Pattern, error) {
+	results, err := exec.ParallelMap(ctx, workers, len(coarse), func(i int) ([]Pattern, error) {
+		return refine(coarse[i]), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(coarse) {
-					return
-				}
-				results[i] = refine(coarse[i])
-			}
-		}()
-	}
-	wg.Wait()
 	var out []Pattern
 	for _, r := range results {
 		out = append(out, r...)
 	}
-	return out
+	return out, nil
 }
 
 func hasEmptyItem(items []seqpattern.Item) bool {

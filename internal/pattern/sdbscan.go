@@ -1,7 +1,10 @@
 package pattern
 
 import (
+	"context"
+
 	"csdm/internal/cluster"
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/obs"
 	"csdm/internal/trajectory"
@@ -32,14 +35,20 @@ func (s *SDBSCAN) Extract(db []trajectory.SemanticTrajectory, params Params) []P
 
 // ExtractTraced implements TracedExtractor.
 func (s *SDBSCAN) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
+	out, _ := s.ExtractCtx(context.Background(), db, params, tr, exec.Options{})
+	return out
+}
+
+// ExtractCtx implements ContextExtractor.
+func (s *SDBSCAN) ExtractCtx(ctx context.Context, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options) ([]Pattern, error) {
 	params = params.normalized()
 	minPts := s.MinPts
 	if minPts <= 0 {
 		minPts = params.Sigma
 	}
-	return extractStages(s.Name(), db, params, tr, func(pa coarsePattern) []Pattern {
+	return extractStages(ctx, s.Name(), db, params, tr, opt, func(pa coarsePattern) []Pattern {
 		return refineByModes(pa, params, func(pts []geo.Point) []int {
-			return cluster.DBSCAN(pts, s.Eps, minPts).Labels
+			return cluster.DBSCANWith(pts, s.Eps, minPts, opt).Labels
 		}, tr, "extract."+s.Name())
 	})
 }

@@ -1,9 +1,11 @@
 package pattern
 
 import (
+	"context"
 	"sort"
 
 	"csdm/internal/cluster"
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/obs"
 	"csdm/internal/trajectory"
@@ -32,10 +34,16 @@ func (s *Splitter) Extract(db []trajectory.SemanticTrajectory, params Params) []
 
 // ExtractTraced implements TracedExtractor.
 func (s *Splitter) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
+	out, _ := s.ExtractCtx(context.Background(), db, params, tr, exec.Options{})
+	return out
+}
+
+// ExtractCtx implements ContextExtractor.
+func (s *Splitter) ExtractCtx(ctx context.Context, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options) ([]Pattern, error) {
 	params = params.normalized()
-	return extractStages(s.Name(), db, params, tr, func(pa coarsePattern) []Pattern {
+	return extractStages(ctx, s.Name(), db, params, tr, opt, func(pa coarsePattern) []Pattern {
 		return refineByModes(pa, params, func(pts []geo.Point) []int {
-			return cluster.MeanShift(pts, s.Bandwidth).Labels
+			return cluster.MeanShiftWith(pts, s.Bandwidth, opt).Labels
 		}, tr, "extract."+s.Name())
 	})
 }

@@ -1,8 +1,10 @@
 package pattern
 
 import (
+	"context"
 	"sort"
 
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/obs"
 	"csdm/internal/poi"
@@ -44,6 +46,16 @@ func (t *TPattern) Extract(db []trajectory.SemanticTrajectory, params Params) []
 
 // ExtractTraced implements TracedExtractor.
 func (t *TPattern) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
+	out, _ := t.ExtractCtx(context.Background(), db, params, tr, exec.Options{})
+	return out
+}
+
+// ExtractCtx implements ContextExtractor. The grid aggregation and
+// PrefixSpan passes are inherently sequential; the per-candidate
+// δ_t/ρ filtering fans out over opt's worker pool, with results
+// re-aggregated in mined order so the output is worker-count
+// independent.
+func (t *TPattern) ExtractCtx(ctx context.Context, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options) ([]Pattern, error) {
 	root := tr.Start("extract." + t.Name())
 	defer root.End()
 	params = params.normalized()
@@ -64,13 +76,16 @@ func (t *TPattern) ExtractTraced(db []trajectory.SemanticTrajectory, params Para
 		}
 	}
 	if len(all) == 0 {
-		return nil
+		return nil, nil
 	}
 	proj := geo.NewProjection(geo.Centroid(all))
 	type cellKey struct{ x, y int32 }
 	keyOf := func(p geo.Point) cellKey {
 		m := proj.ToMeters(p)
 		return cellKey{int32(m.X / cell), int32(m.Y / cell)}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	visits := make(map[cellKey]int)
 	for _, p := range all {
@@ -147,13 +162,18 @@ func (t *TPattern) ExtractTraced(db []trajectory.SemanticTrajectory, params Para
 
 	pfx := "extract." + t.Name()
 	tr.Add(pfx+".coarse", int64(len(mined)))
-	var out []Pattern
-	var candidates, pruned int64
-	for _, m := range mined {
+	exec.Note(tr, len(mined), exec.Workers(opt.Workers))
+	type candidateResult struct {
+		pattern   *Pattern
+		candidate bool
+		pruned    bool
+	}
+	results, err := exec.ParallelMap(ctx, opt.Workers, len(mined), func(mi int) (candidateResult, error) {
+		m := mined[mi]
 		if containsItem(m.Items, noROI) {
-			continue
+			return candidateResult{}, nil
 		}
-		candidates++
+		res := candidateResult{candidate: true}
 		var support [][]trajectory.StayPoint
 		for si, seqID := range m.SeqIDs {
 			stays := make([]trajectory.StayPoint, len(m.Items))
@@ -167,30 +187,44 @@ func (t *TPattern) ExtractTraced(db []trajectory.SemanticTrajectory, params Para
 			support = append(support, stays)
 		}
 		if len(support) < params.Sigma {
-			pruned++
-			continue
+			res.pruned = true
+			return res, nil
 		}
 		// ρ density check per position.
-		okDense := true
-		for k := 0; k < len(m.Items) && okDense; k++ {
+		for k := 0; k < len(m.Items); k++ {
 			pts := make([]geo.Point, len(support))
 			for i := range support {
 				pts[i] = support[i][k].P
 			}
 			if geo.Density(pts) < params.Rho {
-				okDense = false
+				res.pruned = true
+				return res, nil
 			}
 		}
-		if !okDense {
-			pruned++
-			continue
+		p := buildPattern(make([]poi.Semantics, len(m.Items)), support)
+		res.pattern = &p
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Pattern
+	var candidates, pruned int64
+	for _, res := range results {
+		if res.candidate {
+			candidates++
 		}
-		out = append(out, buildPattern(make([]poi.Semantics, len(m.Items)), support))
+		if res.pruned {
+			pruned++
+		}
+		if res.pattern != nil {
+			out = append(out, *res.pattern)
+		}
 	}
 	tr.Add(pfx+".candidates", candidates)
 	tr.Add(pfx+".pruned", pruned)
 	tr.Add(pfx+".patterns", int64(len(out)))
-	return out
+	return out, nil
 }
 
 func containsItem(items []seqpattern.Item, it seqpattern.Item) bool {

@@ -22,7 +22,7 @@ type NearestPOIRecognizer struct {
 func NewNearestPOIRecognizer(pois []poi.POI, radius float64) *NearestPOIRecognizer {
 	return &NearestPOIRecognizer{
 		pois:   pois,
-		idx:    index.NewGrid(poi.Locations(pois), gridCell(radius)),
+		idx:    index.New(index.KindGrid, poi.Locations(pois), radius),
 		radius: radius,
 	}
 }

@@ -6,6 +6,9 @@
 package recognize
 
 import (
+	"context"
+
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/obs"
 	"csdm/internal/poi"
@@ -24,11 +27,22 @@ type Recognizer interface {
 // Annotate fills in the semantic property of every stay point of every
 // trajectory in db, in place — the outer loop of Algorithm 3.
 func Annotate(db []trajectory.SemanticTrajectory, r Recognizer) {
-	for ti := range db {
-		for si := range db[ti].Stays {
-			db[ti].Stays[si].S = r.Recognize(db[ti].Stays[si].P)
+	_ = AnnotateCtx(context.Background(), db, r, 0)
+}
+
+// AnnotateCtx annotates db on a bounded worker pool, one task per
+// trajectory; every Recognizer in this package is safe for concurrent
+// readers. Each stay's property depends only on its own location, so
+// the annotation is identical for any worker budget. A canceled ctx
+// aborts with ctx.Err(), leaving db partially annotated.
+func AnnotateCtx(ctx context.Context, db []trajectory.SemanticTrajectory, r Recognizer, workers int) error {
+	return exec.ParallelFor(ctx, workers, len(db), func(ti int) error {
+		stays := db[ti].Stays
+		for si := range stays {
+			stays[si].S = r.Recognize(stays[si].P)
 		}
-	}
+		return nil
+	})
 }
 
 // AnnotateJourneys converts raw journeys into annotated semantic
@@ -38,11 +52,19 @@ func AnnotateJourneys(js []trajectory.Journey, chain trajectory.ChainParams, r R
 	return AnnotateJourneysTraced(js, chain, r, nil)
 }
 
-// AnnotateJourneysTraced is AnnotateJourneys with telemetry: a
-// "recognize.<name>" span with chain and annotate children, plus
-// counters for the stays the recognizer annotated versus left unknown
-// (the empty property). A nil trace is a no-op.
+// AnnotateJourneysTraced is AnnotateJourneys with telemetry recorded on
+// tr (nil-safe).
 func AnnotateJourneysTraced(js []trajectory.Journey, chain trajectory.ChainParams, r Recognizer, tr *obs.Trace) []trajectory.SemanticTrajectory {
+	db, _ := AnnotateJourneysCtx(context.Background(), js, chain, r, tr, exec.Options{})
+	return db
+}
+
+// AnnotateJourneysCtx is the full-control form: a "recognize.<name>"
+// span with chain and annotate children, plus counters for the stays
+// the recognizer annotated versus left unknown (the empty property).
+// Annotation fans out over opt's worker pool; a canceled ctx aborts
+// with ctx.Err() and a nil database.
+func AnnotateJourneysCtx(ctx context.Context, js []trajectory.Journey, chain trajectory.ChainParams, r Recognizer, tr *obs.Trace, opt exec.Options) ([]trajectory.SemanticTrajectory, error) {
 	root := tr.Start("recognize." + r.Name())
 	defer root.End()
 
@@ -51,8 +73,12 @@ func AnnotateJourneysTraced(js []trajectory.Journey, chain trajectory.ChainParam
 	sp.End()
 
 	sp = root.Start("annotate")
-	Annotate(db, r)
+	exec.Note(tr, len(db), exec.Workers(opt.Workers))
+	err := AnnotateCtx(ctx, db, r, opt.Workers)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	if tr != nil {
 		var annotated, unknown int64
@@ -69,5 +95,5 @@ func AnnotateJourneysTraced(js []trajectory.Journey, chain trajectory.ChainParam
 		tr.Add("recognize."+r.Name()+".stays.unknown", unknown)
 		tr.Add("recognize."+r.Name()+".trajectories", int64(len(db)))
 	}
-	return db
+	return db, nil
 }

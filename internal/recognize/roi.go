@@ -2,6 +2,7 @@ package recognize
 
 import (
 	"csdm/internal/cluster"
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/index"
 	"csdm/internal/poi"
@@ -57,15 +58,22 @@ type ROIRecognizer struct {
 // NewROIRecognizer builds the baseline from historical stay-point
 // locations and the POI dataset.
 func NewROIRecognizer(stays []geo.Point, pois []poi.POI, params ROIParams) *ROIRecognizer {
-	res := cluster.DBSCAN(stays, params.Eps, params.MinPts)
+	return NewROIRecognizerWith(stays, pois, params, exec.Options{})
+}
+
+// NewROIRecognizerWith is NewROIRecognizer with execution-layer options:
+// hot-region DBSCAN runs on opt's worker pool and the lookup structures
+// use the opt.Index backend.
+func NewROIRecognizerWith(stays []geo.Point, pois []poi.POI, params ROIParams, opt exec.Options) *ROIRecognizer {
+	res := cluster.DBSCANWith(stays, params.Eps, params.MinPts, opt)
 	return &ROIRecognizer{
 		params:   params,
 		stays:    stays,
 		regionOf: res.Labels,
 		nRegions: res.NumClusters,
-		stayIdx:  index.NewGrid(stays, gridCell(params.Eps)),
+		stayIdx:  index.New(opt.Index, stays, params.Eps),
 		pois:     pois,
-		poiIdx:   index.NewGrid(poi.Locations(pois), gridCell(params.AnnotateRadius)),
+		poiIdx:   index.New(opt.Index, poi.Locations(pois), params.AnnotateRadius),
 	}
 }
 
@@ -106,11 +114,4 @@ func (r *ROIRecognizer) Recognize(p geo.Point) poi.Semantics {
 		}
 	}
 	return tags
-}
-
-func gridCell(eps float64) float64 {
-	if eps < 10 {
-		return 10
-	}
-	return eps
 }

@@ -75,7 +75,7 @@ func ProfileTokyo() CheckinProfile {
 // profile's acceptance probability for that POI's major category.
 func (c *City) SampleCheckins(js []trajectory.Journey, profile CheckinProfile, seed int64) []Checkin {
 	rng := rand.New(rand.NewSource(seed))
-	idx := index.NewGrid(poi.Locations(c.POIs), 100)
+	idx := index.New(index.KindGrid, poi.Locations(c.POIs), 100)
 	var out []Checkin
 	for _, j := range js {
 		near := idx.Nearest(j.Dropoff, 1)
