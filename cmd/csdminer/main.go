@@ -19,13 +19,22 @@
 // run; -debug-addr serves net/http/pprof, expvar (the live counters
 // under "csdm") and /debug/trace (the span tree as JSON) for
 // inspecting a long run in flight.
+//
+// Robustness flags: -lenient skips malformed input rows (bounded by
+// -max-bad-rows) instead of failing the load; -checkpoint persists
+// each completed stage to a directory so an interrupted run resumes
+// past finished work; -stage-timeout bounds every pipeline stage with
+// its own deadline. The exit code classifies failures: 2 for usage
+// errors, 3 for input errors, 4 for pipeline failures.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
@@ -33,9 +42,12 @@ import (
 	"sort"
 	"time"
 
+	"csdm/internal/ckpt"
 	"csdm/internal/core"
 	"csdm/internal/csd"
+	"csdm/internal/fault"
 	"csdm/internal/index"
+	"csdm/internal/load"
 	"csdm/internal/metrics"
 	"csdm/internal/obs"
 	"csdm/internal/pattern"
@@ -43,10 +55,23 @@ import (
 	"csdm/internal/trajectory"
 )
 
+// The exit codes callers and scripts can branch on.
+const (
+	exitUsage    = 2 // bad flags, unknown subcommand or approach
+	exitInput    = 3 // unreadable or malformed input data
+	exitPipeline = 4 // a pipeline stage failed
+)
+
 // progress reports loading/timing status on stderr, keeping stdout
 // machine-parseable.
 func progress(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// die reports err and exits with the given classification code.
+func die(code int, err error) {
+	log.Print(err)
+	os.Exit(code)
 }
 
 func main() {
@@ -67,11 +92,25 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve pprof, expvar and /debug/trace on this address (e.g. localhost:6060)")
 		workers     = flag.Int("workers", 0, "worker budget for parallel pipeline stages (0 = all cores, 1 = sequential)")
 		indexKind   = flag.String("index", "grid", "spatial index backend (grid, kdtree, rtree)")
+		lenient     = flag.Bool("lenient", false, "skip malformed input rows instead of failing the load")
+		maxBadRows  = flag.Int("max-bad-rows", 0, "with -lenient, fail after skipping this many rows per file (0 = unlimited)")
+		checkpoint  = flag.String("checkpoint", "", "persist completed stages to this directory and resume from it")
+		stageTO     = flag.Duration("stage-timeout", 0, "per-stage deadline (0 = none)")
+		degraded    = flag.Bool("degraded-fallback", false, "fall back to ROI recognition when the CSD build fails")
+		faultSpec   = flag.String("fault", "", "fault-injection spec site:kind:trigger[,...] (testing only)")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection rules (testing only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: csdminer [flags] diagram|recognize|mine")
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+
+	if in, err := fault.Parse(*faultSpec, *faultSeed); err != nil {
+		die(exitUsage, err)
+	} else if in != nil {
+		fault.Activate(in)
+		progress("fault injection active: %s (seed %d)", *faultSpec, *faultSeed)
 	}
 
 	var tr *obs.Trace
@@ -88,22 +127,30 @@ func main() {
 	}
 	kind, err := index.ParseKind(*indexKind)
 	if err != nil {
-		log.Fatal(err)
+		die(exitUsage, err)
 	}
 	cfg.Index = kind
+	cfg.StageTimeout = *stageTO
+	cfg.DegradedFallback = *degraded
 
-	pois, journeys := loadInputs(*poiPath, *journeyPath)
+	var mgr *ckpt.Manager
+	if *checkpoint != "" {
+		if mgr, err = ckpt.New(*checkpoint, tr); err != nil {
+			die(exitPipeline, err)
+		}
+	}
+
+	opts := load.Options{Lenient: *lenient, MaxBadRows: *maxBadRows, Trace: tr}
+	pois, journeys, err := loadInputs(*poiPath, *journeyPath, opts)
+	if err != nil {
+		die(exitInput, err)
+	}
 	pipe := core.NewPipeline(pois, journeys, cfg)
 	pipe.SetTrace(tr)
 	if *loadDiagram != "" {
-		f, err := os.Open(*loadDiagram)
+		d, err := readDiagramFile(*loadDiagram)
 		if err != nil {
-			log.Fatal(err)
-		}
-		d, err := csd.Read(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
+			die(exitInput, err)
 		}
 		pipe.UseDiagram(d)
 		progress("loaded diagram with %d units from %s", len(d.Units), *loadDiagram)
@@ -111,36 +158,113 @@ func main() {
 
 	switch cmd := flag.Arg(0); cmd {
 	case "diagram":
-		runDiagram(pipe)
-		if *saveDiagram != "" {
-			f, err := os.Create(*saveDiagram)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := pipe.Diagram().Write(f); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			progress("diagram written to %s", *saveDiagram)
+		if err := prepare(pipe, mgr, true); err != nil {
+			die(exitPipeline, err)
+		}
+		if err := runDiagram(pipe, *saveDiagram); err != nil {
+			die(exitPipeline, err)
 		}
 	case "recognize":
-		runRecognize(pipe, *out)
+		if err := prepare(pipe, mgr, true, core.RecCSD); err != nil {
+			die(exitPipeline, err)
+		}
+		if err := runRecognize(pipe, *out); err != nil {
+			die(exitPipeline, err)
+		}
 	case "mine":
+		chosen, err := approachByName(*approach)
+		if err != nil {
+			die(exitUsage, err)
+		}
 		params := pattern.DefaultParams()
 		params.Sigma = *sigma
 		params.Rho = *rho
 		params.DeltaT = *deltaT
-		runMine(pipe, *approach, params, *top)
+		if err := prepare(pipe, mgr, chosen.Recognizer == core.RecCSD, chosen.Recognizer); err != nil {
+			die(exitPipeline, err)
+		}
+		if err := runMine(pipe, chosen, params, *top); err != nil {
+			die(exitPipeline, err)
+		}
 	default:
-		log.Fatalf("unknown subcommand %q", cmd)
+		die(exitUsage, fmt.Errorf("unknown subcommand %q", cmd))
 	}
 
 	if *traceFlag {
 		fmt.Fprintln(os.Stderr, "--- stage report ---")
 		tr.WriteText(os.Stderr)
 	}
+}
+
+// approachByName resolves one of the paper's six approach names.
+func approachByName(name string) (core.Approach, error) {
+	for _, a := range core.Approaches() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return core.Approach{}, fmt.Errorf("unknown approach %q", name)
+}
+
+// dbName maps a recognizer kind to its checkpoint stage name.
+func dbName(kind core.RecognizerKind) string {
+	if kind == core.RecROI {
+		return "db-roi"
+	}
+	return "db-csd"
+}
+
+// prepare runs the shared stages the subcommand needs under the
+// checkpoint policy: each stage resumes from the checkpoint directory
+// when a valid artifact is there (corrupt ones are rebuilt), otherwise
+// it is built and checkpointed before the next stage begins, so an
+// interrupted rerun skips exactly the work that already finished. With
+// no manager the stages stay lazy and nothing is persisted.
+func prepare(pipe *core.Pipeline, m *ckpt.Manager, needDiagram bool, kinds ...core.RecognizerKind) error {
+	if m == nil {
+		return nil
+	}
+	ctx := context.Background()
+	resumedDiagram := false
+	if d, ok := m.LoadDiagram(); ok {
+		pipe.UseDiagram(d)
+		resumedDiagram = true
+		progress("resumed diagram (%d units) from %s", len(d.Units), m.Dir())
+	}
+	for _, k := range kinds {
+		if k == core.RecCSD {
+			needDiagram = true
+		}
+	}
+	if needDiagram {
+		d, err := pipe.DiagramCtx(ctx)
+		if err != nil {
+			return fmt.Errorf("build diagram: %w", err)
+		}
+		if !resumedDiagram {
+			if err := m.SaveDiagram(d); err != nil {
+				return err
+			}
+			progress("checkpointed diagram to %s", m.Dir())
+		}
+	}
+	for _, k := range kinds {
+		name := dbName(k)
+		if db, ok := m.LoadDatabase(name); ok {
+			pipe.UseDatabase(k, db)
+			progress("resumed %s (%d trajectories) from %s", name, len(db), m.Dir())
+			continue
+		}
+		db, err := pipe.DatabaseCtx(ctx, k)
+		if err != nil {
+			return fmt.Errorf("annotate %s: %w", name, err)
+		}
+		if err := m.SaveDatabase(name, db); err != nil {
+			return err
+		}
+		progress("checkpointed %s to %s", name, m.Dir())
+	}
+	return nil
 }
 
 // serveDebug starts the live-inspection HTTP server in the background:
@@ -168,32 +292,60 @@ func serveDebug(addr string, tr *obs.Trace) {
 	}()
 }
 
-func loadInputs(poiPath, journeyPath string) ([]poi.POI, []trajectory.Journey) {
+// readDiagramFile loads a diagram written with -save-diagram.
+func readDiagramFile(path string) (*csd.Diagram, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load diagram: %w", err)
+	}
+	defer f.Close()
+	d, err := csd.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("load diagram %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// loadInputs reads both input files under the given failure policy,
+// wrapping every error with the file it came from. In lenient mode the
+// per-file skip statistics are reported on stderr.
+func loadInputs(poiPath, journeyPath string, opts load.Options) ([]poi.POI, []trajectory.Journey, error) {
 	pf, err := os.Open(poiPath)
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, fmt.Errorf("load pois: %w", err)
 	}
 	defer pf.Close()
-	pois, err := poi.ReadCSV(pf)
+	pois, pstats, err := poi.ReadCSVOptions(pf, opts)
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, fmt.Errorf("load pois %s: %w", poiPath, err)
 	}
 	jf, err := os.Open(journeyPath)
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, fmt.Errorf("load journeys: %w", err)
 	}
 	defer jf.Close()
-	journeys, err := trajectory.ReadJourneysCSV(jf)
+	journeys, jstats, err := trajectory.ReadJourneysCSVOptions(jf, opts)
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, fmt.Errorf("load journeys %s: %w", journeyPath, err)
+	}
+	if opts.Lenient {
+		if n := pstats.TotalSkipped(); n > 0 {
+			progress("pois: skipped %d bad rows (%s)", n, pstats)
+		}
+		if n := jstats.TotalSkipped(); n > 0 {
+			progress("journeys: skipped %d bad rows (%s)", n, jstats)
+		}
 	}
 	progress("loaded %d POIs, %d journeys", len(pois), len(journeys))
-	return pois, journeys
+	return pois, journeys, nil
 }
 
-func runDiagram(pipe *core.Pipeline) {
+func runDiagram(pipe *core.Pipeline, savePath string) error {
 	t0 := time.Now()
-	d := pipe.Diagram()
+	d, err := pipe.DiagramCtx(context.Background())
+	if err != nil {
+		return fmt.Errorf("build diagram: %w", err)
+	}
 	progress("City Semantic Diagram built in %.1fs", time.Since(t0).Seconds())
 	fmt.Printf("units: %d, POI coverage: %.1f%%, mean purity: %.3f\n",
 		len(d.Units), d.Coverage()*100, d.MeanUnitPurity())
@@ -210,11 +362,21 @@ func runDiagram(pipe *core.Pipeline) {
 		u := d.Units[units[i]]
 		fmt.Printf("  unit %4d: %4d POIs at %s  %s\n", u.ID, len(u.Members), u.Center, u.Semantics)
 	}
+	if savePath != "" {
+		if err := ckpt.WriteAtomic(savePath, d.Write); err != nil {
+			return fmt.Errorf("save diagram %s: %w", savePath, err)
+		}
+		progress("diagram written to %s", savePath)
+	}
+	return nil
 }
 
-func runRecognize(pipe *core.Pipeline, out string) {
+func runRecognize(pipe *core.Pipeline, out string) error {
 	t0 := time.Now()
-	db := pipe.Database(core.RecCSD)
+	db, err := pipe.DatabaseCtx(context.Background(), core.RecCSD)
+	if err != nil {
+		return fmt.Errorf("annotate journeys: %w", err)
+	}
 	annotated, total := 0, 0
 	for _, st := range db {
 		for _, sp := range st.Stays {
@@ -226,41 +388,28 @@ func runRecognize(pipe *core.Pipeline, out string) {
 	}
 	progress("recognized %d trajectories (%d/%d stays annotated) in %.1fs",
 		len(db), annotated, total, time.Since(t0).Seconds())
-	f, err := os.Create(out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	if err := trajectory.WriteSemanticJSON(f, db); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
+	if err := ckpt.WriteAtomic(out, func(w io.Writer) error {
+		return trajectory.WriteSemanticJSON(w, db)
+	}); err != nil {
+		return fmt.Errorf("write %s: %w", out, err)
 	}
 	progress("wrote %s", out)
+	return nil
 }
 
-func runMine(pipe *core.Pipeline, approach string, params pattern.Params, top int) {
-	var chosen *core.Approach
-	for _, a := range core.Approaches() {
-		if a.String() == approach {
-			a := a
-			chosen = &a
-			break
-		}
-	}
-	if chosen == nil {
-		log.Fatalf("unknown approach %q", approach)
-	}
+func runMine(pipe *core.Pipeline, a core.Approach, params pattern.Params, top int) error {
 	t0 := time.Now()
-	ps := pipe.Mine(*chosen, params)
+	ps, err := pipe.MineCtx(context.Background(), a, params)
+	if err != nil {
+		return fmt.Errorf("mine %s: %w", a, err)
+	}
 	s := metrics.Summarize(ps)
 	progress("%s mined %d patterns in %.1fs (σ=%d, ρ=%g, δt=%s)",
-		approach, len(ps), time.Since(t0).Seconds(), params.Sigma, params.Rho, params.DeltaT)
+		a, len(ps), time.Since(t0).Seconds(), params.Sigma, params.Rho, params.DeltaT)
 	fmt.Printf("approach=%s patterns=%d coverage=%d sparsity=%.1f consistency=%.3f\n",
-		approach, len(ps), s.Coverage, s.MeanSparsity, s.MeanConsistency)
+		a, len(ps), s.Coverage, s.MeanSparsity, s.MeanConsistency)
 
-	sort.Slice(ps, func(a, b int) bool { return ps[a].Support > ps[b].Support })
+	sort.Slice(ps, func(x, y int) bool { return ps[x].Support > ps[y].Support })
 	if top > len(ps) {
 		top = len(ps)
 	}
@@ -276,4 +425,5 @@ func runMine(pipe *core.Pipeline, approach string, params pattern.Params, top in
 		}
 		fmt.Println()
 	}
+	return nil
 }

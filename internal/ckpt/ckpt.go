@@ -1,0 +1,166 @@
+// Package ckpt persists the pipeline's expensive shared artifacts —
+// the City Semantic Diagram and the annotated trajectory databases —
+// so an interrupted run can resume past its completed stages instead
+// of recomputing them. Every write is atomic (temp file + fsync +
+// rename), so a checkpoint directory never holds a half-written
+// artifact; a checkpoint that fails to load (truncated, bit-flipped,
+// wrong format) is treated as absent, removed, and counted, never
+// crashed on. Because the pipeline is deterministic for any worker
+// count, a resumed run produces byte-identical output to an
+// uninterrupted one.
+package ckpt
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"csdm/internal/csd"
+	"csdm/internal/obs"
+	"csdm/internal/trajectory"
+)
+
+// The checkpoint file names inside a manager's directory. The diagram
+// uses the csd framed format (magic + length + CRC), so it is also a
+// valid -load-diagram file; the databases are the semantic-trajectory
+// JSON exchange format.
+const (
+	diagramFile = "diagram.csdf"
+)
+
+// dbFile names a database checkpoint ("db-csd.json", "db-roi.json").
+func dbFile(name string) string { return name + ".json" }
+
+// WriteAtomic writes a file through a same-directory temp file, fsyncs
+// it, and renames it into place, so a crash mid-write leaves either
+// the old file or nothing — never a torn one. The directory is synced
+// after the rename so the new name itself survives a crash.
+func WriteAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp for %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: install %s: %w", path, err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Manager owns one checkpoint directory. A nil Manager is valid and
+// means "checkpointing off": every Load reports absent and every Save
+// is a no-op, so call sites need no conditionals.
+type Manager struct {
+	dir string
+	tr  *obs.Trace
+}
+
+// New opens (creating if needed) a checkpoint directory. The trace
+// (nil-safe) receives ckpt.resume.<stage>, ckpt.saved.<stage> and
+// ckpt.corrupt.<stage> counters, which is how tests — and operators —
+// verify which stages a run actually skipped.
+func New(dir string, tr *obs.Trace) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: create checkpoint dir: %w", err)
+	}
+	return &Manager{dir: dir, tr: tr}, nil
+}
+
+// Dir returns the checkpoint directory ("" on a nil manager).
+func (m *Manager) Dir() string {
+	if m == nil {
+		return ""
+	}
+	return m.dir
+}
+
+// load opens the stage's file and decodes it with read. A missing file
+// is a plain "not checkpointed". A file that read rejects is corrupt:
+// it is counted, removed so the rebuilt artifact can replace it, and
+// reported as absent — resume degrades to recompute, never to a crash.
+func (m *Manager) load(stage, file string, read func(io.Reader) error) bool {
+	if m == nil {
+		return false
+	}
+	f, err := os.Open(filepath.Join(m.dir, file))
+	if err != nil {
+		return false
+	}
+	err = read(f)
+	f.Close()
+	if err != nil {
+		m.tr.Add("ckpt.corrupt."+stage, 1)
+		os.Remove(filepath.Join(m.dir, file))
+		return false
+	}
+	m.tr.Add("ckpt.resume."+stage, 1)
+	return true
+}
+
+// save atomically writes the stage's file.
+func (m *Manager) save(stage, file string, write func(io.Writer) error) error {
+	if m == nil {
+		return nil
+	}
+	if err := WriteAtomic(filepath.Join(m.dir, file), write); err != nil {
+		return err
+	}
+	m.tr.Add("ckpt.saved."+stage, 1)
+	return nil
+}
+
+// LoadDiagram returns the checkpointed City Semantic Diagram, or false
+// when none is available (absent or corrupt).
+func (m *Manager) LoadDiagram() (*csd.Diagram, bool) {
+	var d *csd.Diagram
+	ok := m.load("diagram", diagramFile, func(r io.Reader) error {
+		var err error
+		d, err = csd.Read(r)
+		return err
+	})
+	return d, ok
+}
+
+// SaveDiagram checkpoints the diagram.
+func (m *Manager) SaveDiagram(d *csd.Diagram) error {
+	return m.save("diagram", diagramFile, d.Write)
+}
+
+// LoadDatabase returns the checkpointed annotated database under the
+// given name ("db-csd", "db-roi"), or false when none is available.
+func (m *Manager) LoadDatabase(name string) ([]trajectory.SemanticTrajectory, bool) {
+	var db []trajectory.SemanticTrajectory
+	ok := m.load(name, dbFile(name), func(r io.Reader) error {
+		var err error
+		db, err = trajectory.ReadSemanticJSON(r)
+		return err
+	})
+	return db, ok
+}
+
+// SaveDatabase checkpoints an annotated database under the given name.
+func (m *Manager) SaveDatabase(name string, db []trajectory.SemanticTrajectory) error {
+	return m.save(name, dbFile(name), func(w io.Writer) error {
+		return trajectory.WriteSemanticJSON(w, db)
+	})
+}

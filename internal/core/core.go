@@ -9,12 +9,15 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"csdm/internal/csd"
 	"csdm/internal/exec"
+	"csdm/internal/fault"
 	"csdm/internal/geo"
 	"csdm/internal/index"
 	"csdm/internal/obs"
@@ -99,6 +102,19 @@ type Config struct {
 	Workers int
 	// Index selects the spatial-index backend of every stage.
 	Index index.Kind
+	// StageTimeout bounds each expensive stage — diagram construction,
+	// database annotation, per-approach extraction — with its own
+	// deadline. A stage that overruns fails with an error wrapping
+	// context.DeadlineExceeded while the run's own context stays live,
+	// so one stuck stage cannot hang a whole MineAll. Zero disables
+	// stage deadlines.
+	StageTimeout time.Duration
+	// DegradedFallback lets MineAll degrade instead of fail: when the
+	// CSD build or its annotation errors out (or hits StageTimeout),
+	// the CSD-recognizer approaches rerun on the ROI hot-region
+	// database and their results are flagged Degraded, trading the
+	// paper's recognition quality for availability.
+	DegradedFallback bool
 }
 
 // ExecOptions derives the execution-layer option bundle every stage
@@ -212,12 +228,40 @@ func (p *Pipeline) Diagram() *csd.Diagram {
 	return d
 }
 
+// stageCtx derives a stage-scoped context: with Config.StageTimeout
+// set, the stage gets its own deadline on top of the run's context.
+func (p *Pipeline) stageCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.cfg.StageTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, p.cfg.StageTimeout)
+}
+
+// stageErr classifies a stage failure: an overrun of the stage's own
+// deadline (run context still live) is wrapped with the stage name and
+// counted as core.stage.timeouts, so callers can tell "this stage was
+// too slow" from "the whole run was canceled".
+func (p *Pipeline) stageErr(run, stage context.Context, name string, err error) error {
+	if err == nil || run.Err() != nil {
+		return err
+	}
+	if errors.Is(stage.Err(), context.DeadlineExceeded) {
+		p.trace.Add("core.stage.timeouts", 1)
+		return fmt.Errorf("core: stage %s exceeded its %v deadline: %w", name, p.cfg.StageTimeout, err)
+	}
+	return err
+}
+
 // DiagramCtx is Diagram under a cancellation context: a canceled ctx
 // aborts an in-flight build with ctx.Err() without poisoning the cell —
-// a later call rebuilds.
+// a later call rebuilds. With Config.StageTimeout set the build runs
+// under its own stage deadline.
 func (p *Pipeline) DiagramCtx(ctx context.Context) (*csd.Diagram, error) {
 	return p.diagram.get(func() (*csd.Diagram, error) {
-		return csd.BuildContext(ctx, p.pois, p.StayPoints(), p.cfg.CSD, p.trace, p.cfg.ExecOptions())
+		sctx, cancel := p.stageCtx(ctx)
+		defer cancel()
+		d, err := csd.BuildContext(sctx, p.pois, p.StayPoints(), p.cfg.CSD, p.trace, p.cfg.ExecOptions())
+		return d, p.stageErr(ctx, sctx, "csd.build", err)
 	})
 }
 
@@ -225,6 +269,19 @@ func (p *Pipeline) DiagramCtx(ctx context.Context) (*csd.Diagram, error) {
 // of constructing one. It must be called before the first Diagram or
 // Database call; afterwards it has no effect.
 func (p *Pipeline) UseDiagram(d *csd.Diagram) { p.diagram.set(d) }
+
+// UseDatabase installs a pre-built (e.g. checkpoint-resumed) annotated
+// database for the given recognizer kind, skipping chaining and
+// annotation. It must be called before the first Database or Mine
+// call for that kind; afterwards it has no effect.
+func (p *Pipeline) UseDatabase(kind RecognizerKind, db []trajectory.SemanticTrajectory) {
+	switch kind {
+	case RecROI:
+		p.dbROI.set(db)
+	default:
+		p.dbCSD.set(db)
+	}
+}
 
 // ROIRecognizer returns the hot-region baseline recognizer, building it
 // on first use.
@@ -243,13 +300,20 @@ func (p *Pipeline) Database(kind RecognizerKind) []trajectory.SemanticTrajectory
 }
 
 // DatabaseCtx is Database under a cancellation context; annotation runs
-// on the configured worker pool. A canceled ctx aborts with ctx.Err()
-// and leaves the artifact unbuilt.
+// on the configured worker pool, under its own stage deadline when
+// Config.StageTimeout is set. A canceled ctx aborts with ctx.Err() and
+// leaves the artifact unbuilt.
 func (p *Pipeline) DatabaseCtx(ctx context.Context, kind RecognizerKind) ([]trajectory.SemanticTrajectory, error) {
+	annotate := func(r recognize.Recognizer) ([]trajectory.SemanticTrajectory, error) {
+		sctx, cancel := p.stageCtx(ctx)
+		defer cancel()
+		db, err := recognize.AnnotateJourneysCtx(sctx, p.journeys, p.cfg.Chain, r, p.trace, p.cfg.ExecOptions())
+		return db, p.stageErr(ctx, sctx, "recognize."+r.Name(), err)
+	}
 	switch kind {
 	case RecROI:
 		return p.dbROI.get(func() ([]trajectory.SemanticTrajectory, error) {
-			return recognize.AnnotateJourneysCtx(ctx, p.journeys, p.cfg.Chain, p.ROIRecognizer(), p.trace, p.cfg.ExecOptions())
+			return annotate(p.ROIRecognizer())
 		})
 	default:
 		return p.dbCSD.get(func() ([]trajectory.SemanticTrajectory, error) {
@@ -257,7 +321,7 @@ func (p *Pipeline) DatabaseCtx(ctx context.Context, kind RecognizerKind) ([]traj
 			if err != nil {
 				return nil, err
 			}
-			return recognize.AnnotateJourneysCtx(ctx, p.journeys, p.cfg.Chain, recognize.NewCSDRecognizer(d), p.trace, p.cfg.ExecOptions())
+			return annotate(recognize.NewCSDRecognizer(d))
 		})
 	}
 }
@@ -280,61 +344,163 @@ func (p *Pipeline) Mine(a Approach, params pattern.Params) []pattern.Pattern {
 	return ps
 }
 
+// extractCtx runs one approach's extraction stage under a stage
+// deadline, with the "core.extract" fault site guarding the entry.
+func (p *Pipeline) extractCtx(ctx context.Context, a Approach, db []trajectory.SemanticTrajectory, params pattern.Params) ([]pattern.Pattern, error) {
+	if err := fault.Hit("core.extract"); err != nil {
+		return nil, err
+	}
+	sctx, cancel := p.stageCtx(ctx)
+	defer cancel()
+	ps, err := extractor(a.Extractor).ExtractCtx(sctx, db, params, p.trace, p.cfg.ExecOptions())
+	return ps, p.stageErr(ctx, sctx, "extract."+a.String(), err)
+}
+
 // MineCtx is Mine under a cancellation context: recognition and
 // extraction run on the configured worker pool and a canceled ctx
-// aborts with ctx.Err().
+// aborts with ctx.Err(). With Config.DegradedFallback set, a CSD
+// approach whose database fails falls back to the ROI database
+// (counted as core.approach.degraded), same as in MineAllCtx.
 func (p *Pipeline) MineCtx(ctx context.Context, a Approach, params pattern.Params) ([]pattern.Pattern, error) {
 	db, err := p.DatabaseCtx(ctx, a.Recognizer)
+	if err != nil && a.Recognizer == RecCSD && p.cfg.DegradedFallback && ctx.Err() == nil {
+		if roiDB, roiErr := p.DatabaseCtx(ctx, RecROI); roiErr == nil {
+			p.trace.Add("core.approach.degraded", 1)
+			db, err = roiDB, nil
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	return extractor(a.Extractor).ExtractCtx(ctx, db, params, p.trace, p.cfg.ExecOptions())
+	return p.extractCtx(ctx, a, db, params)
 }
 
-// ApproachResult pairs an approach with its mined patterns.
+// ApproachResult pairs an approach with its mined patterns. Since a
+// MineAll no longer aborts on the first failing approach, the result
+// carries that approach's own error and degradation state.
 type ApproachResult struct {
 	Approach Approach
 	Patterns []pattern.Pattern
+	// Err is the approach's own failure (nil on success). One failed
+	// approach never hides the other five.
+	Err error
+	// Degraded marks a CSD approach that fell back to ROI recognition
+	// under Config.DegradedFallback after the CSD artifacts failed.
+	Degraded bool
 }
 
 // MineAll runs all six approaches under the same mining parameters; the
-// result is keyed by the approach's paper name.
+// result is keyed by the approach's paper name. Failed approaches are
+// omitted; degraded ones are included under their original name.
 func (p *Pipeline) MineAll(params pattern.Params) map[string][]pattern.Pattern {
 	res, _ := p.MineAllCtx(context.Background(), params)
 	out := make(map[string][]pattern.Pattern, len(res))
 	for _, r := range res {
-		out[r.Approach.String()] = r.Patterns
+		if r.Err == nil {
+			out[r.Approach.String()] = r.Patterns
+		}
 	}
 	return out
 }
 
+// errNotRun marks an approach whose fan-out task never executed
+// because the pool aborted first (cancellation or an injected fault).
+var errNotRun = errors.New("core: approach not run: fan-out aborted early")
+
+// shared is the per-MineAll snapshot of the two annotated databases.
+// Building them exactly once up front keeps the fan-out from racing on
+// the lazy cells and — deliberately — from retrying a failed build six
+// times: within one MineAll, a database either exists or is failed.
+type shared struct {
+	db  map[RecognizerKind][]trajectory.SemanticTrajectory
+	err map[RecognizerKind]error
+}
+
 // MineAllCtx runs all six approaches under the shared worker budget:
 // the shared recognition artifacts are built first, then the six
-// extractions fan out over the configured pool (bounded, unlike the
-// unbounded per-approach goroutines it replaces) and the results come
+// extractions fan out over the configured pool and the results come
 // back in Approaches() order for stable experiment output.
+//
+// Failure is isolated per approach: a failed or timed-out CSD build
+// fails (or, with Config.DegradedFallback, degrades) only the three
+// CSD approaches, a panicking extraction worker fails only its own
+// approach, and everything that succeeded is returned with a nil Err.
+// The returned error is non-nil only when the run's own context is
+// canceled — the one failure that genuinely applies to every approach.
 func (p *Pipeline) MineAllCtx(ctx context.Context, params pattern.Params) ([]ApproachResult, error) {
-	if _, err := p.DatabaseCtx(ctx, RecCSD); err != nil {
-		return nil, err
+	sh := shared{
+		db:  make(map[RecognizerKind][]trajectory.SemanticTrajectory),
+		err: make(map[RecognizerKind]error),
 	}
-	if _, err := p.DatabaseCtx(ctx, RecROI); err != nil {
+	for _, kind := range []RecognizerKind{RecCSD, RecROI} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sh.db[kind], sh.err[kind] = p.DatabaseCtx(ctx, kind)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	as := Approaches()
 	opt := p.cfg.ExecOptions()
 	p.trace.SetGauge("index.backend", float64(opt.Index))
 	exec.Note(p.trace, len(as), exec.Workers(opt.Workers))
-	patterns, err := exec.ParallelMap(ctx, opt.Workers, len(as), func(i int) ([]pattern.Pattern, error) {
-		return p.MineCtx(ctx, as[i], params)
-	})
-	if err != nil {
-		return nil, err
-	}
 	out := make([]ApproachResult, len(as))
 	for i, a := range as {
-		out[i] = ApproachResult{Approach: a, Patterns: patterns[i]}
+		// Prefill with a sentinel so a slot the fan-out never reaches
+		// (aborted pool) reads as failed, not as an empty success.
+		out[i] = ApproachResult{Approach: a, Err: errNotRun}
+	}
+	if pfErr := exec.ParallelFor(ctx, opt.Workers, len(as), func(i int) error {
+		out[i] = p.mineOne(ctx, as[i], params, sh)
+		return nil
+	}); pfErr != nil {
+		for i := range out {
+			if errors.Is(out[i].Err, errNotRun) {
+				out[i].Err = fmt.Errorf("%w: %w", errNotRun, pfErr)
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, r := range out {
+		if r.Err != nil {
+			p.trace.Add("core.approach.failures", 1)
+			var pe *exec.PanicError
+			if errors.As(r.Err, &pe) {
+				p.trace.Add("exec.panics", 1)
+			}
+		}
 	}
 	return out, nil
+}
+
+// mineOne runs one approach inside a MineAll fan-out. It never lets a
+// failure escape: errors land in the result's Err, and a panic from
+// the approach's own goroutine is recovered into an *exec.PanicError
+// so the sibling approaches keep running.
+func (p *Pipeline) mineOne(ctx context.Context, a Approach, params pattern.Params, sh shared) (res ApproachResult) {
+	res.Approach = a
+	defer func() {
+		if v := recover(); v != nil {
+			res.Err = exec.NewPanicError(v)
+		}
+	}()
+	kind := a.Recognizer
+	if sh.err[kind] != nil && kind == RecCSD && p.cfg.DegradedFallback && sh.err[RecROI] == nil {
+		// The degradation ladder's one rung: CSD recognition is gone,
+		// ROI recognition still works — mine on the coarser database
+		// rather than returning nothing.
+		p.trace.Add("core.approach.degraded", 1)
+		kind, res.Degraded = RecROI, true
+	}
+	if err := sh.err[kind]; err != nil {
+		res.Err = err
+		return res
+	}
+	res.Patterns, res.Err = p.extractCtx(ctx, a, sh.db[kind], params)
+	return res
 }
 
 // Journeys returns the pipeline's journey log.

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"csdm/internal/load"
+	"csdm/internal/poi"
+	"csdm/internal/synth"
+	"csdm/internal/trajectory"
+)
+
+// corruption mangles one CSV data line and names the skip reason the
+// lenient loader must report for it.
+type corruption struct {
+	reason string
+	mangle func(fields []string) []string
+}
+
+// corruptEvery rewrites every n-th data line of a CSV (the header is
+// left alone), rotating through the corruption flavors, and returns
+// the dirty text plus the exact per-reason damage counts.
+func corruptEvery(text string, n int, flavors []corruption) (string, map[string]int, int) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	want := map[string]int{}
+	clean := 0
+	for i := 1; i < len(lines); i++ {
+		if i%n != 0 {
+			clean++
+			continue
+		}
+		c := flavors[(i/n)%len(flavors)]
+		lines[i] = strings.Join(c.mangle(strings.Split(lines[i], ",")), ",")
+		want[c.reason]++
+	}
+	return strings.Join(lines, "\n") + "\n", want, clean
+}
+
+// TestDirtyDatasetEndToEnd is the ingestion acceptance check: a
+// synthetic dataset with ~5% of rows corrupted loads leniently with
+// exactly the damaged rows skipped — counted by reason — and the
+// pipeline mines all six approaches from what survived.
+func TestDirtyDatasetEndToEnd(t *testing.T) {
+	scfg := synth.DefaultConfig()
+	scfg.Seed = 11
+	scfg.NumPOIs = 1000
+	scfg.NumPassengers = 100
+	scfg.Days = 3
+	city := synth.NewCity(scfg)
+	w := city.GenerateWorkload()
+
+	var poiCSV, jCSV bytes.Buffer
+	if err := poi.WriteCSV(&poiCSV, city.POIs); err != nil {
+		t.Fatal(err)
+	}
+	if err := trajectory.WriteJourneysCSV(&jCSV, w.Journeys); err != nil {
+		t.Fatal(err)
+	}
+
+	// POI rows are id,name,lon,lat,minor; journey rows are
+	// taxi,passenger,plon,plat,ptime,dlon,dlat,dtime. Every 20th row
+	// (5%) is damaged, rotating through distinct failure flavors.
+	dirtyPOIs, wantPOI, cleanPOIs := corruptEvery(poiCSV.String(), 20, []corruption{
+		{"id", func(f []string) []string { f[0] = "x"; return f }},
+		{"coord-nan", func(f []string) []string { f[2] = "NaN"; return f }},
+		{"coord-lat-range", func(f []string) []string { f[3] = "95"; return f }},
+		{"csv", func(f []string) []string { return f[:3] }},
+	})
+	dirtyJs, wantJ, cleanJs := corruptEvery(jCSV.String(), 20, []corruption{
+		{"id", func(f []string) []string { f[0] = "x"; return f }},
+		{"coord-nan", func(f []string) []string { f[2] = "NaN"; return f }},
+		{"time", func(f []string) []string { f[4] = "never"; return f }},
+		{"csv", func(f []string) []string { return f[:3] }},
+	})
+
+	ps, pstats, err := poi.ReadCSVOptions(strings.NewReader(dirtyPOIs), load.Options{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, jstats, err := trajectory.ReadJourneysCSVOptions(strings.NewReader(dirtyJs), load.Options{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(ps) != cleanPOIs || pstats.Rows != cleanPOIs {
+		t.Fatalf("POIs kept %d (stats %d), want %d", len(ps), pstats.Rows, cleanPOIs)
+	}
+	if len(js) != cleanJs || jstats.Rows != cleanJs {
+		t.Fatalf("journeys kept %d (stats %d), want %d", len(js), jstats.Rows, cleanJs)
+	}
+	for reason, want := range wantPOI {
+		if got := pstats.Skipped[reason]; got != want {
+			t.Errorf("poi skipped[%s] = %d, want %d", reason, got, want)
+		}
+	}
+	for reason, want := range wantJ {
+		if got := jstats.Skipped[reason]; got != want {
+			t.Errorf("journey skipped[%s] = %d, want %d", reason, got, want)
+		}
+	}
+
+	p := NewPipeline(ps, js, DefaultConfig())
+	res, err := p.MineAllCtx(context.Background(), testMiningParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined := 0
+	for _, r := range res {
+		if r.Err != nil {
+			t.Errorf("%s on dirty data: %v", r.Approach, r.Err)
+		}
+		mined += len(r.Patterns)
+	}
+	if mined == 0 {
+		t.Error("no approach mined any pattern from the surviving 95%")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"csdm/internal/exec"
+	"csdm/internal/fault"
 	"csdm/internal/geo"
 	"csdm/internal/index"
 	"csdm/internal/obs"
@@ -45,7 +46,11 @@ func BuildContext(ctx context.Context, pois []poi.POI, stays []geo.Point, params
 		kernel: newKernelFor(params),
 	}
 	sp := root.Start("popularity")
-	pop, err := popularity(ctx, pois, stays, d.kernel, opt)
+	err := fault.Hit("csd.popularity")
+	var pop []float64
+	if err == nil {
+		pop, err = popularity(ctx, pois, stays, d.kernel, opt)
+	}
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -54,7 +59,11 @@ func BuildContext(ctx context.Context, pois []poi.POI, stays []geo.Point, params
 	exec.Note(tr, len(pois), exec.Workers(opt.Workers))
 
 	sp = root.Start("clustering")
-	clusters, leftover, err := d.popularityClusters(ctx, opt.Index)
+	var clusters [][]int
+	var leftover []int
+	if err = fault.Hit("csd.clustering"); err == nil {
+		clusters, leftover, err = d.popularityClusters(ctx, opt.Index)
+	}
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -63,7 +72,9 @@ func BuildContext(ctx context.Context, pois []poi.POI, stays []geo.Point, params
 
 	if !params.SkipPurification {
 		sp = root.Start("purification")
-		clusters, err = d.purify(ctx, clusters, tr, opt)
+		if err = fault.Hit("csd.purification"); err == nil {
+			clusters, err = d.purify(ctx, clusters, tr, opt)
+		}
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -72,7 +83,9 @@ func BuildContext(ctx context.Context, pois []poi.POI, stays []geo.Point, params
 	if !params.SkipMerging {
 		sp = root.Start("merging")
 		before := len(clusters)
-		clusters, leftover, err = d.merge(ctx, clusters, leftover, opt.Index)
+		if err = fault.Hit("csd.merging"); err == nil {
+			clusters, leftover, err = d.merge(ctx, clusters, leftover, opt.Index)
+		}
 		sp.End()
 		if err != nil {
 			return nil, err

@@ -1,0 +1,116 @@
+package csd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"csdm/internal/poi"
+)
+
+// fuzzSeedDiagram serializes a small valid diagram for the fuzz corpus.
+func fuzzSeedDiagram() []byte {
+	rng := rand.New(rand.NewSource(7))
+	var pois []poi.POI
+	pois = append(pois, blockOf(rng, 1, poi.Restaurant, 0, 0, 8, 6)...)
+	pois = append(pois, blockOf(rng, 50, poi.BusinessOffice, 400, 0, 8, 6)...)
+	d := Build(pois, uniformStays(500, 60), DefaultParams())
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadDiagram pins the hardened-loader contract: Read on arbitrary
+// bytes returns a descriptive error or a diagram that round-trips —
+// never a panic, and never unbounded allocation from a hostile header.
+func FuzzReadDiagram(f *testing.F) {
+	valid := fuzzSeedDiagram()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])       // truncated payload
+	f.Add(valid[:headerSize])         // header only
+	f.Add(valid[:3])                  // truncated header
+	f.Add([]byte{})                   // empty
+	f.Add([]byte(`{"version":1}`))    // legacy JSON, incomplete
+	f.Add([]byte("CSDFgarbagegarbagegarbage"))
+	// Hostile length field: header claims 2^60 payload bytes.
+	hostile := append([]byte(nil), valid[:headerSize]...)
+	for i := 5; i < 13; i++ {
+		hostile[i] = 0xff
+	}
+	f.Add(append(hostile, valid[headerSize:]...))
+	// Bit flip in the payload (CRC must catch it).
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message")
+			}
+			return
+		}
+		// A diagram Read accepts must survive a write/read round trip.
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			t.Fatalf("rewrite of accepted diagram: %v", err)
+		}
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("reread of accepted diagram: %v", err)
+		}
+	})
+}
+
+func TestReadRejectsCorruptInputs(t *testing.T) {
+	valid := fuzzSeedDiagram()
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     valid[:5],
+		"bad magic":        append([]byte("XXXX"), valid[4:]...),
+		"truncated":        valid[:len(valid)-10],
+		"header only":      valid[:headerSize],
+		"legacy garbage":   []byte(`{"version":99}`),
+		"not a file":       []byte("hello world, this is not a diagram"),
+	}
+	// Bit flips anywhere in the payload must fail the CRC.
+	for _, off := range []int{headerSize, headerSize + 37, len(valid) - 2} {
+		flipped := append([]byte(nil), valid...)
+		flipped[off] ^= 0x01
+		cases["bitflip@"+string(rune('a'+off%26))] = flipped
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Read accepted corrupt input", name)
+		}
+	}
+}
+
+// TestReadLegacyFormat keeps the pre-framing bare-JSON format loadable.
+func TestReadLegacyFormat(t *testing.T) {
+	framed := fuzzSeedDiagram()
+	legacy := framed[headerSize:] // the payload is exactly the legacy format
+	d, err := Read(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy read: %v", err)
+	}
+	if len(d.Units) == 0 {
+		t.Fatal("legacy read lost the units")
+	}
+}
+
+// TestReadHostileLengthDoesNotAllocate pins the no-unbounded-allocation
+// property: a header claiming an enormous payload fails fast instead of
+// sizing a buffer from the untrusted field.
+func TestReadHostileLengthDoesNotAllocate(t *testing.T) {
+	valid := fuzzSeedDiagram()
+	hostile := append([]byte(nil), valid...)
+	for i := 5; i < 13; i++ {
+		hostile[i] = 0xff
+	}
+	if _, err := Read(bytes.NewReader(hostile)); err == nil {
+		t.Fatal("hostile length accepted")
+	}
+}

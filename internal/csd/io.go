@@ -1,8 +1,11 @@
 package csd
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"csdm/internal/index"
@@ -25,9 +28,26 @@ type diagramFile struct {
 // diagramFileVersion guards the persistence format.
 const diagramFileVersion = 1
 
-// Write serializes the diagram as JSON. A diagram built once from a
-// large POI corpus can be reused across sessions without re-running
-// construction.
+// The framed container around the JSON payload: a fixed header of
+// magic, format version, payload length and payload CRC. The header
+// lets Read reject truncated or bit-flipped files before trusting any
+// content — checkpoint resume depends on never loading a half-written
+// diagram — and the length is only ever used to bound reading, never to
+// size an allocation, so a hostile length cannot drive memory use.
+const (
+	diagramMagic   = "CSDF"
+	framingVersion = 1
+	headerSize     = 4 + 1 + 8 + 4 // magic + version byte + length + CRC32
+)
+
+// crcTable is the Castagnoli polynomial table shared by Write and Read.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Write serializes the diagram: a fixed header (magic "CSDF", framing
+// version, payload length, CRC-32C of the payload) followed by the JSON
+// payload. A diagram built once from a large POI corpus can be reused
+// across sessions without re-running construction, and the header lets
+// a reader detect truncation or corruption instead of trusting it.
 func (d *Diagram) Write(w io.Writer) error {
 	f := diagramFile{
 		Version: diagramFileVersion,
@@ -39,19 +59,94 @@ func (d *Diagram) Write(w io.Writer) error {
 	for i, u := range d.Units {
 		f.Units[i] = u.Members
 	}
-	if err := json.NewEncoder(w).Encode(f); err != nil {
+	var payload bytes.Buffer
+	if err := json.NewEncoder(&payload).Encode(f); err != nil {
 		return fmt.Errorf("csd: encode diagram: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[0:4], diagramMagic)
+	hdr[4] = framingVersion
+	binary.LittleEndian.PutUint64(hdr[5:13], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[13:17], crc32.Checksum(payload.Bytes(), crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("csd: write header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("csd: write payload: %w", err)
 	}
 	return nil
 }
 
-// Read loads a diagram written by Write and rebuilds its derived state
-// (unit semantics, centers, the member index).
+// crcReader computes a running CRC-32C over everything read through it.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+	n   int64
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crcTable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// Read loads a diagram written by Write, verifying the header frame
+// (magic, version, exact payload length, CRC) before rebuilding the
+// derived state (unit semantics, centers, the member index). Legacy
+// headerless files (bare JSON from before the framed format) are still
+// accepted. Any truncated, corrupt or adversarial input yields a
+// descriptive error — never a panic, and never an allocation sized by
+// an untrusted field: the payload is streamed through the decoder under
+// an io.LimitReader, so a hostile length bounds reading, not memory.
 func Read(r io.Reader) (*Diagram, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("csd: truncated diagram header: %w", err)
+		}
+		return nil, fmt.Errorf("csd: read diagram header: %w", err)
+	}
 	var f diagramFile
-	if err := json.NewDecoder(r).Decode(&f); err != nil {
+	if string(hdr[0:4]) != diagramMagic {
+		// Legacy format: bare JSON, no integrity frame. The first byte of
+		// a JSON object is '{'; anything else is garbage.
+		if hdr[0] != '{' {
+			return nil, fmt.Errorf("csd: bad magic %q: not a diagram file", hdr[0:4])
+		}
+		if err := json.NewDecoder(io.MultiReader(bytes.NewReader(hdr[:]), r)).Decode(&f); err != nil {
+			return nil, fmt.Errorf("csd: decode legacy diagram: %w", err)
+		}
+		return diagramFromFile(f)
+	}
+	if v := hdr[4]; v != framingVersion {
+		return nil, fmt.Errorf("csd: unsupported framing version %d", v)
+	}
+	length := binary.LittleEndian.Uint64(hdr[5:13])
+	wantCRC := binary.LittleEndian.Uint32(hdr[13:17])
+	cr := &crcReader{r: io.LimitReader(r, int64(length))}
+	if err := json.NewDecoder(cr).Decode(&f); err != nil {
 		return nil, fmt.Errorf("csd: decode diagram: %w", err)
 	}
+	// Drain the decoder's unread remainder (trailing whitespace from
+	// Encode) so the CRC covers the full payload, then check the frame.
+	if _, err := io.Copy(io.Discard, cr); err != nil {
+		return nil, fmt.Errorf("csd: read payload: %w", err)
+	}
+	if uint64(cr.n) != length {
+		return nil, fmt.Errorf("csd: truncated payload: %d of %d bytes", cr.n, length)
+	}
+	if cr.crc != wantCRC {
+		return nil, fmt.Errorf("csd: payload checksum mismatch: got %08x, want %08x", cr.crc, wantCRC)
+	}
+	return diagramFromFile(f)
+}
+
+// diagramFromFile validates a decoded payload and materializes the
+// diagram. Every cross-reference is bounds-checked before use so a
+// corrupt payload that survives the CRC (or a legacy file) still cannot
+// crash the loader.
+func diagramFromFile(f diagramFile) (*Diagram, error) {
 	if f.Version != diagramFileVersion {
 		return nil, fmt.Errorf("csd: unsupported diagram version %d", f.Version)
 	}

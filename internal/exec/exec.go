@@ -8,6 +8,13 @@
 // budget of one the loop runs inline, reproducing the sequential
 // pipeline exactly.
 //
+// Worker panics never escape the pool: each task runs under a recover
+// that converts a panic into a *PanicError carrying the panicking
+// task's stack, which then propagates through the normal first-error
+// path — the pool drains, siblings are canceled, and the caller gets an
+// error instead of a crashed process. The process-wide panic total is
+// readable via Panics.
+//
 // The package also defines Options, the cross-cutting knob bundle —
 // worker budget plus spatial-index backend — that flows from
 // core.Config into every stage, and Note, which records a stage's
@@ -16,13 +23,63 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"csdm/internal/fault"
 	"csdm/internal/index"
 	"csdm/internal/obs"
 )
+
+// PanicError is a worker panic converted to an error: the recovered
+// value plus the stack captured at the panic site. It propagates
+// through the pool's first-error path like any task failure.
+type PanicError struct {
+	// Value is the value the task panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: task panic: %v\n%s", e.Value, e.Stack)
+}
+
+// panics counts every recovered worker panic process-wide, feeding the
+// exec.panics telemetry counter and the debug endpoints.
+var panics atomic.Int64
+
+// Panics returns the process-wide count of recovered worker panics.
+func Panics() int64 { return panics.Load() }
+
+// NewPanicError records a recovered panic value as a *PanicError,
+// capturing the current stack and bumping the process-wide panic
+// count. Recover sites outside the pool (e.g. per-approach mining)
+// use it so every isolated panic is accounted the same way.
+func NewPanicError(v any) *PanicError {
+	panics.Add(1)
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// call runs one task with panic isolation: a panicking fn(i) yields a
+// *PanicError instead of unwinding the worker goroutine. The "exec.task"
+// fault site fires before the task body, so injected errors and panics
+// exercise exactly the paths real task failures take.
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = NewPanicError(v)
+		}
+	}()
+	if err := fault.Hit("exec.task"); err != nil {
+		return err
+	}
+	return fn(i)
+}
 
 // Options carries the execution-layer knobs every pipeline stage
 // shares. The zero value means "all cores, grid index".
@@ -66,7 +123,7 @@ func ParallelFor(ctx context.Context, workers, n int, fn func(i int) error) erro
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := call(fn, i); err != nil {
 				return err
 			}
 		}
@@ -100,7 +157,7 @@ func ParallelFor(ctx context.Context, workers, n int, fn func(i int) error) erro
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := call(fn, i); err != nil {
 					fail(err)
 					return
 				}

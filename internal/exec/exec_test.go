@@ -3,8 +3,11 @@ package exec
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
+
+	"csdm/internal/fault"
 )
 
 func TestParallelForRunsEveryIndexOnce(t *testing.T) {
@@ -121,5 +124,75 @@ func TestParallelForEmptyAndWorkerResolution(t *testing.T) {
 	}
 	if Workers(7) != 7 {
 		t.Fatal("Workers must pass positive budgets through")
+	}
+}
+
+// TestPanicIsolation pins the panic contract for both the inline and
+// pooled paths: a panicking task surfaces as a *PanicError with the
+// panic value and a captured stack, the pool drains without deadlock,
+// and the process-wide panic counter advances.
+func TestPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		before := Panics()
+		err := ParallelFor(context.Background(), workers, 100, func(i int) error {
+			if i == 7 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("workers=%d: missing stack or value in %q", workers, err)
+		}
+		if Panics() <= before {
+			t.Fatalf("workers=%d: panic counter did not advance", workers)
+		}
+	}
+}
+
+// TestPanicPoolStaysReusable proves a panicked pool leaves the package
+// in a working state: the very next ParallelFor completes every task.
+func TestPanicPoolStaysReusable(t *testing.T) {
+	_ = ParallelFor(context.Background(), 4, 50, func(i int) error {
+		panic(i)
+	})
+	var ran atomic.Int64
+	if err := ParallelFor(context.Background(), 4, 500, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 500 {
+		t.Fatalf("ran %d/500 tasks after a panicked pool", ran.Load())
+	}
+}
+
+// TestFaultSiteExecTask drives the exec.task injection site through
+// both the error and panic kinds.
+func TestFaultSiteExecTask(t *testing.T) {
+	in, err := fault.Parse("exec.task:error:3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Activate(in)
+	defer fault.Activate(nil)
+	err = ParallelFor(context.Background(), 1, 10, func(i int) error { return nil })
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+
+	in, _ = fault.Parse("exec.task:panic:2", 1)
+	fault.Activate(in)
+	err = ParallelFor(context.Background(), 4, 10, func(i int) error { return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) || !fault.IsInjectedPanic(pe.Value) {
+		t.Fatalf("err = %v, want *PanicError carrying an injected panic", err)
 	}
 }

@@ -26,10 +26,61 @@ func (p Point) String() string {
 
 // Valid reports whether the point is a finite coordinate inside the
 // legal WGS84 ranges.
-func (p Point) Valid() bool {
-	return !math.IsNaN(p.Lon) && !math.IsNaN(p.Lat) &&
-		!math.IsInf(p.Lon, 0) && !math.IsInf(p.Lat, 0) &&
-		p.Lon >= -180 && p.Lon <= 180 && p.Lat >= -90 && p.Lat <= 90
+func (p Point) Valid() bool { return p.Check() == nil }
+
+// CoordError reports why a coordinate pair is invalid. Reason is one of
+// "nan", "inf", "lon-range", "lat-range" — stable keys the lenient
+// loaders use as per-reason skip counters.
+type CoordError struct {
+	Reason string
+	Lon    float64
+	Lat    float64
+}
+
+// Error implements the error interface.
+func (e *CoordError) Error() string {
+	return fmt.Sprintf("geo: invalid coordinate (%v, %v): %s", e.Lon, e.Lat, e.Reason)
+}
+
+// CheckCoord classifies a lon/lat pair: nil when it is a finite WGS84
+// coordinate, otherwise a *CoordError naming the first violated rule
+// (NaN, then ±Inf, then longitude range, then latitude range).
+func CheckCoord(lon, lat float64) error {
+	switch {
+	case math.IsNaN(lon) || math.IsNaN(lat):
+		return &CoordError{Reason: "nan", Lon: lon, Lat: lat}
+	case math.IsInf(lon, 0) || math.IsInf(lat, 0):
+		return &CoordError{Reason: "inf", Lon: lon, Lat: lat}
+	case lon < -180 || lon > 180:
+		return &CoordError{Reason: "lon-range", Lon: lon, Lat: lat}
+	case lat < -90 || lat > 90:
+		return &CoordError{Reason: "lat-range", Lon: lon, Lat: lat}
+	}
+	return nil
+}
+
+// Check is CheckCoord on the point's own coordinates.
+func (p Point) Check() error { return CheckCoord(p.Lon, p.Lat) }
+
+// Clamp returns the nearest valid point: longitude and latitude are
+// clamped into their WGS84 ranges (infinities land on the range edge)
+// and NaN components collapse to zero. Synthetic generators clamp
+// jittered coordinates so generated datasets always pass the loaders'
+// validation.
+func Clamp(p Point) Point {
+	return Point{Lon: clampCoord(p.Lon, 180), Lat: clampCoord(p.Lat, 90)}
+}
+
+func clampCoord(v, limit float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v < -limit:
+		return -limit
+	case v > limit:
+		return limit
+	}
+	return v
 }
 
 // Haversine returns the great-circle distance between a and b in meters.

@@ -1,6 +1,7 @@
 package geo
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -316,5 +317,62 @@ func BenchmarkProjectionToMeters(b *testing.B) {
 	p := Point{Lon: 121.48, Lat: 31.24}
 	for i := 0; i < b.N; i++ {
 		pr.ToMeters(p)
+	}
+}
+
+func TestCheckCoordReasons(t *testing.T) {
+	cases := []struct {
+		lon, lat float64
+		reason   string // "" = valid
+	}{
+		{0, 0, ""},
+		{121.47, 31.23, ""},
+		{-180, -90, ""},
+		{180, 90, ""},
+		{math.NaN(), 0, "nan"},
+		{0, math.NaN(), "nan"},
+		{math.Inf(1), 0, "inf"},
+		{0, math.Inf(-1), "inf"},
+		{181, 0, "lon-range"},
+		{-180.001, 0, "lon-range"},
+		{0, 91, "lat-range"},
+		{0, -90.5, "lat-range"},
+		// NaN wins over a range violation, matching the documented order.
+		{math.NaN(), 200, "nan"},
+	}
+	for _, c := range cases {
+		err := CheckCoord(c.lon, c.lat)
+		if c.reason == "" {
+			if err != nil {
+				t.Errorf("CheckCoord(%v, %v) = %v, want nil", c.lon, c.lat, err)
+			}
+			continue
+		}
+		var ce *CoordError
+		if !errors.As(err, &ce) || ce.Reason != c.reason {
+			t.Errorf("CheckCoord(%v, %v) = %v, want reason %q", c.lon, c.lat, err, c.reason)
+		}
+		if p := (Point{Lon: c.lon, Lat: c.lat}); p.Valid() {
+			t.Errorf("Point(%v, %v).Valid() = true with reason %q", c.lon, c.lat, c.reason)
+		}
+	}
+}
+
+func TestClampProducesValidPoints(t *testing.T) {
+	cases := []struct{ in, want Point }{
+		{Point{Lon: 121, Lat: 31}, Point{Lon: 121, Lat: 31}},
+		{Point{Lon: 200, Lat: -100}, Point{Lon: 180, Lat: -90}},
+		{Point{Lon: -999, Lat: 99}, Point{Lon: -180, Lat: 90}},
+		{Point{Lon: math.Inf(1), Lat: math.Inf(-1)}, Point{Lon: 180, Lat: -90}},
+		{Point{Lon: math.NaN(), Lat: math.NaN()}, Point{}},
+	}
+	for _, c := range cases {
+		got := Clamp(c.in)
+		if got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+		if !got.Valid() {
+			t.Errorf("Clamp(%v) = %v is invalid", c.in, got)
+		}
 	}
 }

@@ -1,0 +1,122 @@
+// Package load holds the lenient-ingestion plumbing the POI and journey
+// loaders share: the option bundle that switches a loader from
+// fail-fast to skip-and-count, the per-reason skip statistics, and the
+// bad-row budget that keeps "lenient" from meaning "silently eat a
+// garbage file". Real municipal GPS feeds are dirty as a rule — rows
+// with NaN coordinates, truncated lines, unparseable timestamps — and
+// the pipeline's job is to mine around them while reporting exactly
+// what it dropped and why.
+package load
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"csdm/internal/obs"
+)
+
+// ErrBudget is the sentinel wrapped by the error a loader returns when
+// a lenient load skips more rows than its budget allows.
+var ErrBudget = errors.New("bad-row budget exceeded")
+
+// Options selects a loader's failure policy. The zero value is the
+// strict historical behavior: the first malformed row fails the load.
+type Options struct {
+	// Lenient skips malformed rows (counting each skip by reason)
+	// instead of failing the load.
+	Lenient bool
+	// MaxBadRows caps the rows a lenient load may skip; once exceeded
+	// the load fails with an error wrapping ErrBudget. Zero or negative
+	// means unlimited.
+	MaxBadRows int
+	// Trace receives per-reason skip counters (nil-safe).
+	Trace *obs.Trace
+}
+
+// Stats reports what one load accepted and skipped.
+type Stats struct {
+	// Rows is the count of rows parsed and kept.
+	Rows int
+	// Skipped counts skipped rows by reason key (e.g. "coord-nan",
+	// "time", "csv").
+	Skipped map[string]int
+}
+
+// Skip records one skipped row under the given reason.
+func (s *Stats) Skip(reason string) {
+	if s.Skipped == nil {
+		s.Skipped = make(map[string]int)
+	}
+	s.Skipped[reason]++
+}
+
+// TotalSkipped returns the number of rows skipped across all reasons.
+func (s *Stats) TotalSkipped() int {
+	n := 0
+	for _, c := range s.Skipped {
+		n += c
+	}
+	return n
+}
+
+// OverBudget reports whether the skips exceed the options' budget.
+func (s *Stats) OverBudget(opts Options) bool {
+	return opts.MaxBadRows > 0 && s.TotalSkipped() > opts.MaxBadRows
+}
+
+// String renders the stats compactly, reasons in sorted order, e.g.
+// "9500 rows, 12 skipped (coord-nan:7 time:5)".
+func (s *Stats) String() string {
+	if s.TotalSkipped() == 0 {
+		return fmt.Sprintf("%d rows, 0 skipped", s.Rows)
+	}
+	reasons := make([]string, 0, len(s.Skipped))
+	for r := range s.Skipped {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	out := fmt.Sprintf("%d rows, %d skipped (", s.Rows, s.TotalSkipped())
+	for i, r := range reasons {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", r, s.Skipped[r])
+	}
+	return out + ")"
+}
+
+// Note publishes the stats on a trace as load.<name>.rows plus one
+// load.<name>.skipped.<reason> counter per reason (nil-safe).
+func (s *Stats) Note(tr *obs.Trace, name string) {
+	tr.Add("load."+name+".rows", int64(s.Rows))
+	for reason, count := range s.Skipped {
+		tr.Add("load."+name+".skipped."+reason, int64(count))
+	}
+}
+
+// RowError tags a row-level parse failure with the stable reason key
+// the skip statistics use. Loaders wrap every row rejection in one so
+// lenient mode can classify it and strict mode can surface the
+// underlying message unchanged.
+type RowError struct {
+	Reason string
+	Err    error
+}
+
+// Error implements the error interface, delegating to the wrapped
+// error so strict-mode messages are unchanged by the tagging.
+func (e *RowError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *RowError) Unwrap() error { return e.Err }
+
+// Reason extracts a RowError's reason key, defaulting to "csv" for
+// reader-level errors that never got a tag.
+func Reason(err error) string {
+	var re *RowError
+	if errors.As(err, &re) {
+		return re.Reason
+	}
+	return "csv"
+}

@@ -1,0 +1,75 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"csdm/internal/obs"
+)
+
+func TestStatsSkipAndBudget(t *testing.T) {
+	var s Stats
+	s.Rows = 10
+	s.Skip("coord-nan")
+	s.Skip("coord-nan")
+	s.Skip("time")
+	if got := s.TotalSkipped(); got != 3 {
+		t.Fatalf("TotalSkipped = %d, want 3", got)
+	}
+	if s.OverBudget(Options{}) {
+		t.Error("over budget with no budget set")
+	}
+	if s.OverBudget(Options{MaxBadRows: 3}) {
+		t.Error("over budget at exactly the budget")
+	}
+	if !s.OverBudget(Options{MaxBadRows: 2}) {
+		t.Error("not over budget one past it")
+	}
+	if got, want := s.String(), "10 rows, 3 skipped (coord-nan:2 time:1)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestStatsString_Clean(t *testing.T) {
+	s := Stats{Rows: 5}
+	if got := s.String(); got != "5 rows, 0 skipped" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestStatsNote(t *testing.T) {
+	var s Stats
+	s.Rows = 7
+	s.Skip("id")
+	tr := obs.New()
+	s.Note(tr, "poi")
+	if got := tr.Counter("load.poi.rows"); got != 7 {
+		t.Errorf("rows counter = %d", got)
+	}
+	if got := tr.Counter("load.poi.skipped.id"); got != 1 {
+		t.Errorf("skip counter = %d", got)
+	}
+	// A nil trace is a no-op, not a crash.
+	s.Note(nil, "poi")
+}
+
+func TestRowErrorReasonAndUnwrap(t *testing.T) {
+	inner := errors.New("bad id")
+	re := &RowError{Reason: "id", Err: fmt.Errorf("line 3: %w", inner)}
+	if Reason(re) != "id" {
+		t.Errorf("Reason = %q", Reason(re))
+	}
+	if Reason(fmt.Errorf("wrapped: %w", re)) != "id" {
+		t.Error("Reason does not see through wrapping")
+	}
+	if Reason(errors.New("reader exploded")) != "csv" {
+		t.Error("untagged error did not default to csv")
+	}
+	if !errors.Is(re, inner) {
+		t.Error("Unwrap chain broken")
+	}
+	if re.Error() != "line 3: bad id" {
+		t.Errorf("Error() = %q", re.Error())
+	}
+}

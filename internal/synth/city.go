@@ -333,7 +333,7 @@ func (c *City) placeAt(rng *rand.Rand, s Site) geo.Point {
 		m.X += rng.NormFloat64() * 40
 		m.Y += rng.NormFloat64() * 40
 	}
-	return c.Proj.ToPoint(m)
+	return geo.Clamp(c.Proj.ToPoint(m))
 }
 
 // sampleMajor draws a major category from the Table 3 distribution.

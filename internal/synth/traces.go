@@ -156,5 +156,5 @@ func (c *City) traceNoise(rng *rand.Rand, cfg TraceConfig, p geo.Point) geo.Poin
 	m := c.Proj.ToMeters(p)
 	m.X += rng.NormFloat64() * cfg.NoiseMeters
 	m.Y += rng.NormFloat64() * cfg.NoiseMeters
-	return c.Proj.ToPoint(m)
+	return geo.Clamp(c.Proj.ToPoint(m))
 }

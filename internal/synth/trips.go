@@ -199,7 +199,8 @@ func (c *City) makeJourney(rng *rand.Rand, taxi, passenger int64, from, to geo.P
 	}
 }
 
-// noisy applies the configured Gaussian GPS error to a coordinate.
+// noisy applies the configured Gaussian GPS error to a coordinate,
+// clamped so even extreme noise draws stay legal WGS84 coordinates.
 func (c *City) noisy(rng *rand.Rand, p geo.Point) geo.Point {
 	if c.GPSNoiseMeters <= 0 {
 		return p
@@ -207,7 +208,7 @@ func (c *City) noisy(rng *rand.Rand, p geo.Point) geo.Point {
 	m := c.Proj.ToMeters(p)
 	m.X += rng.NormFloat64() * c.GPSNoiseMeters
 	m.Y += rng.NormFloat64() * c.GPSNoiseMeters
-	return c.Proj.ToPoint(m)
+	return geo.Clamp(c.Proj.ToPoint(m))
 }
 
 // MeanTripMinutes reports the mean journey duration of a workload; the

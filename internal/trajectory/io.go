@@ -3,10 +3,14 @@ package trajectory
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"time"
+
+	"csdm/internal/geo"
+	"csdm/internal/load"
 )
 
 // journeyHeader is the column layout of the journey CSV format.
@@ -42,71 +46,112 @@ func WriteJourneysCSV(w io.Writer, js []Journey) error {
 	return cw.Error()
 }
 
-// ReadJourneysCSV parses journeys written by WriteJourneysCSV.
+// ReadJourneysCSV parses journeys written by WriteJourneysCSV, failing
+// on the first malformed row.
 func ReadJourneysCSV(r io.Reader) ([]Journey, error) {
+	js, _, err := ReadJourneysCSVOptions(r, load.Options{})
+	return js, err
+}
+
+// ReadJourneysCSVOptions parses journeys under the given failure
+// policy. In strict mode (the zero Options) the first malformed row
+// fails the load, matching ReadJourneysCSV. In lenient mode malformed
+// rows — bad ids, NaN/Inf/out-of-range coordinates, unparseable
+// timestamps, negative durations, CSV structural damage — are skipped
+// and counted by reason, until the bad-row budget (if any) is
+// exceeded. With a trace attached each reason is published as a
+// load.journeys.skipped.<reason> counter.
+func ReadJourneysCSVOptions(r io.Reader, opts load.Options) ([]Journey, load.Stats, error) {
+	var stats load.Stats
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(journeyHeader)
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("trajectory: read header: %w", err)
+		return nil, stats, fmt.Errorf("trajectory: read header: %w", err)
 	}
 	for i, col := range journeyHeader {
 		if header[i] != col {
-			return nil, fmt.Errorf("trajectory: header column %d: got %q, want %q", i, header[i], col)
+			return nil, stats, fmt.Errorf("trajectory: header column %d: got %q, want %q", i, header[i], col)
 		}
 	}
 	var out []Journey
 	for line := 2; ; line++ {
+		offset := cr.InputOffset()
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
-		if err != nil {
-			return nil, fmt.Errorf("trajectory: line %d: %w", line, err)
+		if err == nil {
+			var j Journey
+			if j, err = parseJourney(rec); err == nil {
+				out = append(out, j)
+				stats.Rows++
+				continue
+			}
 		}
-		j, err := parseJourney(rec)
-		if err != nil {
-			return nil, fmt.Errorf("trajectory: line %d: %w", line, err)
+		if !opts.Lenient {
+			return nil, stats, fmt.Errorf("trajectory: line %d: %w", line, err)
 		}
-		out = append(out, j)
+		stats.Skip(load.Reason(err))
+		if stats.OverBudget(opts) {
+			stats.Note(opts.Trace, "journeys")
+			return nil, stats, fmt.Errorf("trajectory: line %d: %w after %d skipped rows: %w", line, load.ErrBudget, stats.TotalSkipped(), err)
+		}
+		if cr.InputOffset() == offset {
+			// The reader could not get past the damage; bail out rather
+			// than spin on the same offset forever.
+			return nil, stats, fmt.Errorf("trajectory: line %d: unrecoverable: %w", line, err)
+		}
 	}
-	return out, nil
+	stats.Note(opts.Trace, "journeys")
+	return out, stats, nil
 }
 
 func parseJourney(rec []string) (Journey, error) {
 	var j Journey
 	var err error
 	if j.TaxiID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
-		return j, fmt.Errorf("bad taxi_id %q: %w", rec[0], err)
+		return j, &load.RowError{Reason: "id", Err: fmt.Errorf("bad taxi_id %q: %w", rec[0], err)}
 	}
 	if j.PassengerID, err = strconv.ParseInt(rec[1], 10, 64); err != nil {
-		return j, fmt.Errorf("bad passenger_id %q: %w", rec[1], err)
+		return j, &load.RowError{Reason: "id", Err: fmt.Errorf("bad passenger_id %q: %w", rec[1], err)}
 	}
 	if j.Pickup.Lon, err = strconv.ParseFloat(rec[2], 64); err != nil {
-		return j, fmt.Errorf("bad pickup_lon %q: %w", rec[2], err)
+		return j, &load.RowError{Reason: "coord-syntax", Err: fmt.Errorf("bad pickup_lon %q: %w", rec[2], err)}
 	}
 	if j.Pickup.Lat, err = strconv.ParseFloat(rec[3], 64); err != nil {
-		return j, fmt.Errorf("bad pickup_lat %q: %w", rec[3], err)
+		return j, &load.RowError{Reason: "coord-syntax", Err: fmt.Errorf("bad pickup_lat %q: %w", rec[3], err)}
 	}
 	if j.PickupTime, err = time.Parse(time.RFC3339, rec[4]); err != nil {
-		return j, fmt.Errorf("bad pickup_time %q: %w", rec[4], err)
+		return j, &load.RowError{Reason: "time", Err: fmt.Errorf("bad pickup_time %q: %w", rec[4], err)}
 	}
 	if j.Dropoff.Lon, err = strconv.ParseFloat(rec[5], 64); err != nil {
-		return j, fmt.Errorf("bad dropoff_lon %q: %w", rec[5], err)
+		return j, &load.RowError{Reason: "coord-syntax", Err: fmt.Errorf("bad dropoff_lon %q: %w", rec[5], err)}
 	}
 	if j.Dropoff.Lat, err = strconv.ParseFloat(rec[6], 64); err != nil {
-		return j, fmt.Errorf("bad dropoff_lat %q: %w", rec[6], err)
+		return j, &load.RowError{Reason: "coord-syntax", Err: fmt.Errorf("bad dropoff_lat %q: %w", rec[6], err)}
 	}
 	if j.DropoffTime, err = time.Parse(time.RFC3339, rec[7]); err != nil {
-		return j, fmt.Errorf("bad dropoff_time %q: %w", rec[7], err)
+		return j, &load.RowError{Reason: "time", Err: fmt.Errorf("bad dropoff_time %q: %w", rec[7], err)}
 	}
-	if !j.Pickup.Valid() || !j.Dropoff.Valid() {
-		return j, fmt.Errorf("invalid coordinates")
+	for _, p := range []geo.Point{j.Pickup, j.Dropoff} {
+		if err := p.Check(); err != nil {
+			return j, &load.RowError{Reason: coordReason(err), Err: fmt.Errorf("invalid coordinates: %w", err)}
+		}
 	}
 	if j.DropoffTime.Before(j.PickupTime) {
-		return j, fmt.Errorf("dropoff before pickup")
+		return j, &load.RowError{Reason: "duration", Err: fmt.Errorf("dropoff before pickup")}
 	}
 	return j, nil
+}
+
+// coordReason maps a geo coordinate rejection to a skip-reason key.
+func coordReason(err error) string {
+	var ce *geo.CoordError
+	if errors.As(err, &ce) {
+		return "coord-" + ce.Reason
+	}
+	return "coord"
 }
 
 // WriteSemanticJSON writes semantic trajectories as a JSON array.
