@@ -1,0 +1,76 @@
+package csdm
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"csdm/internal/core"
+	"csdm/internal/experiments"
+)
+
+// BenchMineResult is one BenchmarkMine measurement in the machine
+// formats BENCH_*.json and cmd/benchgate consume.
+type BenchMineResult struct {
+	// Workers is the pinned worker budget of the measured run.
+	Workers int `json:"workers"`
+	// NsPerOp is the wall time of one extraction pass.
+	NsPerOp int64 `json:"ns_per_op"`
+	// Patterns is the mined pattern count — deterministic for a given
+	// workload, so the gate compares it exactly.
+	Patterns int `json:"patterns"`
+}
+
+// BenchMineReport is the top-level JSON document.
+type BenchMineReport struct {
+	Benchmark  string            `json:"benchmark"`
+	GoMaxProcs int               `json:"go_max_procs"`
+	Results    []BenchMineResult `json:"results"`
+}
+
+// TestEmitBenchMineJSON re-runs BenchmarkMine's workload through
+// testing.Benchmark and writes the measurements as JSON to the path in
+// $BENCH_MINE_JSON, for the CI regression gate (cmd/benchgate) and for
+// refreshing the committed BENCH_*.json baselines. Unset, the test
+// skips, so normal `go test` runs pay nothing.
+func TestEmitBenchMineJSON(t *testing.T) {
+	path := os.Getenv("BENCH_MINE_JSON")
+	if path == "" {
+		t.Skip("BENCH_MINE_JSON not set")
+	}
+	report := BenchMineReport{Benchmark: "BenchmarkMine", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	params := benchParams()
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+		env := experiments.SetupConfig(benchScale(), cfg)
+		env.Pipeline.Database(core.RecCSD) // prebuild: measure extraction alone
+		patterns := 0
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				patterns = len(env.Pipeline.Mine(core.CSDPM, params))
+			}
+		})
+		report.Results = append(report.Results, BenchMineResult{
+			Workers:  workers,
+			NsPerOp:  r.NsPerOp(),
+			Patterns: patterns,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %+v", path, report.Results)
+}

@@ -391,7 +391,7 @@ func BenchmarkAblationSemanticFree(b *testing.B) {
 	var csdpm, tpat int
 	for i := 0; i < b.N; i++ {
 		csdpm = len(env.Pipeline.Mine(core.CSDPM, params))
-		tpat = len(pattern.NewTPattern().Extract(db, params))
+		tpat = len(pattern.Compat{E: pattern.NewTPattern()}.Extract(db, params))
 	}
 	b.ReportMetric(float64(csdpm), "csdpm-patterns")
 	b.ReportMetric(float64(tpat), "tpattern-patterns")

@@ -1,0 +1,97 @@
+// Command benchgate compares two BenchmarkMine JSON reports (written by
+// TestEmitBenchMineJSON with BENCH_MINE_JSON set) and fails when the
+// candidate regresses: a slower ns_per_op beyond the tolerance, or any
+// change in the deterministic pattern count.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_4.json -candidate bench_new.json [-tolerance 0.10]
+//
+// Worker counts present in only one report are skipped (machines
+// differ in core count); the sequential workers-1 line exists in every
+// report and always gates.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type result struct {
+	Workers  int   `json:"workers"`
+	NsPerOp  int64 `json:"ns_per_op"`
+	Patterns int   `json:"patterns"`
+}
+
+type report struct {
+	Benchmark  string   `json:"benchmark"`
+	GoMaxProcs int      `json:"go_max_procs"`
+	Results    []result `json:"results"`
+}
+
+func readReport(path string) (report, error) {
+	var r report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline JSON")
+	candidate := flag.String("candidate", "", "freshly measured JSON")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed ns_per_op slowdown (0.10 = 10%)")
+	flag.Parse()
+	if *baseline == "" || *candidate == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline a.json -candidate b.json [-tolerance 0.10]")
+		os.Exit(2)
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cand, err := readReport(*candidate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	byWorkers := make(map[int]result, len(base.Results))
+	for _, r := range base.Results {
+		byWorkers[r.Workers] = r
+	}
+	failed := false
+	compared := 0
+	for _, c := range cand.Results {
+		b, ok := byWorkers[c.Workers]
+		if !ok {
+			fmt.Printf("workers-%d: no baseline line, skipped\n", c.Workers)
+			continue
+		}
+		compared++
+		ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
+		status := "ok"
+		if c.Patterns != b.Patterns {
+			status = "FAIL (patterns changed: mining output is no longer identical)"
+			failed = true
+		} else if ratio > 1.0+*tolerance {
+			status = fmt.Sprintf("FAIL (>%.0f%% slower)", *tolerance*100)
+			failed = true
+		}
+		fmt.Printf("workers-%d: %d -> %d ns/op (%.2fx), patterns %d -> %d: %s\n",
+			c.Workers, b.NsPerOp, c.NsPerOp, ratio, b.Patterns, c.Patterns, status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no comparable worker counts between reports")
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

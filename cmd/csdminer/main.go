@@ -17,8 +17,9 @@
 // and -index selects the spatial-index backend (grid, kdtree, rtree).
 // -trace prints the per-stage telemetry report to stderr after the
 // run; -debug-addr serves net/http/pprof, expvar (the live counters
-// under "csdm") and /debug/trace (the span tree as JSON) for
-// inspecting a long run in flight.
+// under "csdm"), /debug/trace (the span tree as JSON) and
+// /debug/stages (the stage graph with each artifact's build origin)
+// for inspecting a long run in flight.
 //
 // Robustness flags: -lenient skips malformed input rows (bounded by
 // -max-bad-rows) instead of failing the load; -checkpoint persists
@@ -52,6 +53,7 @@ import (
 	"csdm/internal/obs"
 	"csdm/internal/pattern"
 	"csdm/internal/poi"
+	"csdm/internal/stage"
 	"csdm/internal/trajectory"
 )
 
@@ -147,6 +149,9 @@ func main() {
 	}
 	pipe := core.NewPipeline(pois, journeys, cfg)
 	pipe.SetTrace(tr)
+	if *debugAddr != "" {
+		serveStages(pipe)
+	}
 	if *loadDiagram != "" {
 		d, err := readDiagramFile(*loadDiagram)
 		if err != nil {
@@ -172,7 +177,7 @@ func main() {
 			die(exitPipeline, err)
 		}
 	case "mine":
-		chosen, err := approachByName(*approach)
+		chosen, err := core.ApproachByName(*approach)
 		if err != nil {
 			die(exitUsage, err)
 		}
@@ -196,41 +201,19 @@ func main() {
 	}
 }
 
-// approachByName resolves one of the paper's six approach names.
-func approachByName(name string) (core.Approach, error) {
-	for _, a := range core.Approaches() {
-		if a.String() == name {
-			return a, nil
-		}
-	}
-	return core.Approach{}, fmt.Errorf("unknown approach %q", name)
-}
-
-// dbName maps a recognizer kind to its checkpoint stage name.
-func dbName(kind core.RecognizerKind) string {
-	if kind == core.RecROI {
-		return "db-roi"
-	}
-	return "db-csd"
-}
-
-// prepare runs the shared stages the subcommand needs under the
-// checkpoint policy: each stage resumes from the checkpoint directory
-// when a valid artifact is there (corrupt ones are rebuilt), otherwise
-// it is built and checkpointed before the next stage begins, so an
-// interrupted rerun skips exactly the work that already finished. With
-// no manager the stages stay lazy and nothing is persisted.
+// prepare runs the shared stages the subcommand needs eagerly under
+// the checkpoint policy. The sequencing itself — try the checkpoint
+// directory, rebuild on a miss or a corrupt artifact, persist after
+// building — lives in the stage engine's checkpoint middleware now;
+// this function only attaches the store, forces the stages the
+// subcommand needs, and reports each artifact's origin. With no
+// manager the stages stay lazy and nothing is persisted.
 func prepare(pipe *core.Pipeline, m *ckpt.Manager, needDiagram bool, kinds ...core.RecognizerKind) error {
 	if m == nil {
 		return nil
 	}
+	pipe.SetCheckpoints(m)
 	ctx := context.Background()
-	resumedDiagram := false
-	if d, ok := m.LoadDiagram(); ok {
-		pipe.UseDiagram(d)
-		resumedDiagram = true
-		progress("resumed diagram (%d units) from %s", len(d.Units), m.Dir())
-	}
 	for _, k := range kinds {
 		if k == core.RecCSD {
 			needDiagram = true
@@ -241,28 +224,25 @@ func prepare(pipe *core.Pipeline, m *ckpt.Manager, needDiagram bool, kinds ...co
 		if err != nil {
 			return fmt.Errorf("build diagram: %w", err)
 		}
-		if !resumedDiagram {
-			if err := m.SaveDiagram(d); err != nil {
-				return err
-			}
+		switch pipe.DiagramOrigin() {
+		case stage.OriginResumed:
+			progress("resumed diagram (%d units) from %s", len(d.Units), m.Dir())
+		case stage.OriginBuilt:
 			progress("checkpointed diagram to %s", m.Dir())
 		}
 	}
 	for _, k := range kinds {
-		name := dbName(k)
-		if db, ok := m.LoadDatabase(name); ok {
-			pipe.UseDatabase(k, db)
-			progress("resumed %s (%d trajectories) from %s", name, len(db), m.Dir())
-			continue
-		}
+		name := pipe.DatabaseArtifact(k)
 		db, err := pipe.DatabaseCtx(ctx, k)
 		if err != nil {
 			return fmt.Errorf("annotate %s: %w", name, err)
 		}
-		if err := m.SaveDatabase(name, db); err != nil {
-			return err
+		switch pipe.DatabaseOrigin(k) {
+		case stage.OriginResumed:
+			progress("resumed %s (%d trajectories) from %s", name, len(db), m.Dir())
+		case stage.OriginBuilt:
+			progress("checkpointed %s to %s", name, m.Dir())
 		}
-		progress("checkpointed %s to %s", name, m.Dir())
 	}
 	return nil
 }
@@ -284,12 +264,44 @@ func serveDebug(addr string, tr *obs.Trace) {
 		enc.SetIndent("", "  ")
 		enc.Encode(tr.Snapshot())
 	})
-	progress("debug server listening on http://%s/debug/pprof/ (also /debug/vars, /debug/trace)", addr)
+	progress("debug server listening on http://%s/debug/pprof/ (also /debug/vars, /debug/trace, /debug/stages)", addr)
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			log.Printf("debug server: %v", err)
 		}
 	}()
+}
+
+// serveStages registers /debug/stages on the default mux: the declared
+// stage graph with each stage's dependencies, checkpoint artifact and
+// current build origin, so an operator can see at a glance which
+// artifacts a long run has resumed, built or not yet reached.
+func serveStages(pipe *core.Pipeline) {
+	http.HandleFunc("/debug/stages", func(w http.ResponseWriter, _ *http.Request) {
+		infos := pipe.Stages()
+		out := make([]map[string]any, 0, len(infos))
+		for _, in := range infos {
+			m := map[string]any{
+				"name":   in.Name,
+				"deps":   in.Deps,
+				"origin": in.Origin.String(),
+			}
+			if in.Site != "" {
+				m["fault_site"] = in.Site
+			}
+			if in.Artifact != "" {
+				m["artifact"], m["file"] = in.Artifact, in.File
+			}
+			if in.Err != nil {
+				m["error"] = in.Err.Error()
+			}
+			out = append(out, m)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
 }
 
 // readDiagramFile loads a diagram written with -save-diagram.

@@ -135,6 +135,13 @@ func (m *Miner) Mine(a Approach, params MiningParams) []Pattern {
 	return m.pipeline.Mine(a, params)
 }
 
+// LastErr returns the most recent error one of the no-error
+// convenience methods (Diagram, Database, Mine, MineAll) swallowed,
+// nil when none has failed. Prefer the Context variants for real
+// error handling; this accessor makes a wrapper's failure diagnosable
+// instead of an unexplained nil result.
+func (m *Miner) LastErr() error { return m.pipeline.LastErr() }
+
 // MineContext is Mine under a cancellation context: the pipeline runs
 // on the configured worker pool and a canceled ctx aborts promptly with
 // ctx.Err().

@@ -67,7 +67,7 @@ func main() {
 	// trajectories.
 	params := csdm.DefaultMiningParams()
 	params.Sigma = 12
-	patterns := pattern.NewCounterpartCluster().Extract(db, params)
+	patterns := pattern.Compat{E: pattern.NewCounterpartCluster()}.Extract(db, params)
 	s := csdm.Summarize(patterns)
 	fmt.Printf("\nCSD-PM over raw traces: %d patterns, coverage %d, sparsity %.1f m, consistency %.3f\n",
 		s.NumPatterns, s.Coverage, s.MeanSparsity, s.MeanConsistency)

@@ -24,13 +24,15 @@ import (
 // The checkpoint file names inside a manager's directory. The diagram
 // uses the csd framed format (magic + length + CRC), so it is also a
 // valid -load-diagram file; the databases are the semantic-trajectory
-// JSON exchange format.
+// JSON exchange format. Stage declarations (internal/core) reference
+// these, so the artifact→file mapping lives here and nowhere else.
 const (
-	diagramFile = "diagram.csdf"
+	// DiagramFile is the diagram checkpoint's filename.
+	DiagramFile = "diagram.csdf"
 )
 
-// dbFile names a database checkpoint ("db-csd.json", "db-roi.json").
-func dbFile(name string) string { return name + ".json" }
+// DBFile names a database checkpoint ("db-csd.json", "db-roi.json").
+func DBFile(artifact string) string { return artifact + ".json" }
 
 // WriteAtomic writes a file through a same-directory temp file, fsyncs
 // it, and renames it into place, so a crash mid-write leaves either
@@ -94,11 +96,14 @@ func (m *Manager) Dir() string {
 	return m.dir
 }
 
-// load opens the stage's file and decodes it with read. A missing file
-// is a plain "not checkpointed". A file that read rejects is corrupt:
-// it is counted, removed so the rebuilt artifact can replace it, and
-// reported as absent — resume degrades to recompute, never to a crash.
-func (m *Manager) load(stage, file string, read func(io.Reader) error) bool {
+// Load opens the artifact's file and decodes it with read, reporting
+// whether a valid checkpoint was found. A missing file is a plain "not
+// checkpointed". A file that read rejects is corrupt: it is counted,
+// removed so the rebuilt artifact can replace it, and reported as
+// absent — resume degrades to recompute, never to a crash. Load and
+// Save are the stage.Store implementation, so a *Manager (nil included)
+// plugs straight into the stage engine's checkpoint middleware.
+func (m *Manager) Load(stage, file string, read func(io.Reader) error) bool {
 	if m == nil {
 		return false
 	}
@@ -117,8 +122,8 @@ func (m *Manager) load(stage, file string, read func(io.Reader) error) bool {
 	return true
 }
 
-// save atomically writes the stage's file.
-func (m *Manager) save(stage, file string, write func(io.Writer) error) error {
+// Save atomically writes the artifact's file.
+func (m *Manager) Save(stage, file string, write func(io.Writer) error) error {
 	if m == nil {
 		return nil
 	}
@@ -133,7 +138,7 @@ func (m *Manager) save(stage, file string, write func(io.Writer) error) error {
 // when none is available (absent or corrupt).
 func (m *Manager) LoadDiagram() (*csd.Diagram, bool) {
 	var d *csd.Diagram
-	ok := m.load("diagram", diagramFile, func(r io.Reader) error {
+	ok := m.Load("diagram", DiagramFile, func(r io.Reader) error {
 		var err error
 		d, err = csd.Read(r)
 		return err
@@ -143,14 +148,14 @@ func (m *Manager) LoadDiagram() (*csd.Diagram, bool) {
 
 // SaveDiagram checkpoints the diagram.
 func (m *Manager) SaveDiagram(d *csd.Diagram) error {
-	return m.save("diagram", diagramFile, d.Write)
+	return m.Save("diagram", DiagramFile, d.Write)
 }
 
 // LoadDatabase returns the checkpointed annotated database under the
 // given name ("db-csd", "db-roi"), or false when none is available.
 func (m *Manager) LoadDatabase(name string) ([]trajectory.SemanticTrajectory, bool) {
 	var db []trajectory.SemanticTrajectory
-	ok := m.load(name, dbFile(name), func(r io.Reader) error {
+	ok := m.Load(name, DBFile(name), func(r io.Reader) error {
 		var err error
 		db, err = trajectory.ReadSemanticJSON(r)
 		return err
@@ -160,7 +165,7 @@ func (m *Manager) LoadDatabase(name string) ([]trajectory.SemanticTrajectory, bo
 
 // SaveDatabase checkpoints an annotated database under the given name.
 func (m *Manager) SaveDatabase(name string, db []trajectory.SemanticTrajectory) error {
-	return m.save(name, dbFile(name), func(w io.Writer) error {
+	return m.Save(name, DBFile(name), func(w io.Writer) error {
 		return trajectory.WriteSemanticJSON(w, db)
 	})
 }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"csdm/internal/obs"
+	"csdm/internal/pattern"
+	"csdm/internal/synth"
+)
+
+// TestSilentWrapperErrorsAreObservable: the no-error convenience
+// wrappers no longer swallow failures invisibly — each failure bumps
+// core.silent.errors and is returned by LastErr.
+func TestSilentWrapperErrorsAreObservable(t *testing.T) {
+	p := faultPipeline(t, DefaultConfig())
+	tr := obs.New()
+	p.SetTrace(tr)
+	activateFault(t, "core.extract:error:*")
+
+	if p.LastErr() != nil {
+		t.Fatal("LastErr before any failure")
+	}
+	if ps := p.Mine(CSDPM, testMiningParams()); ps != nil {
+		t.Fatalf("Mine returned %d patterns under an extraction fault", len(ps))
+	}
+	if p.LastErr() == nil {
+		t.Fatal("Mine swallowed its error without recording it")
+	}
+	if got := tr.Counter("core.silent.errors"); got != 1 {
+		t.Fatalf("core.silent.errors = %d, want 1", got)
+	}
+}
+
+// TestMineAllCtxConcurrentReaders runs two MineAllCtx calls on one
+// Pipeline from concurrent goroutines (run under -race in CI): the
+// stage cells must serialize the shared-artifact builds and both
+// readers must see identical results.
+func TestMineAllCtxConcurrentReaders(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.NumPOIs = 1200
+	cfg.NumPassengers = 120
+	cfg.Days = 2
+	city := synth.NewCity(cfg)
+	w := city.GenerateWorkload()
+	params := pattern.DefaultParams()
+	params.Sigma = 8
+
+	p := NewPipeline(city.POIs, w.Journeys, DefaultConfig())
+
+	var wg sync.WaitGroup
+	results := make([][]ApproachResult, 2)
+	errs := make([]error, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = p.MineAllCtx(context.Background(), params)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+	}
+	for k := range results[0] {
+		a, b := results[0][k], results[1][k]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("%s failed: %v / %v", a.Approach, a.Err, b.Err)
+		}
+		if !reflect.DeepEqual(a.Patterns, b.Patterns) {
+			t.Fatalf("%s: concurrent readers disagree (%d vs %d patterns)",
+				a.Approach, len(a.Patterns), len(b.Patterns))
+		}
+	}
+}

@@ -1,29 +1,39 @@
 // Package core composes the full Pervasive Miner pipeline (Figure 2) and
 // the five competitor systems of §5. A Pipeline owns the shared inputs
-// (POI dataset, taxi journeys) and lazily builds the expensive shared
+// (POI dataset, taxi journeys) and declares the shared expensive
 // artifacts — the City Semantic Diagram, the ROI hot regions, and the
-// two annotated trajectory databases — so that parameter sweeps over
-// σ/ρ/δ_t re-run only the extraction stage, exactly as the paper's
-// experiments do.
+// two annotated trajectory databases — as memoized stages on an
+// internal/stage graph (stays → diagram/roi → dbCSD/dbROI → six
+// extractions), so that parameter sweeps over σ/ρ/δ_t re-run only the
+// extraction stage, exactly as the paper's experiments do.
+//
+// The stage engine supplies every cross-cutting concern as middleware:
+// telemetry spans, per-stage deadlines (Config.StageTimeout), fault
+// sites, checkpoint resume/save (SetCheckpoints), and retry-safe
+// memoization. core declares the graph and the mining policy — the
+// degraded-fallback ladder and the per-approach failure isolation of
+// MineAll — and nothing else.
 package core
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
-	"sync"
+	"sync/atomic"
 	"time"
 
+	"csdm/internal/ckpt"
 	"csdm/internal/csd"
 	"csdm/internal/exec"
-	"csdm/internal/fault"
 	"csdm/internal/geo"
 	"csdm/internal/index"
 	"csdm/internal/obs"
 	"csdm/internal/pattern"
 	"csdm/internal/poi"
 	"csdm/internal/recognize"
+	"csdm/internal/stage"
 	"csdm/internal/trajectory"
 )
 
@@ -88,6 +98,17 @@ func (a Approach) String() string {
 	}
 }
 
+// ApproachByName resolves one of the paper's six approach names
+// (e.g. "CSD-PM", "ROI-SDBSCAN").
+func ApproachByName(name string) (Approach, error) {
+	for _, a := range Approaches() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return Approach{}, fmt.Errorf("unknown approach %q", name)
+}
+
 // Config bundles the construction parameters of the shared stages.
 type Config struct {
 	// CSD parameterizes diagram construction (§4.1 defaults).
@@ -143,43 +164,8 @@ func DefaultConfig() Config {
 	return c
 }
 
-// lazy is a build-once artifact cell. Unlike sync.Once, a build that
-// fails (e.g. a canceled context) does not poison the cell: the next
-// get retries, so a pipeline survives an aborted warm-up.
-type lazy[T any] struct {
-	mu   sync.Mutex
-	done bool
-	v    T
-}
-
-// get returns the cached value, building it first when absent. The
-// cell's lock is held across the build, so concurrent callers wait for
-// one build instead of duplicating it.
-func (l *lazy[T]) get(build func() (T, error)) (T, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.done {
-		return l.v, nil
-	}
-	v, err := build()
-	if err != nil {
-		var zero T
-		return zero, err
-	}
-	l.v, l.done = v, true
-	return l.v, nil
-}
-
-// set installs v unless the cell is already built.
-func (l *lazy[T]) set(v T) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.done {
-		l.v, l.done = v, true
-	}
-}
-
-// Pipeline owns the inputs and the lazily built shared artifacts.
+// Pipeline owns the inputs and the declared stage graph over the
+// shared artifacts.
 type Pipeline struct {
 	cfg      Config
 	pois     []poi.POI
@@ -187,12 +173,19 @@ type Pipeline struct {
 
 	// trace is the optional telemetry sink (nil-safe no-op when absent).
 	trace *obs.Trace
+	// store is the optional checkpoint store (nil disables resume/save).
+	store stage.Store
 
-	stays   lazy[[]geo.Point]
-	diagram lazy[*csd.Diagram]
-	roi     lazy[*recognize.ROIRecognizer]
-	dbCSD   lazy[[]trajectory.SemanticTrajectory]
-	dbROI   lazy[[]trajectory.SemanticTrajectory]
+	graph   *stage.Graph
+	stays   *stage.Cell[[]geo.Point]
+	diagram *stage.Cell[*csd.Diagram]
+	roi     *stage.Cell[*recognize.ROIRecognizer]
+	dbCSD   *stage.Cell[[]trajectory.SemanticTrajectory]
+	dbROI   *stage.Cell[[]trajectory.SemanticTrajectory]
+
+	// lastErr keeps the most recent error a no-error convenience
+	// wrapper swallowed, for LastErr.
+	lastErr atomic.Pointer[error]
 }
 
 // SetTrace attaches a telemetry trace; every stage built afterwards
@@ -203,53 +196,150 @@ func (p *Pipeline) SetTrace(t *obs.Trace) { p.trace = t }
 // Trace returns the attached telemetry trace (nil when tracing is off).
 func (p *Pipeline) Trace() *obs.Trace { return p.trace }
 
+// SetCheckpoints attaches a checkpoint store (e.g. *ckpt.Manager): the
+// stages that declare an artifact — the diagram and the two annotated
+// databases — resume from it when a valid checkpoint is there and save
+// to it after building. Attach before the first build; already-built
+// artifacts are neither re-loaded nor saved.
+func (p *Pipeline) SetCheckpoints(s stage.Store) { p.store = s }
+
 // NewPipeline prepares a pipeline over the given POI dataset and taxi
-// journey log.
+// journey log, declaring the shared-artifact stage graph:
+//
+//	stays → csd.build → recognize.CSD
+//	stays → roi.detect → recognize.ROI
+//
+// with the six per-approach extractions running as one-shot stages on
+// top (MineCtx / MineAllCtx).
 func NewPipeline(pois []poi.POI, journeys []trajectory.Journey, cfg Config) *Pipeline {
-	return &Pipeline{cfg: cfg, pois: pois, journeys: journeys}
+	p := &Pipeline{cfg: cfg, pois: pois, journeys: journeys}
+	// The config closure is re-read on every stage run, so SetTrace and
+	// SetCheckpoints may be wired after construction.
+	p.graph = stage.NewGraph(func() stage.Config {
+		return stage.Config{
+			Trace:         p.trace,
+			Opt:           p.cfg.ExecOptions(),
+			StageTimeout:  p.cfg.StageTimeout,
+			Store:         p.store,
+			CounterPrefix: "core.stage",
+		}
+	})
+
+	p.stays = stage.Add(p.graph, stage.Decl{Name: "stays"},
+		func(stage.Env) ([]geo.Point, error) {
+			out := make([]geo.Point, 0, 2*len(p.journeys))
+			for _, j := range p.journeys {
+				out = append(out, j.Pickup, j.Dropoff)
+			}
+			return out, nil
+		})
+
+	p.diagram = stage.Add(p.graph, stage.Decl{
+		Name:     "csd.build",
+		Deps:     []string{"stays"},
+		Artifact: "diagram",
+		File:     ckpt.DiagramFile,
+	}, func(env stage.Env) (*csd.Diagram, error) {
+		stays, err := p.stays.Get(env.Run)
+		if err != nil {
+			return nil, err
+		}
+		return csd.BuildEnv(env, p.pois, stays, p.cfg.CSD)
+	}).Checkpoint(stage.Codec[*csd.Diagram]{
+		Encode: func(w io.Writer, d *csd.Diagram) error { return d.Write(w) },
+		Decode: csd.Read,
+	})
+
+	p.roi = stage.Add(p.graph, stage.Decl{
+		Name: "roi.detect",
+		Deps: []string{"stays"},
+	}, func(env stage.Env) (*recognize.ROIRecognizer, error) {
+		stays, err := p.stays.Get(env.Run)
+		if err != nil {
+			return nil, err
+		}
+		return recognize.NewROIRecognizerEnv(env, stays, p.pois, p.cfg.ROI), nil
+	})
+
+	dbCodec := stage.Codec[[]trajectory.SemanticTrajectory]{
+		Encode: trajectory.WriteSemanticJSON,
+		Decode: trajectory.ReadSemanticJSON,
+	}
+	p.dbCSD = stage.Add(p.graph, stage.Decl{
+		Name:     "recognize.CSD",
+		Deps:     []string{"csd.build"},
+		Artifact: "db-csd",
+		File:     ckpt.DBFile("db-csd"),
+	}, func(env stage.Env) ([]trajectory.SemanticTrajectory, error) {
+		d, err := p.diagram.Get(env.Run)
+		if err != nil {
+			return nil, err
+		}
+		return recognize.AnnotateJourneysEnv(env, p.journeys, p.cfg.Chain, recognize.NewCSDRecognizer(d))
+	}).Checkpoint(dbCodec)
+
+	p.dbROI = stage.Add(p.graph, stage.Decl{
+		Name:     "recognize.ROI",
+		Deps:     []string{"roi.detect"},
+		Artifact: "db-roi",
+		File:     ckpt.DBFile("db-roi"),
+	}, func(env stage.Env) ([]trajectory.SemanticTrajectory, error) {
+		r, err := p.roi.Get(env.Run)
+		if err != nil {
+			return nil, err
+		}
+		return recognize.AnnotateJourneysEnv(env, p.journeys, p.cfg.Chain, r)
+	}).Checkpoint(dbCodec)
+
+	return p
 }
 
+// noteSilent records an error a no-error convenience wrapper is about
+// to swallow: counted on the trace as core.silent.errors and kept for
+// LastErr, so the failure stays observable.
+func (p *Pipeline) noteSilent(err error) {
+	if err == nil {
+		return
+	}
+	p.trace.Add("core.silent.errors", 1)
+	p.lastErr.Store(&err)
+}
+
+// LastErr returns the most recent error swallowed by one of the
+// no-error convenience wrappers (StayPoints, Diagram, ROIRecognizer,
+// Database, Mine, MineAll); nil when none has failed. Every swallowed
+// error is also counted on the trace as core.silent.errors. Callers
+// that need real error handling should prefer the Ctx variants — this
+// accessor exists so a wrapper's failure is diagnosable instead of an
+// unexplained nil result.
+func (p *Pipeline) LastErr() error {
+	if e := p.lastErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// Stages returns the introspection records of the declared stage graph
+// (name, dependencies, fault site, checkpoint artifact and file, build
+// origin, last build error), in declaration order.
+func (p *Pipeline) Stages() []stage.Info { return p.graph.Stages() }
+
 // StayPoints returns the pick-up/drop-off locations of every journey
-// (built once; the popularity model and ROI detection share them).
+// (built once; the popularity model and ROI detection share them). A
+// build failure surfaces via LastErr and core.silent.errors.
 func (p *Pipeline) StayPoints() []geo.Point {
-	stays, _ := p.stays.get(func() ([]geo.Point, error) {
-		out := make([]geo.Point, 0, 2*len(p.journeys))
-		for _, j := range p.journeys {
-			out = append(out, j.Pickup, j.Dropoff)
-		}
-		return out, nil
-	})
+	stays, err := p.stays.Get(context.Background())
+	p.noteSilent(err)
 	return stays
 }
 
 // Diagram returns the City Semantic Diagram, building it on first use.
+// A build failure yields nil and surfaces via LastErr and the
+// core.silent.errors counter; use DiagramCtx to handle it directly.
 func (p *Pipeline) Diagram() *csd.Diagram {
-	d, _ := p.DiagramCtx(context.Background())
+	d, err := p.DiagramCtx(context.Background())
+	p.noteSilent(err)
 	return d
-}
-
-// stageCtx derives a stage-scoped context: with Config.StageTimeout
-// set, the stage gets its own deadline on top of the run's context.
-func (p *Pipeline) stageCtx(ctx context.Context) (context.Context, context.CancelFunc) {
-	if p.cfg.StageTimeout <= 0 {
-		return ctx, func() {}
-	}
-	return context.WithTimeout(ctx, p.cfg.StageTimeout)
-}
-
-// stageErr classifies a stage failure: an overrun of the stage's own
-// deadline (run context still live) is wrapped with the stage name and
-// counted as core.stage.timeouts, so callers can tell "this stage was
-// too slow" from "the whole run was canceled".
-func (p *Pipeline) stageErr(run, stage context.Context, name string, err error) error {
-	if err == nil || run.Err() != nil {
-		return err
-	}
-	if errors.Is(stage.Err(), context.DeadlineExceeded) {
-		p.trace.Add("core.stage.timeouts", 1)
-		return fmt.Errorf("core: stage %s exceeded its %v deadline: %w", name, p.cfg.StageTimeout, err)
-	}
-	return err
 }
 
 // DiagramCtx is Diagram under a cancellation context: a canceled ctx
@@ -257,77 +347,74 @@ func (p *Pipeline) stageErr(run, stage context.Context, name string, err error) 
 // a later call rebuilds. With Config.StageTimeout set the build runs
 // under its own stage deadline.
 func (p *Pipeline) DiagramCtx(ctx context.Context) (*csd.Diagram, error) {
-	return p.diagram.get(func() (*csd.Diagram, error) {
-		sctx, cancel := p.stageCtx(ctx)
-		defer cancel()
-		d, err := csd.BuildContext(sctx, p.pois, p.StayPoints(), p.cfg.CSD, p.trace, p.cfg.ExecOptions())
-		return d, p.stageErr(ctx, sctx, "csd.build", err)
-	})
+	return p.diagram.Get(ctx)
 }
+
+// DiagramOrigin reports how the diagram materialized (built, resumed
+// from a checkpoint, installed via UseDiagram, or not yet built).
+func (p *Pipeline) DiagramOrigin() stage.Origin { return p.diagram.Origin() }
 
 // UseDiagram installs a pre-built (e.g. deserialized) diagram instead
 // of constructing one. It must be called before the first Diagram or
 // Database call; afterwards it has no effect.
-func (p *Pipeline) UseDiagram(d *csd.Diagram) { p.diagram.set(d) }
+func (p *Pipeline) UseDiagram(d *csd.Diagram) { p.diagram.Set(d) }
+
+// databaseCell maps a recognizer kind to its database stage.
+func (p *Pipeline) databaseCell(kind RecognizerKind) *stage.Cell[[]trajectory.SemanticTrajectory] {
+	if kind == RecROI {
+		return p.dbROI
+	}
+	return p.dbCSD
+}
 
 // UseDatabase installs a pre-built (e.g. checkpoint-resumed) annotated
 // database for the given recognizer kind, skipping chaining and
 // annotation. It must be called before the first Database or Mine
 // call for that kind; afterwards it has no effect.
 func (p *Pipeline) UseDatabase(kind RecognizerKind, db []trajectory.SemanticTrajectory) {
-	switch kind {
-	case RecROI:
-		p.dbROI.set(db)
-	default:
-		p.dbCSD.set(db)
-	}
+	p.databaseCell(kind).Set(db)
+}
+
+// DatabaseArtifact returns the checkpoint artifact name of the kind's
+// database stage, as declared on the stage graph ("db-csd", "db-roi").
+func (p *Pipeline) DatabaseArtifact(kind RecognizerKind) string {
+	return p.databaseCell(kind).Decl().Artifact
+}
+
+// DatabaseOrigin reports how the kind's database materialized.
+func (p *Pipeline) DatabaseOrigin(kind RecognizerKind) stage.Origin {
+	return p.databaseCell(kind).Origin()
 }
 
 // ROIRecognizer returns the hot-region baseline recognizer, building it
-// on first use.
+// on first use. A build failure surfaces via LastErr.
 func (p *Pipeline) ROIRecognizer() *recognize.ROIRecognizer {
-	r, _ := p.roi.get(func() (*recognize.ROIRecognizer, error) {
-		return recognize.NewROIRecognizerWith(p.StayPoints(), p.pois, p.cfg.ROI, p.cfg.ExecOptions()), nil
-	})
+	r, err := p.roi.Get(context.Background())
+	p.noteSilent(err)
 	return r
 }
 
 // Database returns the annotated semantic-trajectory database for the
-// given recognizer kind, building it on first use.
+// given recognizer kind, building it on first use. A build failure
+// yields nil and surfaces via LastErr and the core.silent.errors
+// counter; use DatabaseCtx to handle it directly.
 func (p *Pipeline) Database(kind RecognizerKind) []trajectory.SemanticTrajectory {
-	db, _ := p.DatabaseCtx(context.Background(), kind)
+	db, err := p.DatabaseCtx(context.Background(), kind)
+	p.noteSilent(err)
 	return db
 }
 
 // DatabaseCtx is Database under a cancellation context; annotation runs
 // on the configured worker pool, under its own stage deadline when
-// Config.StageTimeout is set. A canceled ctx aborts with ctx.Err() and
-// leaves the artifact unbuilt.
+// Config.StageTimeout is set (the upstream diagram or ROI detection is
+// its own stage with its own deadline). A canceled ctx aborts with
+// ctx.Err() and leaves the artifact unbuilt.
 func (p *Pipeline) DatabaseCtx(ctx context.Context, kind RecognizerKind) ([]trajectory.SemanticTrajectory, error) {
-	annotate := func(r recognize.Recognizer) ([]trajectory.SemanticTrajectory, error) {
-		sctx, cancel := p.stageCtx(ctx)
-		defer cancel()
-		db, err := recognize.AnnotateJourneysCtx(sctx, p.journeys, p.cfg.Chain, r, p.trace, p.cfg.ExecOptions())
-		return db, p.stageErr(ctx, sctx, "recognize."+r.Name(), err)
-	}
-	switch kind {
-	case RecROI:
-		return p.dbROI.get(func() ([]trajectory.SemanticTrajectory, error) {
-			return annotate(p.ROIRecognizer())
-		})
-	default:
-		return p.dbCSD.get(func() ([]trajectory.SemanticTrajectory, error) {
-			d, err := p.DiagramCtx(ctx)
-			if err != nil {
-				return nil, err
-			}
-			return annotate(recognize.NewCSDRecognizer(d))
-		})
-	}
+	return p.databaseCell(kind).Get(ctx)
 }
 
 // extractor instantiates the extraction stage for an approach.
-func extractor(kind ExtractorKind) pattern.ContextExtractor {
+func extractor(kind ExtractorKind) pattern.Extractor {
 	switch kind {
 	case ExtSplitter:
 		return pattern.NewSplitter()
@@ -339,21 +426,24 @@ func extractor(kind ExtractorKind) pattern.ContextExtractor {
 }
 
 // Mine runs one approach end to end under the given mining parameters.
+// A failure yields nil and surfaces via LastErr and the
+// core.silent.errors counter; use MineCtx to handle it directly.
 func (p *Pipeline) Mine(a Approach, params pattern.Params) []pattern.Pattern {
-	ps, _ := p.MineCtx(context.Background(), a, params)
+	ps, err := p.MineCtx(context.Background(), a, params)
+	p.noteSilent(err)
 	return ps
 }
 
-// extractCtx runs one approach's extraction stage under a stage
-// deadline, with the "core.extract" fault site guarding the entry.
-func (p *Pipeline) extractCtx(ctx context.Context, a Approach, db []trajectory.SemanticTrajectory, params pattern.Params) ([]pattern.Pattern, error) {
-	if err := fault.Hit("core.extract"); err != nil {
-		return nil, err
-	}
-	sctx, cancel := p.stageCtx(ctx)
-	defer cancel()
-	ps, err := extractor(a.Extractor).ExtractCtx(sctx, db, params, p.trace, p.cfg.ExecOptions())
-	return ps, p.stageErr(ctx, sctx, "extract."+a.String(), err)
+// extract runs one approach's extraction as a one-shot engine stage —
+// span "stage.extract.<approach>", the approach's own deadline under
+// Config.StageTimeout, and the "core.extract" fault site guarding the
+// entry.
+func (p *Pipeline) extract(ctx context.Context, a Approach, db []trajectory.SemanticTrajectory, params pattern.Params) ([]pattern.Pattern, error) {
+	return stage.Run(p.graph, ctx,
+		stage.Decl{Name: "extract." + a.String(), Site: "core.extract"},
+		func(env stage.Env) ([]pattern.Pattern, error) {
+			return extractor(a.Extractor).Extract(env, db, params)
+		})
 }
 
 // MineCtx is Mine under a cancellation context: recognition and
@@ -372,7 +462,7 @@ func (p *Pipeline) MineCtx(ctx context.Context, a Approach, params pattern.Param
 	if err != nil {
 		return nil, err
 	}
-	return p.extractCtx(ctx, a, db, params)
+	return p.extract(ctx, a, db, params)
 }
 
 // ApproachResult pairs an approach with its mined patterns. Since a
@@ -391,9 +481,11 @@ type ApproachResult struct {
 
 // MineAll runs all six approaches under the same mining parameters; the
 // result is keyed by the approach's paper name. Failed approaches are
-// omitted; degraded ones are included under their original name.
+// omitted (each surfaces via LastErr and core.silent.errors); degraded
+// ones are included under their original name.
 func (p *Pipeline) MineAll(params pattern.Params) map[string][]pattern.Pattern {
-	res, _ := p.MineAllCtx(context.Background(), params)
+	res, err := p.MineAllCtx(context.Background(), params)
+	p.noteSilent(err)
 	out := make(map[string][]pattern.Pattern, len(res))
 	for _, r := range res {
 		if r.Err == nil {
@@ -403,13 +495,9 @@ func (p *Pipeline) MineAll(params pattern.Params) map[string][]pattern.Pattern {
 	return out
 }
 
-// errNotRun marks an approach whose fan-out task never executed
-// because the pool aborted first (cancellation or an injected fault).
-var errNotRun = errors.New("core: approach not run: fan-out aborted early")
-
 // shared is the per-MineAll snapshot of the two annotated databases.
 // Building them exactly once up front keeps the fan-out from racing on
-// the lazy cells and — deliberately — from retrying a failed build six
+// the stage cells and — deliberately — from retrying a failed build six
 // times: within one MineAll, a database either exists or is failed.
 type shared struct {
 	db  map[RecognizerKind][]trajectory.SemanticTrajectory
@@ -418,8 +506,8 @@ type shared struct {
 
 // MineAllCtx runs all six approaches under the shared worker budget:
 // the shared recognition artifacts are built first, then the six
-// extractions fan out over the configured pool and the results come
-// back in Approaches() order for stable experiment output.
+// extractions fan out over the engine (stage.RunEach) and the results
+// come back in Approaches() order for stable experiment output.
 //
 // Failure is isolated per approach: a failed or timed-out CSD build
 // fails (or, with Config.DegradedFallback, degrades) only the three
@@ -445,24 +533,21 @@ func (p *Pipeline) MineAllCtx(ctx context.Context, params pattern.Params) ([]App
 	opt := p.cfg.ExecOptions()
 	p.trace.SetGauge("index.backend", float64(opt.Index))
 	exec.Note(p.trace, len(as), exec.Workers(opt.Workers))
-	out := make([]ApproachResult, len(as))
-	for i, a := range as {
-		// Prefill with a sentinel so a slot the fan-out never reaches
-		// (aborted pool) reads as failed, not as an empty success.
-		out[i] = ApproachResult{Approach: a, Err: errNotRun}
-	}
-	if pfErr := exec.ParallelFor(ctx, opt.Workers, len(as), func(i int) error {
-		out[i] = p.mineOne(ctx, as[i], params, sh)
-		return nil
-	}); pfErr != nil {
-		for i := range out {
-			if errors.Is(out[i].Err, errNotRun) {
-				out[i].Err = fmt.Errorf("%w: %w", errNotRun, pfErr)
-			}
-		}
-	}
+	slots := stage.RunEach(p.graph, ctx, len(as), func(i int, _ stage.Env) (ApproachResult, error) {
+		return p.mineOne(ctx, as[i], params, sh), nil
+	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	out := make([]ApproachResult, len(as))
+	for i, s := range slots {
+		if s.Err != nil {
+			// A slot-level failure: the approach panicked (recovered by
+			// the engine into an *exec.PanicError) or was never reached.
+			out[i] = ApproachResult{Approach: as[i], Err: s.Err}
+			continue
+		}
+		out[i] = s.V
 	}
 	for _, r := range out {
 		if r.Err != nil {
@@ -476,17 +561,11 @@ func (p *Pipeline) MineAllCtx(ctx context.Context, params pattern.Params) ([]App
 	return out, nil
 }
 
-// mineOne runs one approach inside a MineAll fan-out. It never lets a
-// failure escape: errors land in the result's Err, and a panic from
-// the approach's own goroutine is recovered into an *exec.PanicError
-// so the sibling approaches keep running.
-func (p *Pipeline) mineOne(ctx context.Context, a Approach, params pattern.Params, sh shared) (res ApproachResult) {
-	res.Approach = a
-	defer func() {
-		if v := recover(); v != nil {
-			res.Err = exec.NewPanicError(v)
-		}
-	}()
+// mineOne runs one approach inside a MineAll fan-out. Errors land in
+// the result's Err (panic isolation is the engine's job — stage.RunEach
+// recovers a panicking slot into its own *exec.PanicError).
+func (p *Pipeline) mineOne(ctx context.Context, a Approach, params pattern.Params, sh shared) ApproachResult {
+	res := ApproachResult{Approach: a}
 	kind := a.Recognizer
 	if sh.err[kind] != nil && kind == RecCSD && p.cfg.DegradedFallback && sh.err[RecROI] == nil {
 		// The degradation ladder's one rung: CSD recognition is gone,
@@ -499,7 +578,7 @@ func (p *Pipeline) mineOne(ctx context.Context, a Approach, params pattern.Param
 		res.Err = err
 		return res
 	}
-	res.Patterns, res.Err = p.extractCtx(ctx, a, sh.db[kind], params)
+	res.Patterns, res.Err = p.extract(ctx, a, sh.db[kind], params)
 	return res
 }
 

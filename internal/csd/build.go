@@ -11,6 +11,7 @@ import (
 	"csdm/internal/index"
 	"csdm/internal/obs"
 	"csdm/internal/poi"
+	"csdm/internal/stage"
 )
 
 // Build constructs the City Semantic Diagram from a POI dataset and the
@@ -22,21 +23,34 @@ func Build(pois []poi.POI, stays []geo.Point, params Params) *Diagram {
 
 // BuildTraced is Build with telemetry recorded on tr (nil-safe).
 func BuildTraced(pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace) *Diagram {
-	d, _ := BuildContext(context.Background(), pois, stays, params, tr, exec.Options{})
+	env := stage.Background()
+	env.Trace = tr
+	d, _ := BuildEnv(env, pois, stays, params)
 	return d
 }
 
-// BuildContext is the full-control constructor: each construction stage
-// — popularity model, popularity clustering (Algorithm 1), semantic
+// BuildContext is the pre-engine full-control constructor.
+//
+// Deprecated: use BuildEnv with a stage.Env; this wrapper only repacks
+// its parameters and will be removed once no caller threads them by
+// hand (see DESIGN.md §5d).
+func BuildContext(ctx context.Context, pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace, opt exec.Options) (*Diagram, error) {
+	return BuildEnv(stage.Env{Ctx: ctx, Run: ctx, Trace: tr, Opt: opt}, pois, stays, params)
+}
+
+// BuildEnv is the full-control constructor: each construction stage —
+// popularity model, popularity clustering (Algorithm 1), semantic
 // purification (Algorithm 2), unit merging — records a span under
 // "csd.build", with counters for clusters grown, purification splits,
 // units merged and singletons kept. The popularity sums and the
-// purification split trees run on opt's worker pool; opt.Index selects
-// the spatial backend of every range structure built along the way. The
-// diagram is identical for any worker budget. A canceled ctx aborts
-// between units of work with ctx.Err() and a nil diagram.
-func BuildContext(ctx context.Context, pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace, opt exec.Options) (*Diagram, error) {
-	root := tr.Start("csd.build")
+// purification split trees run on env's worker pool; env.Opt.Index
+// selects the spatial backend of every range structure built along the
+// way. The diagram is identical for any worker budget. A canceled
+// env.Ctx aborts between units of work with its error and a nil
+// diagram.
+func BuildEnv(env stage.Env, pois []poi.POI, stays []geo.Point, params Params) (*Diagram, error) {
+	ctx, tr, opt := env.Ctx, env.Trace, env.Opt
+	root := env.StartSpan("csd.build")
 	defer root.End()
 	tr.SetGauge("index.backend", float64(opt.Index))
 

@@ -28,11 +28,11 @@ func fuzzSeedDiagram() []byte {
 func FuzzReadDiagram(f *testing.F) {
 	valid := fuzzSeedDiagram()
 	f.Add(valid)
-	f.Add(valid[:len(valid)/2])       // truncated payload
-	f.Add(valid[:headerSize])         // header only
-	f.Add(valid[:3])                  // truncated header
-	f.Add([]byte{})                   // empty
-	f.Add([]byte(`{"version":1}`))    // legacy JSON, incomplete
+	f.Add(valid[:len(valid)/2])    // truncated payload
+	f.Add(valid[:headerSize])      // header only
+	f.Add(valid[:3])               // truncated header
+	f.Add([]byte{})                // empty
+	f.Add([]byte(`{"version":1}`)) // legacy JSON, incomplete
 	f.Add([]byte("CSDFgarbagegarbagegarbage"))
 	// Hostile length field: header claims 2^60 payload bytes.
 	hostile := append([]byte(nil), valid[:headerSize]...)
@@ -67,13 +67,13 @@ func FuzzReadDiagram(f *testing.F) {
 func TestReadRejectsCorruptInputs(t *testing.T) {
 	valid := fuzzSeedDiagram()
 	cases := map[string][]byte{
-		"empty":            {},
-		"short header":     valid[:5],
-		"bad magic":        append([]byte("XXXX"), valid[4:]...),
-		"truncated":        valid[:len(valid)-10],
-		"header only":      valid[:headerSize],
-		"legacy garbage":   []byte(`{"version":99}`),
-		"not a file":       []byte("hello world, this is not a diagram"),
+		"empty":          {},
+		"short header":   valid[:5],
+		"bad magic":      append([]byte("XXXX"), valid[4:]...),
+		"truncated":      valid[:len(valid)-10],
+		"header only":    valid[:headerSize],
+		"legacy garbage": []byte(`{"version":99}`),
+		"not a file":     []byte("hello world, this is not a diagram"),
 	}
 	// Bit flips anywhere in the payload must fail the CRC.
 	for _, off := range []int{headerSize, headerSize + 37, len(valid) - 2} {

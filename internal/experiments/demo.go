@@ -49,7 +49,7 @@ func (e *Env) Fig14(params pattern.Params) []Fig14BucketResult {
 			bucketParams.Sigma = 2
 		}
 		db := recognize.AnnotateJourneys(js, trajectory.DefaultChainParams(), rec)
-		ps := pattern.NewCounterpartCluster().Extract(db, bucketParams)
+		ps := pattern.Compat{E: pattern.NewCounterpartCluster()}.Extract(db, bucketParams)
 		res := Fig14BucketResult{
 			Bucket:      b,
 			Journeys:    len(js),

@@ -1,12 +1,11 @@
 package pattern
 
 import (
-	"context"
-
 	"csdm/internal/cluster"
 	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/obs"
+	"csdm/internal/stage"
 	"csdm/internal/trajectory"
 )
 
@@ -33,21 +32,10 @@ func NewCounterpartCluster() *CounterpartCluster {
 func (c *CounterpartCluster) Name() string { return "CounterpartCluster" }
 
 // Extract implements Extractor.
-func (c *CounterpartCluster) Extract(db []trajectory.SemanticTrajectory, params Params) []Pattern {
-	return c.ExtractTraced(db, params, nil)
-}
-
-// ExtractTraced implements TracedExtractor.
-func (c *CounterpartCluster) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
-	out, _ := c.ExtractCtx(context.Background(), db, params, tr, exec.Options{})
-	return out
-}
-
-// ExtractCtx implements ContextExtractor.
-func (c *CounterpartCluster) ExtractCtx(ctx context.Context, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options) ([]Pattern, error) {
+func (c *CounterpartCluster) Extract(env stage.Env, db []trajectory.SemanticTrajectory, params Params) ([]Pattern, error) {
 	params = params.normalized()
-	return extractStages(ctx, c.Name(), db, params, tr, opt, func(pa coarsePattern) []Pattern {
-		return c.refine(pa, params, tr, opt)
+	return extractStages(env, c.Name(), db, params, func(pa coarsePattern) []Pattern {
+		return c.refine(pa, params, env.Trace, env.Opt)
 	})
 }
 

@@ -14,9 +14,9 @@ import (
 
 	"csdm/internal/exec"
 	"csdm/internal/geo"
-	"csdm/internal/obs"
 	"csdm/internal/poi"
 	"csdm/internal/seqpattern"
+	"csdm/internal/stage"
 	"csdm/internal/trajectory"
 )
 
@@ -77,42 +77,46 @@ type Pattern struct {
 func (p Pattern) Len() int { return len(p.Stays) }
 
 // Extractor mines fine-grained patterns from an annotated semantic
-// trajectory database.
+// trajectory database. Extraction runs under a stage environment (see
+// internal/stage): env carries the cancellation context, the telemetry
+// trace — spans under "extract.<name>" plus counters for coarse
+// patterns mined, candidates generated, candidates pruned by the σ/ρ
+// thresholds, and patterns surviving — and the execution-layer options
+// (worker budget, spatial backend). The mined pattern set is identical
+// for any worker budget; a canceled env.Ctx aborts with its error. A
+// zero environment (stage.Background()) degrades to plain sequential,
+// untraced mining.
 type Extractor interface {
 	// Name identifies the extractor in experiment reports.
 	Name() string
 	// Extract mines all fine-grained patterns under the given params.
-	Extract(db []trajectory.SemanticTrajectory, params Params) []Pattern
+	Extract(env stage.Env, db []trajectory.SemanticTrajectory, params Params) ([]Pattern, error)
 }
 
-// TracedExtractor is an Extractor that can record telemetry: stage
-// spans under "extract.<name>" plus counters for coarse patterns
-// mined, fine candidates generated, candidates pruned by the σ/ρ
-// thresholds, and patterns surviving. All extractors in this package
-// implement it; a nil trace degrades to plain Extract.
-type TracedExtractor interface {
-	Extractor
-	// ExtractTraced mines like Extract, recording telemetry on tr.
-	ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern
+// Compat adapts an Extractor to the pre-engine call shape — no
+// environment, no error — for callers outside the pipeline (examples,
+// one-off experiments): mining runs on a background environment and a
+// cancellation error (the only kind extraction produces) yields nil.
+type Compat struct {
+	E Extractor
 }
 
-// ContextExtractor is the full-control extractor interface: mining under
-// a cancellation context and explicit execution-layer options (worker
-// budget, spatial backend). The mined pattern set is identical for any
-// worker budget; a canceled ctx aborts with ctx.Err(). All extractors in
-// this package implement it.
-type ContextExtractor interface {
-	TracedExtractor
-	// ExtractCtx mines like ExtractTraced under ctx and opt.
-	ExtractCtx(ctx context.Context, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options) ([]Pattern, error)
+// Name identifies the wrapped extractor.
+func (c Compat) Name() string { return c.E.Name() }
+
+// Extract mines on a background environment, discarding the error.
+func (c Compat) Extract(db []trajectory.SemanticTrajectory, params Params) []Pattern {
+	out, _ := c.E.Extract(stage.Background(), db, params)
+	return out
 }
 
 // extractStages runs the shared coarse-detection → refinement →
 // closure skeleton with spans and counters keyed by the extractor
-// name. refine receives the trace so per-candidate counts land on the
-// same counters from the refinement workers.
-func extractStages(ctx context.Context, name string, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options, refine func(coarsePattern) []Pattern) ([]Pattern, error) {
-	root := tr.Start("extract." + name)
+// name. refine receives the trace (via env) so per-candidate counts
+// land on the same counters from the refinement workers.
+func extractStages(env stage.Env, name string, db []trajectory.SemanticTrajectory, params Params, refine func(coarsePattern) []Pattern) ([]Pattern, error) {
+	tr := env.Trace
+	root := env.StartSpan("extract." + name)
 	defer root.End()
 
 	sp := root.Start("prefixspan")
@@ -121,15 +125,15 @@ func extractStages(ctx context.Context, name string, db []trajectory.SemanticTra
 	tr.Add("extract."+name+".coarse", int64(len(coarse)))
 
 	sp = root.Start("refine")
-	exec.Note(tr, len(coarse), exec.Workers(opt.Workers))
-	out, err := refineAll(ctx, opt.Workers, coarse, refine)
+	exec.Note(tr, len(coarse), exec.Workers(env.Opt.Workers))
+	out, err := refineAll(env.Ctx, env.Opt.Workers, coarse, refine)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	sp = root.Start("closure")
-	final, err := finalize(ctx, db, out, params, opt)
+	final, err := finalize(env.Ctx, db, out, params, env.Opt)
 	sp.End()
 	if err != nil {
 		return nil, err

@@ -40,7 +40,9 @@ func flow(rng *rand.Rand, n int, a, b [2]float64, spread float64, gap time.Durat
 	return out
 }
 
-var extractors = []Extractor{NewCounterpartCluster(), NewSplitter(), NewSDBSCAN()}
+// extractors exercises every refiner through the Compat adapter — the
+// same legacy call shape external callers use.
+var extractors = []Compat{{NewCounterpartCluster()}, {NewSplitter()}, {NewSDBSCAN()}}
 
 // testParams keeps the thresholds small for compact test databases.
 func testParams() Params {
@@ -196,7 +198,7 @@ func TestPatternGroupsAlignWithSupport(t *testing.T) {
 func TestCounterpartClusterConsumesTrajectoriesOnce(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	db := flow(rng, 60, [2]float64{0, 0}, [2]float64{4000, 0}, 20, 30*time.Minute, [2]poi.Semantics{home, office})
-	got := NewCounterpartCluster().Extract(db, testParams())
+	got := Compat{NewCounterpartCluster()}.Extract(db, testParams())
 	total := 0
 	for _, p := range got {
 		total += p.Support
@@ -253,6 +255,6 @@ func BenchmarkCounterpartCluster(b *testing.B) {
 	params := testParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		NewCounterpartCluster().Extract(db, params)
+		Compat{NewCounterpartCluster()}.Extract(db, params)
 	}
 }

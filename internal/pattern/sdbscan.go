@@ -1,12 +1,9 @@
 package pattern
 
 import (
-	"context"
-
 	"csdm/internal/cluster"
-	"csdm/internal/exec"
 	"csdm/internal/geo"
-	"csdm/internal/obs"
+	"csdm/internal/stage"
 	"csdm/internal/trajectory"
 )
 
@@ -29,26 +26,15 @@ func NewSDBSCAN() *SDBSCAN { return &SDBSCAN{Eps: 100} }
 func (s *SDBSCAN) Name() string { return "SDBSCAN" }
 
 // Extract implements Extractor.
-func (s *SDBSCAN) Extract(db []trajectory.SemanticTrajectory, params Params) []Pattern {
-	return s.ExtractTraced(db, params, nil)
-}
-
-// ExtractTraced implements TracedExtractor.
-func (s *SDBSCAN) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
-	out, _ := s.ExtractCtx(context.Background(), db, params, tr, exec.Options{})
-	return out
-}
-
-// ExtractCtx implements ContextExtractor.
-func (s *SDBSCAN) ExtractCtx(ctx context.Context, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options) ([]Pattern, error) {
+func (s *SDBSCAN) Extract(env stage.Env, db []trajectory.SemanticTrajectory, params Params) ([]Pattern, error) {
 	params = params.normalized()
 	minPts := s.MinPts
 	if minPts <= 0 {
 		minPts = params.Sigma
 	}
-	return extractStages(ctx, s.Name(), db, params, tr, opt, func(pa coarsePattern) []Pattern {
+	return extractStages(env, s.Name(), db, params, func(pa coarsePattern) []Pattern {
 		return refineByModes(pa, params, func(pts []geo.Point) []int {
-			return cluster.DBSCANWith(pts, s.Eps, minPts, opt).Labels
-		}, tr, "extract."+s.Name())
+			return cluster.DBSCANWith(pts, s.Eps, minPts, env.Opt).Labels
+		}, env.Trace, "extract."+s.Name())
 	})
 }

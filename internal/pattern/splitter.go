@@ -1,13 +1,12 @@
 package pattern
 
 import (
-	"context"
 	"sort"
 
 	"csdm/internal/cluster"
-	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/obs"
+	"csdm/internal/stage"
 	"csdm/internal/trajectory"
 )
 
@@ -28,23 +27,12 @@ func NewSplitter() *Splitter { return &Splitter{Bandwidth: 150} }
 func (s *Splitter) Name() string { return "Splitter" }
 
 // Extract implements Extractor.
-func (s *Splitter) Extract(db []trajectory.SemanticTrajectory, params Params) []Pattern {
-	return s.ExtractTraced(db, params, nil)
-}
-
-// ExtractTraced implements TracedExtractor.
-func (s *Splitter) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
-	out, _ := s.ExtractCtx(context.Background(), db, params, tr, exec.Options{})
-	return out
-}
-
-// ExtractCtx implements ContextExtractor.
-func (s *Splitter) ExtractCtx(ctx context.Context, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options) ([]Pattern, error) {
+func (s *Splitter) Extract(env stage.Env, db []trajectory.SemanticTrajectory, params Params) ([]Pattern, error) {
 	params = params.normalized()
-	return extractStages(ctx, s.Name(), db, params, tr, opt, func(pa coarsePattern) []Pattern {
+	return extractStages(env, s.Name(), db, params, func(pa coarsePattern) []Pattern {
 		return refineByModes(pa, params, func(pts []geo.Point) []int {
-			return cluster.MeanShiftWith(pts, s.Bandwidth, opt).Labels
-		}, tr, "extract."+s.Name())
+			return cluster.MeanShiftWith(pts, s.Bandwidth, env.Opt).Labels
+		}, env.Trace, "extract."+s.Name())
 	})
 }
 

@@ -1,14 +1,13 @@
 package pattern
 
 import (
-	"context"
 	"sort"
 
 	"csdm/internal/exec"
 	"csdm/internal/geo"
-	"csdm/internal/obs"
 	"csdm/internal/poi"
 	"csdm/internal/seqpattern"
+	"csdm/internal/stage"
 	"csdm/internal/trajectory"
 )
 
@@ -39,24 +38,13 @@ func (t *TPattern) Name() string { return "T-Pattern" }
 // items — the defining gap of the approach — with representatives at
 // the matched stay points, and support/groups computed like the other
 // extractors' (spatial+temporal containment only, since there are no
-// tags to constrain).
-func (t *TPattern) Extract(db []trajectory.SemanticTrajectory, params Params) []Pattern {
-	return t.ExtractTraced(db, params, nil)
-}
-
-// ExtractTraced implements TracedExtractor.
-func (t *TPattern) ExtractTraced(db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace) []Pattern {
-	out, _ := t.ExtractCtx(context.Background(), db, params, tr, exec.Options{})
-	return out
-}
-
-// ExtractCtx implements ContextExtractor. The grid aggregation and
-// PrefixSpan passes are inherently sequential; the per-candidate
-// δ_t/ρ filtering fans out over opt's worker pool, with results
-// re-aggregated in mined order so the output is worker-count
-// independent.
-func (t *TPattern) ExtractCtx(ctx context.Context, db []trajectory.SemanticTrajectory, params Params, tr *obs.Trace, opt exec.Options) ([]Pattern, error) {
-	root := tr.Start("extract." + t.Name())
+// tags to constrain). The grid aggregation and PrefixSpan passes are
+// inherently sequential; the per-candidate δ_t/ρ filtering fans out
+// over env's worker pool, with results re-aggregated in mined order so
+// the output is worker-count independent.
+func (t *TPattern) Extract(env stage.Env, db []trajectory.SemanticTrajectory, params Params) ([]Pattern, error) {
+	ctx, tr, opt := env.Ctx, env.Trace, env.Opt
+	root := env.StartSpan("extract." + t.Name())
 	defer root.End()
 	params = params.normalized()
 	cell := t.CellMeters

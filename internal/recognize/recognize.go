@@ -12,6 +12,7 @@ import (
 	"csdm/internal/geo"
 	"csdm/internal/obs"
 	"csdm/internal/poi"
+	"csdm/internal/stage"
 	"csdm/internal/trajectory"
 )
 
@@ -55,17 +56,29 @@ func AnnotateJourneys(js []trajectory.Journey, chain trajectory.ChainParams, r R
 // AnnotateJourneysTraced is AnnotateJourneys with telemetry recorded on
 // tr (nil-safe).
 func AnnotateJourneysTraced(js []trajectory.Journey, chain trajectory.ChainParams, r Recognizer, tr *obs.Trace) []trajectory.SemanticTrajectory {
-	db, _ := AnnotateJourneysCtx(context.Background(), js, chain, r, tr, exec.Options{})
+	env := stage.Background()
+	env.Trace = tr
+	db, _ := AnnotateJourneysEnv(env, js, chain, r)
 	return db
 }
 
-// AnnotateJourneysCtx is the full-control form: a "recognize.<name>"
+// AnnotateJourneysCtx is the pre-engine full-control form.
+//
+// Deprecated: use AnnotateJourneysEnv with a stage.Env; this wrapper
+// only repacks its parameters and will be removed once no caller
+// threads them by hand (see DESIGN.md §5d).
+func AnnotateJourneysCtx(ctx context.Context, js []trajectory.Journey, chain trajectory.ChainParams, r Recognizer, tr *obs.Trace, opt exec.Options) ([]trajectory.SemanticTrajectory, error) {
+	return AnnotateJourneysEnv(stage.Env{Ctx: ctx, Run: ctx, Trace: tr, Opt: opt}, js, chain, r)
+}
+
+// AnnotateJourneysEnv is the full-control form: a "recognize.<name>"
 // span with chain and annotate children, plus counters for the stays
 // the recognizer annotated versus left unknown (the empty property).
-// Annotation fans out over opt's worker pool; a canceled ctx aborts
-// with ctx.Err() and a nil database.
-func AnnotateJourneysCtx(ctx context.Context, js []trajectory.Journey, chain trajectory.ChainParams, r Recognizer, tr *obs.Trace, opt exec.Options) ([]trajectory.SemanticTrajectory, error) {
-	root := tr.Start("recognize." + r.Name())
+// Annotation fans out over env's worker pool; a canceled env.Ctx
+// aborts with its error and a nil database.
+func AnnotateJourneysEnv(env stage.Env, js []trajectory.Journey, chain trajectory.ChainParams, r Recognizer) ([]trajectory.SemanticTrajectory, error) {
+	tr := env.Trace
+	root := env.StartSpan("recognize." + r.Name())
 	defer root.End()
 
 	sp := root.Start("chain")
@@ -73,8 +86,8 @@ func AnnotateJourneysCtx(ctx context.Context, js []trajectory.Journey, chain tra
 	sp.End()
 
 	sp = root.Start("annotate")
-	exec.Note(tr, len(db), exec.Workers(opt.Workers))
-	err := AnnotateCtx(ctx, db, r, opt.Workers)
+	exec.Note(tr, len(db), exec.Workers(env.Opt.Workers))
+	err := AnnotateCtx(env.Ctx, db, r, env.Opt.Workers)
 	sp.End()
 	if err != nil {
 		return nil, err

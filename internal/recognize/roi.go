@@ -6,6 +6,7 @@ import (
 	"csdm/internal/geo"
 	"csdm/internal/index"
 	"csdm/internal/poi"
+	"csdm/internal/stage"
 )
 
 // ROIParams configure the hot-region baseline of [21].
@@ -58,13 +59,25 @@ type ROIRecognizer struct {
 // NewROIRecognizer builds the baseline from historical stay-point
 // locations and the POI dataset.
 func NewROIRecognizer(stays []geo.Point, pois []poi.POI, params ROIParams) *ROIRecognizer {
-	return NewROIRecognizerWith(stays, pois, params, exec.Options{})
+	return NewROIRecognizerEnv(stage.Background(), stays, pois, params)
 }
 
-// NewROIRecognizerWith is NewROIRecognizer with execution-layer options:
-// hot-region DBSCAN runs on opt's worker pool and the lookup structures
-// use the opt.Index backend.
+// NewROIRecognizerWith is the pre-engine full-control constructor.
+//
+// Deprecated: use NewROIRecognizerEnv with a stage.Env; this wrapper
+// only repacks its parameters and will be removed once no caller
+// threads them by hand (see DESIGN.md §5d).
 func NewROIRecognizerWith(stays []geo.Point, pois []poi.POI, params ROIParams, opt exec.Options) *ROIRecognizer {
+	env := stage.Background()
+	env.Opt = opt
+	return NewROIRecognizerEnv(env, stays, pois, params)
+}
+
+// NewROIRecognizerEnv is NewROIRecognizer under a stage environment:
+// hot-region DBSCAN runs on env's worker pool and the lookup
+// structures use the env.Opt.Index backend.
+func NewROIRecognizerEnv(env stage.Env, stays []geo.Point, pois []poi.POI, params ROIParams) *ROIRecognizer {
+	opt := env.Opt
 	res := cluster.DBSCANWith(stays, params.Eps, params.MinPts, opt)
 	return &ROIRecognizer{
 		params:   params,
