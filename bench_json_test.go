@@ -17,6 +17,11 @@ type BenchMineResult struct {
 	Workers int `json:"workers"`
 	// NsPerOp is the wall time of one extraction pass.
 	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp is the heap allocation count of one extraction pass;
+	// the gate holds it to the same relative tolerance as the timing.
+	// Zero in a baseline written before the field existed disables that
+	// comparison.
+	AllocsPerOp int64 `json:"allocs_per_op"`
 	// Patterns is the mined pattern count — deterministic for a given
 	// workload, so the gate compares it exactly.
 	Patterns int `json:"patterns"`
@@ -52,14 +57,16 @@ func TestEmitBenchMineJSON(t *testing.T) {
 		env.Pipeline.Database(core.RecCSD) // prebuild: measure extraction alone
 		patterns := 0
 		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs() // populate MemAllocs so AllocsPerOp is real
 			for i := 0; i < b.N; i++ {
 				patterns = len(env.Pipeline.Mine(core.CSDPM, params))
 			}
 		})
 		report.Results = append(report.Results, BenchMineResult{
-			Workers:  workers,
-			NsPerOp:  r.NsPerOp(),
-			Patterns: patterns,
+			Workers:     workers,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Patterns:    patterns,
 		})
 	}
 	f, err := os.Create(path)

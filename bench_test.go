@@ -187,7 +187,7 @@ func BenchmarkAblationVotingVsNearest(b *testing.B) {
 	env := sharedEnv()
 	d := env.Pipeline.Diagram()
 	voting := recognize.NewCSDRecognizer(d)
-	nearest := recognize.NewNearestPOIRecognizer(env.City.POIs, 100)
+	nearest := recognize.NewNearestPOIRecognizer(env.City.POIs, 100, env.Cfg.Index)
 	proj := env.City.Proj
 
 	stability := func(r recognize.Recognizer) float64 {

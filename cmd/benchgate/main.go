@@ -1,15 +1,20 @@
 // Command benchgate compares two BenchmarkMine JSON reports (written by
 // TestEmitBenchMineJSON with BENCH_MINE_JSON set) and fails when the
-// candidate regresses: a slower ns_per_op beyond the tolerance, or any
-// change in the deterministic pattern count.
+// candidate regresses: a slower ns_per_op beyond the tolerance, more
+// allocs_per_op beyond its own tolerance, or any change in the
+// deterministic pattern count.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_4.json -candidate bench_new.json [-tolerance 0.10]
+//	benchgate -baseline BENCH_5.json -candidate bench_new.json \
+//	    [-tolerance 0.10] [-alloc-tolerance 0.10]
 //
 // Worker counts present in only one report are skipped (machines
 // differ in core count); the sequential workers-1 line exists in every
-// report and always gates.
+// report and always gates. A baseline written before allocs_per_op
+// existed carries zero there, which disables the allocation comparison
+// for that line (allocation counts, unlike timings, are deterministic
+// enough to gate tightly once a real baseline exists).
 package main
 
 import (
@@ -20,9 +25,10 @@ import (
 )
 
 type result struct {
-	Workers  int   `json:"workers"`
-	NsPerOp  int64 `json:"ns_per_op"`
-	Patterns int   `json:"patterns"`
+	Workers     int   `json:"workers"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	Patterns    int   `json:"patterns"`
 }
 
 type report struct {
@@ -47,9 +53,10 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline JSON")
 	candidate := flag.String("candidate", "", "freshly measured JSON")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed ns_per_op slowdown (0.10 = 10%)")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.10, "allowed allocs_per_op growth (0.10 = 10%)")
 	flag.Parse()
 	if *baseline == "" || *candidate == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline a.json -candidate b.json [-tolerance 0.10]")
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline a.json -candidate b.json [-tolerance 0.10] [-alloc-tolerance 0.10]")
 		os.Exit(2)
 	}
 	base, err := readReport(*baseline)
@@ -76,6 +83,10 @@ func main() {
 		}
 		compared++
 		ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
+		allocRatio := 0.0
+		if b.AllocsPerOp > 0 {
+			allocRatio = float64(c.AllocsPerOp) / float64(b.AllocsPerOp)
+		}
 		status := "ok"
 		if c.Patterns != b.Patterns {
 			status = "FAIL (patterns changed: mining output is no longer identical)"
@@ -83,9 +94,16 @@ func main() {
 		} else if ratio > 1.0+*tolerance {
 			status = fmt.Sprintf("FAIL (>%.0f%% slower)", *tolerance*100)
 			failed = true
+		} else if b.AllocsPerOp > 0 && allocRatio > 1.0+*allocTolerance {
+			status = fmt.Sprintf("FAIL (>%.0f%% more allocations)", *allocTolerance*100)
+			failed = true
 		}
-		fmt.Printf("workers-%d: %d -> %d ns/op (%.2fx), patterns %d -> %d: %s\n",
-			c.Workers, b.NsPerOp, c.NsPerOp, ratio, b.Patterns, c.Patterns, status)
+		allocNote := "allocs n/a"
+		if b.AllocsPerOp > 0 {
+			allocNote = fmt.Sprintf("allocs %d -> %d (%.2fx)", b.AllocsPerOp, c.AllocsPerOp, allocRatio)
+		}
+		fmt.Printf("workers-%d: %d -> %d ns/op (%.2fx), %s, patterns %d -> %d: %s\n",
+			c.Workers, b.NsPerOp, c.NsPerOp, ratio, allocNote, b.Patterns, c.Patterns, status)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: no comparable worker counts between reports")

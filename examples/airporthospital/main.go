@@ -20,7 +20,8 @@ func main() {
 	cfg.Days = 14
 	city := csdm.GenerateCity(cfg)
 	workload := city.GenerateWorkload()
-	miner := csdm.NewMiner(city.POIs, workload.Journeys, csdm.DefaultConfig())
+	minerCfg := csdm.DefaultConfig()
+	miner := csdm.NewMiner(city.POIs, workload.Journeys, minerCfg)
 
 	params := csdm.DefaultMiningParams()
 	params.Sigma = 25
@@ -76,7 +77,7 @@ func main() {
 	fmt.Printf("medical patterns mined from GPS: %d\n", hospitalPatterns)
 
 	for _, profile := range []synth.CheckinProfile{synth.ProfileNewYork(), synth.ProfileTokyo()} {
-		cs := city.SampleCheckins(workload.Journeys, profile, 99)
+		cs := city.SampleCheckins(workload.Journeys, profile, 99, minerCfg.Index)
 		med := synth.MajorShare(cs, poi.MedicalService)
 		fmt.Printf("medical share of %s-style check-ins: %.2f%% (suppressed by sharing bias)\n",
 			profile.Name, med*100)

@@ -111,10 +111,21 @@ func DBSCANWith(pts []geo.Point, eps float64, minPts int, opt exec.Options) Resu
 // the lazy form — it only reorders it into an embarrassingly parallel
 // phase; slot i always holds point i's result, keeping downstream
 // iteration order worker-count independent.
+//
+// Each worker appends its results into one per-slot arena and hands out
+// full-capacity subslices, so a point's neighborhood costs zero
+// allocations beyond the arena's amortized growth (a grown arena leaves
+// earlier subslices valid on the old backing array, and the capacity
+// cap keeps them immune to later appends).
 func neighborhoods(idx index.Index, pts []geo.Point, eps float64, workers int) [][]int {
 	out := make([][]int, len(pts))
-	_ = exec.ParallelFor(context.Background(), workers, len(pts), func(i int) error {
-		out[i] = idx.Within(pts[i], eps)
+	arenas := make([][]int, exec.Slots(workers, len(pts)))
+	_ = exec.ParallelForSlots(context.Background(), workers, len(pts), func(slot, i int) error {
+		a := arenas[slot]
+		start := len(a)
+		a = idx.WithinAppend(pts[i], eps, a)
+		arenas[slot] = a
+		out[i] = a[start:len(a):len(a)]
 		return nil
 	})
 	return out

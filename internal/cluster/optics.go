@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -82,6 +81,10 @@ func OpticsWith(pts []geo.Point, maxEps float64, minPts int, opt exec.Options) *
 		return math.Sqrt(quickselect(ds, minPts-1))
 	}
 
+	// One queue serves every component: it always drains empty before the
+	// next start point, and Pop resets the popped id's position slot, so
+	// the queue is back to its pristine state without reallocation.
+	seeds := newSeedQueue(n)
 	for start := 0; start < n; start++ {
 		if processed[start] {
 			continue
@@ -93,10 +96,9 @@ func OpticsWith(pts []geo.Point, maxEps float64, minPts int, opt exec.Options) *
 		if math.IsInf(res.CoreDist[start], 1) {
 			continue
 		}
-		seeds := &seedQueue{pos: make(map[int]int)}
 		update(res, neighbors, start, seeds, processed)
 		for seeds.Len() > 0 {
-			cur := heap.Pop(seeds).(seedItem).id
+			cur := seeds.pop().id
 			if processed[cur] {
 				continue
 			}
@@ -308,44 +310,85 @@ type seedItem struct {
 	reach float64
 }
 
-// seedQueue is an indexed min-heap over reachability distances.
+// seedQueue is an indexed min-heap over reachability distances. It is
+// hand-rolled rather than built on container/heap — whose any-typed
+// interface boxes every pushed item — and the position table is a dense
+// slice over point ids (-1 = absent) rather than a map: upsert is the
+// innermost OPTICS operation and must be allocation-free.
 type seedQueue struct {
 	items []seedItem
-	pos   map[int]int
+	pos   []int // pos[id] = heap index of id, or -1 when not queued
 }
 
-func (q *seedQueue) Len() int { return len(q.items) }
-func (q *seedQueue) Less(i, j int) bool {
-	return q.items[i].reach < q.items[j].reach
+// newSeedQueue sizes the position table for point ids [0, n).
+func newSeedQueue(n int) *seedQueue {
+	q := &seedQueue{pos: make([]int, n)}
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	return q
 }
-func (q *seedQueue) Swap(i, j int) {
+
+// Len returns the number of queued seeds.
+func (q *seedQueue) Len() int { return len(q.items) }
+
+func (q *seedQueue) swap(i, j int) {
 	q.items[i], q.items[j] = q.items[j], q.items[i]
 	q.pos[q.items[i].id] = i
 	q.pos[q.items[j].id] = j
 }
 
-// Push implements heap.Interface.
-func (q *seedQueue) Push(x any) {
-	it := x.(seedItem)
-	q.pos[it.id] = len(q.items)
-	q.items = append(q.items, it)
+func (q *seedQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.items[parent].reach <= q.items[i].reach {
+			break
+		}
+		q.swap(parent, i)
+		i = parent
+	}
 }
 
-// Pop implements heap.Interface.
-func (q *seedQueue) Pop() any {
+func (q *seedQueue) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.items[l].reach < q.items[smallest].reach {
+			smallest = l
+		}
+		if r < n && q.items[r].reach < q.items[smallest].reach {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(smallest, i)
+		i = smallest
+	}
+}
+
+// pop removes and returns the seed with the smallest reachability.
+func (q *seedQueue) pop() seedItem {
+	root := q.items[0]
 	last := len(q.items) - 1
-	it := q.items[last]
+	q.swap(0, last)
 	q.items = q.items[:last]
-	delete(q.pos, it.id)
-	return it
+	q.pos[root.id] = -1
+	if last > 0 {
+		q.down(0)
+	}
+	return root
 }
 
 // upsert inserts id with the given reachability or decreases its key.
 func (q *seedQueue) upsert(id int, reach float64) {
-	if i, ok := q.pos[id]; ok {
+	if i := q.pos[id]; i >= 0 {
 		q.items[i].reach = reach
-		heap.Fix(q, i)
+		q.up(i) // upsert only ever decreases the key
 		return
 	}
-	heap.Push(q, seedItem{id: id, reach: reach})
+	q.pos[id] = len(q.items)
+	q.items = append(q.items, seedItem{id: id, reach: reach})
+	q.up(len(q.items) - 1)
 }

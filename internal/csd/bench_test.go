@@ -1,0 +1,136 @@
+package csd
+
+// Per-stage benchmarks for the diagram construction pipeline. Each
+// stage is measured white-box on the same synthetic workload as the
+// repository-level BenchmarkMine, with its inputs prebuilt, so a
+// regression localizes to one stage instead of hiding inside the
+// end-to-end number. All report allocations: the spatial-query scratch
+// buffers and the purifier's cached kernel weights exist precisely to
+// keep these lines flat.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"csdm/internal/exec"
+	"csdm/internal/geo"
+	"csdm/internal/index"
+	"csdm/internal/poi"
+	"csdm/internal/synth"
+)
+
+// stageFixture is the shared stage-benchmark state: the synthetic
+// workload plus every intermediate input, built once. Sequential
+// (Workers: 1) so the per-op numbers measure the algorithms, not the
+// pool.
+type stageFixtureT struct {
+	pois     []poi.POI
+	stays    []geo.Point
+	d        *Diagram
+	clusters [][]int
+	leftover []int
+	purified [][]int
+}
+
+var (
+	stageOnce sync.Once
+	stageFix  stageFixtureT
+)
+
+func stageFixture(b *testing.B) *stageFixtureT {
+	stageOnce.Do(func() {
+		cfg := synth.DefaultConfig()
+		cfg.Seed = 1
+		cfg.NumPOIs = 3000
+		cfg.NumPassengers = 600
+		cfg.Days = 14
+		city := synth.NewCity(cfg)
+		w := city.GenerateWorkload()
+		stageFix.pois = city.POIs
+		stageFix.stays = make([]geo.Point, 0, 2*len(w.Journeys))
+		for _, j := range w.Journeys {
+			stageFix.stays = append(stageFix.stays, j.Pickup, j.Dropoff)
+		}
+		params := DefaultParams()
+		d := &Diagram{Params: params, POIs: stageFix.pois, kernel: newKernelFor(params)}
+		ctx := context.Background()
+		pop, err := popularity(ctx, d.POIs, stageFix.stays, d.kernel, exec.Options{Workers: 1})
+		if err != nil {
+			panic(err)
+		}
+		d.Pop = pop
+		stageFix.d = d
+		stageFix.clusters, stageFix.leftover, err = d.popularityClusters(ctx, index.KindGrid)
+		if err != nil {
+			panic(err)
+		}
+		stageFix.purified, err = d.purify(ctx, stageFix.clusters, nil, exec.Options{Workers: 1})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return &stageFix
+}
+
+func BenchmarkPopularity(b *testing.B) {
+	fix := stageFixture(b)
+	ctx := context.Background()
+	opt := exec.Options{Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := popularity(ctx, fix.pois, fix.stays, fix.d.kernel, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClustering(b *testing.B) {
+	fix := stageFixture(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var nc int
+	for i := 0; i < b.N; i++ {
+		clusters, _, err := fix.d.popularityClusters(ctx, index.KindGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nc = len(clusters)
+	}
+	b.ReportMetric(float64(nc), "clusters")
+}
+
+func BenchmarkPurify(b *testing.B) {
+	fix := stageFixture(b)
+	ctx := context.Background()
+	opt := exec.Options{Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var nu int
+	for i := 0; i < b.N; i++ {
+		units, err := fix.d.purify(ctx, fix.clusters, nil, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nu = len(units)
+	}
+	b.ReportMetric(float64(nu), "units")
+}
+
+func BenchmarkMerge(b *testing.B) {
+	fix := stageFixture(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var nm int
+	for i := 0; i < b.N; i++ {
+		merged, _, err := fix.d.merge(ctx, fix.purified, fix.leftover, index.KindGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nm = len(merged)
+	}
+	b.ReportMetric(float64(nm), "merged-units")
+}

@@ -136,6 +136,21 @@ func (d *Diagram) popularityClusters(ctx context.Context, kind index.Kind) (clus
 	removed := make([]bool, n) // "P ← P − {p}" bookkeeping
 	inCluster := make([]bool, n)
 
+	// Scratch reused across seeds: the growth queue, the raw range-query
+	// buffer and the candidate cluster. A kept cluster is copied out of
+	// clBuf, so the reuse never aliases a result — and the (common)
+	// sub-MinPts seeds allocate nothing at all.
+	var queue, nbr, clBuf []int
+	// enqueue appends the not-yet-removed POIs within ε_p of POI i —
+	// the range(p, ε_p, P) of Algorithm 1's work queue V.
+	enqueue := func(i int) {
+		nbr = locIdx.WithinAppend(d.POIs[i].Location, d.Params.EpsP, nbr[:0])
+		for _, j := range nbr {
+			if !removed[j] {
+				queue = append(queue, j)
+			}
+		}
+	}
 	for seed := 0; seed < n; seed++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -144,9 +159,9 @@ func (d *Diagram) popularityClusters(ctx context.Context, kind index.Kind) (clus
 			continue
 		}
 		removed[seed] = true
-		cl := []int{seed}
-		// V is a work queue seeded with range(seed, ε_p, P).
-		queue := d.availableWithin(locIdx, removed, seed)
+		clBuf = append(clBuf[:0], seed)
+		queue = queue[:0]
+		enqueue(seed)
 		for qi := 0; qi < len(queue); qi++ {
 			j := queue[qi]
 			if removed[j] {
@@ -162,12 +177,12 @@ func (d *Diagram) popularityClusters(ctx context.Context, kind index.Kind) (clus
 				continue
 			}
 			removed[j] = true
-			cl = append(cl, j)
-			queue = append(queue, d.availableWithin(locIdx, removed, j)...)
+			clBuf = append(clBuf, j)
+			enqueue(j)
 		}
-		if len(cl) >= d.Params.MinPts {
-			clusters = append(clusters, cl)
-			for _, i := range cl {
+		if len(clBuf) >= d.Params.MinPts {
+			clusters = append(clusters, append([]int(nil), clBuf...))
+			for _, i := range clBuf {
 				inCluster[i] = true
 			}
 		}
@@ -178,17 +193,6 @@ func (d *Diagram) popularityClusters(ctx context.Context, kind index.Kind) (clus
 		}
 	}
 	return clusters, leftover, nil
-}
-
-// availableWithin returns the not-yet-removed POIs within ε_p of POI i.
-func (d *Diagram) availableWithin(locIdx index.Index, removed []bool, i int) []int {
-	var out []int
-	for _, j := range locIdx.Within(d.POIs[i].Location, d.Params.EpsP) {
-		if !removed[j] {
-			out = append(out, j)
-		}
-	}
-	return out
 }
 
 // purify implements Algorithm 2 (Semantic Purification): clusters that
@@ -220,26 +224,34 @@ func (d *Diagram) purify(ctx context.Context, clusters [][]int, tr *obs.Trace, o
 
 // purifyCluster runs one cluster's split tree to completion. The paper
 // picks sub-clusters randomly; a work stack is equivalent and
-// deterministic.
+// deterministic. The purifier caches the cluster's planar coordinates,
+// major categories and pairwise kernel weights for the whole tree, so
+// every sub-cluster works in local index space and no weight is
+// computed twice.
 func (d *Diagram) purifyCluster(cl []int, tr *obs.Trace) [][]int {
-	work := [][]int{cl}
+	pu := newPurifier(d, cl)
+	local := make([]int, len(cl))
+	for a := range local {
+		local[a] = a
+	}
+	work := [][]int{local}
 	var units [][]int
 	for len(work) > 0 {
 		ci := work[len(work)-1]
 		work = work[:len(work)-1]
-		if d.singleSemantic(ci) || d.varianceOf(ci) < d.Params.VMin {
-			units = append(units, ci)
+		if pu.singleSemantic(ci) || pu.variance(ci) < d.Params.VMin {
+			units = append(units, pu.globalize(ci))
 			continue
 		}
-		kept, split := d.splitByKL(ci)
+		kept, split := pu.splitByKL(ci)
 		if len(split) == 0 || len(kept) == 0 {
 			// All KL values coincide (perfectly symmetric mixture); no
 			// median split is possible. Fall back to splitting off the
 			// largest single-major group, which always makes progress
 			// on a multi-semantic cluster.
-			kept, split = d.splitByMajor(ci)
+			kept, split = pu.splitByMajor(ci)
 			if len(split) == 0 {
-				units = append(units, ci)
+				units = append(units, pu.globalize(ci))
 				continue
 			}
 			tr.Add("csd.purify.major_splits", 1)
@@ -251,107 +263,12 @@ func (d *Diagram) purifyCluster(cl []int, tr *obs.Trace) [][]int {
 	return units
 }
 
-// singleSemantic reports whether all POIs of the cluster share one
-// major category (the SingleSemantic check of Definition 3).
-func (d *Diagram) singleSemantic(cl []int) bool {
-	if len(cl) == 0 {
-		return true
-	}
-	first := d.POIs[cl[0]].Major()
-	for _, i := range cl[1:] {
-		if d.POIs[i].Major() != first {
-			return false
-		}
-	}
-	return true
-}
-
-// varianceOf computes the spatial variance of the cluster in m².
-func (d *Diagram) varianceOf(cl []int) float64 {
-	pts := make([]geo.Point, len(cl))
-	for k, i := range cl {
-		pts[k] = d.POIs[i].Location
-	}
-	return geo.VarianceMeters(pts)
-}
-
-// splitByKL performs the median-KL decomposition of Algorithm 2 lines
-// 7–14: POIs whose semantic distribution diverges from the center POI's
-// by more than the median form the new cluster.
-func (d *Diagram) splitByKL(cl []int) (kept, split []int) {
-	center := d.centerPOI(cl)
-	centerDist := d.semanticDistribution(cl, center)
-	kls := make([]float64, len(cl))
-	for k, i := range cl {
-		kls[k] = klDivergence(centerDist, d.semanticDistribution(cl, i))
-	}
-	median := medianOf(kls)
-	for k, i := range cl {
-		if kls[k] > median {
-			split = append(split, i)
-		} else {
-			kept = append(kept, i)
-		}
-	}
-	return kept, split
-}
-
-// splitByMajor separates the largest single-major group from the rest.
-func (d *Diagram) splitByMajor(cl []int) (kept, split []int) {
-	var counts [poi.NumMajors]int
-	for _, i := range cl {
-		counts[d.POIs[i].Major()]++
-	}
-	best := poi.Major(0)
-	for mj := 1; mj < poi.NumMajors; mj++ {
-		if counts[mj] > counts[best] {
-			best = poi.Major(mj)
-		}
-	}
-	if counts[best] == len(cl) {
-		return cl, nil
-	}
-	for _, i := range cl {
-		if d.POIs[i].Major() == best {
-			kept = append(kept, i)
-		} else {
-			split = append(split, i)
-		}
-	}
-	return kept, split
-}
-
-// centerPOI returns the cluster member closest to the cluster centroid
-// (the paper's CenterPoint).
-func (d *Diagram) centerPOI(cl []int) int {
-	pts := make([]geo.Point, len(cl))
-	for k, i := range cl {
-		pts[k] = d.POIs[i].Location
-	}
-	return cl[geo.MedoidIndex(pts)]
-}
-
-// semanticDistribution computes Pr_{p_i}(s) of Equation (4) for POI i
-// within cluster cl: the kernel-weighted share of each major category as
-// seen from p_i. The returned vector is indexed by major.
-func (d *Diagram) semanticDistribution(cl []int, i int) []float64 {
-	dist := make([]float64, poi.NumMajors)
-	var total float64
-	for _, j := range cl {
-		w := d.kernel.Weight(d.POIs[j].Location, d.POIs[i].Location)
-		dist[d.POIs[j].Major()] += w
-		total += w
-	}
-	if total > 0 {
-		for k := range dist {
-			dist[k] /= total
-		}
-	}
-	return dist
-}
-
 func medianOf(vals []float64) float64 {
-	s := append([]float64(nil), vals...)
+	return medianSorting(append([]float64(nil), vals...))
+}
+
+// medianSorting returns the median of s, sorting it in place.
+func medianSorting(s []float64) float64 {
 	sort.Float64s(s)
 	n := len(s)
 	if n == 0 {
@@ -394,11 +311,13 @@ func (d *Diagram) merge(ctx context.Context, clusters [][]int, leftover []int, k
 		dists[i] = d.popWeightedDistribution(cl)
 	}
 	centerIdx := index.New(kind, centers, d.Params.MergeDist)
+	var nbr []int // range-query scratch, reused across both query loops
 	for i := range clusters {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		for _, j := range centerIdx.Within(centers[i], d.Params.MergeDist) {
+		nbr = centerIdx.WithinAppend(centers[i], d.Params.MergeDist, nbr[:0])
+		for _, j := range nbr {
 			if j <= i {
 				continue
 			}
@@ -432,15 +351,16 @@ func (d *Diagram) merge(ctx context.Context, clusters [][]int, leftover []int, k
 	}
 	mIdx := index.New(kind, mergedCenters, d.Params.MergeDist)
 	var unattached []int
+	var single [poi.NumMajors]float64
 	for _, p := range leftover {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		single := make([]float64, poi.NumMajors)
 		single[d.POIs[p].Major()] = 1
 		bestUnit, bestDist := -1, d.Params.MergeDist+1
-		for _, u := range mIdx.Within(d.POIs[p].Location, d.Params.MergeDist) {
-			if cosine(single, mergedDists[u]) < d.Params.MergeCos {
+		nbr = mIdx.WithinAppend(d.POIs[p].Location, d.Params.MergeDist, nbr[:0])
+		for _, u := range nbr {
+			if cosine(single[:], mergedDists[u]) < d.Params.MergeCos {
 				continue
 			}
 			if dd := geo.Haversine(d.POIs[p].Location, mergedCenters[u]); dd < bestDist {
@@ -452,6 +372,7 @@ func (d *Diagram) merge(ctx context.Context, clusters [][]int, leftover []int, k
 		} else {
 			unattached = append(unattached, p)
 		}
+		single[d.POIs[p].Major()] = 0
 	}
 	return merged, unattached, nil
 }

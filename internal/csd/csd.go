@@ -119,12 +119,20 @@ func (d *Diagram) Kernel() geo.GaussianKernel { return d.kernel }
 // meters of p — the range(sp, R3σ, CSD) of Algorithm 3 (POIs outside
 // every unit do not participate in recognition).
 func (d *Diagram) MembersWithin(p geo.Point, radius float64) []int {
-	raw := d.memberIdx.Within(p, radius)
-	out := make([]int, len(raw))
-	for k, r := range raw {
-		out[k] = d.members[r]
+	return d.MembersWithinAppend(p, radius, nil)
+}
+
+// MembersWithinAppend is MembersWithin appending into buf, under the
+// same aliasing contract as index.Index.WithinAppend: the diagram never
+// retains buf, and the caller must use the returned slice. Recognition
+// loops reuse one buffer per worker to keep Algorithm 3 allocation-free.
+func (d *Diagram) MembersWithinAppend(p geo.Point, radius float64, buf []int) []int {
+	start := len(buf)
+	buf = d.memberIdx.WithinAppend(p, radius, buf)
+	for k := start; k < len(buf); k++ {
+		buf[k] = d.members[buf[k]]
 	}
-	return out
+	return buf
 }
 
 // Coverage returns the fraction of input POIs that belong to some unit.
@@ -177,17 +185,23 @@ func Popularity(pois []poi.POI, stays []geo.Point, kernel geo.GaussianKernel) []
 // popularity is the execution-layer core of Popularity: each POI's
 // kernel sum is independent, so the loop fans out over the worker pool.
 // pop[i] is accumulated in the index's result order regardless of the
-// worker count, so the sums are bit-identical across budgets.
+// worker count, so the sums are bit-identical across budgets. Each
+// worker slot reuses one range-query buffer — the sums depend only on
+// the query results, never on leftover buffer contents, so the reuse
+// cannot perturb determinism.
 func popularity(ctx context.Context, pois []poi.POI, stays []geo.Point, kernel geo.GaussianKernel, opt exec.Options) ([]float64, error) {
 	pop := make([]float64, len(pois))
 	if len(stays) == 0 {
 		return pop, nil
 	}
 	stayIdx := index.New(opt.Index, stays, kernel.Radius())
-	err := exec.ParallelFor(ctx, opt.Workers, len(pois), func(i int) error {
+	bufs := make([][]int, exec.Slots(opt.Workers, len(pois)))
+	err := exec.ParallelForSlots(ctx, opt.Workers, len(pois), func(slot, i int) error {
 		loc := pois[i].Location
+		buf := stayIdx.WithinAppend(loc, kernel.Radius(), bufs[slot][:0])
+		bufs[slot] = buf
 		var sum float64
-		for _, s := range stayIdx.Within(loc, kernel.Radius()) {
+		for _, s := range buf {
 			sum += kernel.Weight(loc, stays[s])
 		}
 		pop[i] = sum

@@ -1,0 +1,231 @@
+package csd
+
+import (
+	"csdm/internal/geo"
+	"csdm/internal/poi"
+)
+
+// maxWeightCacheMembers caps the size of a purifier's pairwise kernel-
+// weight matrix: a cluster of k members costs k² float64s, so 512 bounds
+// the cache at 2 MiB per in-flight cluster. Larger clusters fall back to
+// computing weights from the cached planar coordinates on demand —
+// still cheaper than the Haversine the weights once required.
+const maxWeightCacheMembers = 512
+
+// purifier holds one cluster's purification state for the whole split
+// tree (Algorithm 2). Members are addressed by local index [0, k); the
+// planar coordinates, major categories and — lazily, on the first split
+// — the full pairwise kernel-weight matrix are computed once per tree,
+// where the per-level formulation recomputed every pairwise weight (a
+// Haversine plus an exponential) at every level of the tree.
+//
+// Weights use the kernel's planar fast path: the distance fed to
+// WeightDist is measured in the projection anchored at the cluster
+// centroid. At the ≤150 m scale of a popularity cluster the projection
+// error is parts-per-million of the 33 m kernel σ, far below the median
+// contrast the split thresholds on.
+type purifier struct {
+	d      *Diagram
+	cl     []int        // global POI indices; local index a ↔ cl[a]
+	planar []geo.Meters // member locations projected at the cluster centroid
+	majors []poi.Major
+	// weights is the flattened k×k kernel-weight matrix, filled by the
+	// first splitByKL; weightsDone distinguishes "not yet built" from
+	// "over the cache cap".
+	weights     []float64
+	weightsDone bool
+	// kls and sorted are per-tree scratch for the median-KL split.
+	kls    []float64
+	sorted []float64
+}
+
+func newPurifier(d *Diagram, cl []int) *purifier {
+	pu := &purifier{
+		d:      d,
+		cl:     cl,
+		planar: make([]geo.Meters, len(cl)),
+		majors: make([]poi.Major, len(cl)),
+	}
+	pts := make([]geo.Point, len(cl))
+	for a, i := range cl {
+		pts[a] = d.POIs[i].Location
+	}
+	proj := geo.NewProjection(geo.Centroid(pts))
+	for a, p := range pts {
+		pu.planar[a] = proj.ToMeters(p)
+		pu.majors[a] = d.POIs[cl[a]].Major()
+	}
+	return pu
+}
+
+// ensureWeights fills the pairwise weight matrix once per tree. It runs
+// only when a split is actually needed, so single-semantic and
+// spatially tight clusters never pay for it.
+func (pu *purifier) ensureWeights() {
+	if pu.weightsDone {
+		return
+	}
+	pu.weightsDone = true
+	k := len(pu.cl)
+	if k > maxWeightCacheMembers {
+		return
+	}
+	w0 := pu.d.kernel.WeightDist(0)
+	pu.weights = make([]float64, k*k)
+	for a := 0; a < k; a++ {
+		pu.weights[a*k+a] = w0
+		for b := a + 1; b < k; b++ {
+			w := pu.d.kernel.WeightDist(pu.planar[a].Dist(pu.planar[b]))
+			pu.weights[a*k+b] = w
+			pu.weights[b*k+a] = w
+		}
+	}
+}
+
+// weight returns the kernel weight between members a and b.
+func (pu *purifier) weight(a, b int) float64 {
+	if pu.weights != nil {
+		return pu.weights[a*len(pu.cl)+b]
+	}
+	return pu.d.kernel.WeightDist(pu.planar[a].Dist(pu.planar[b]))
+}
+
+// singleSemantic reports whether all members of ci share one major
+// category (the SingleSemantic check of Definition 3).
+func (pu *purifier) singleSemantic(ci []int) bool {
+	if len(ci) == 0 {
+		return true
+	}
+	first := pu.majors[ci[0]]
+	for _, a := range ci[1:] {
+		if pu.majors[a] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// planarCentroid returns the mean of ci's cached planar coordinates.
+// The projection is linear in lon/lat, so this is the projection of the
+// sub-cluster's coordinate centroid.
+func (pu *purifier) planarCentroid(ci []int) geo.Meters {
+	var sx, sy float64
+	for _, a := range ci {
+		sx += pu.planar[a].X
+		sy += pu.planar[a].Y
+	}
+	n := float64(len(ci))
+	return geo.Meters{X: sx / n, Y: sy / n}
+}
+
+// variance computes the sub-cluster's spatial variance in m² from the
+// cached planar coordinates (VarianceMeters re-projected per call).
+func (pu *purifier) variance(ci []int) float64 {
+	if len(ci) < 2 {
+		return 0
+	}
+	c := pu.planarCentroid(ci)
+	var sum float64
+	for _, a := range ci {
+		dx := pu.planar[a].X - c.X
+		dy := pu.planar[a].Y - c.Y
+		sum += dx*dx + dy*dy
+	}
+	return sum / float64(len(ci)-1)
+}
+
+// medoid returns the member of ci closest to ci's centroid (the paper's
+// CenterPoint), first-wins on ties like geo.MedoidIndex.
+func (pu *purifier) medoid(ci []int) int {
+	c := pu.planarCentroid(ci)
+	best, bestD := ci[0], -1.0
+	for _, a := range ci {
+		dx := pu.planar[a].X - c.X
+		dy := pu.planar[a].Y - c.Y
+		if d2 := dx*dx + dy*dy; bestD < 0 || d2 < bestD {
+			best, bestD = a, d2
+		}
+	}
+	return best
+}
+
+// semanticDistribution fills dist with Pr_{p_a}(s) of Equation (4): the
+// kernel-weighted share of each major category as seen from member a.
+func (pu *purifier) semanticDistribution(ci []int, a int, dist []float64) {
+	for k := range dist {
+		dist[k] = 0
+	}
+	var total float64
+	for _, b := range ci {
+		w := pu.weight(b, a)
+		dist[pu.majors[b]] += w
+		total += w
+	}
+	if total > 0 {
+		for k := range dist {
+			dist[k] /= total
+		}
+	}
+}
+
+// splitByKL performs the median-KL decomposition of Algorithm 2 lines
+// 7–14: members whose semantic distribution diverges from the center
+// member's by more than the median form the new cluster.
+func (pu *purifier) splitByKL(ci []int) (kept, split []int) {
+	pu.ensureWeights()
+	center := pu.medoid(ci)
+	var centerDist, memberDist [poi.NumMajors]float64
+	pu.semanticDistribution(ci, center, centerDist[:])
+	kls := pu.kls[:0]
+	for _, a := range ci {
+		pu.semanticDistribution(ci, a, memberDist[:])
+		kls = append(kls, klDivergence(centerDist[:], memberDist[:]))
+	}
+	pu.kls = kls
+	sorted := append(pu.sorted[:0], kls...)
+	median := medianSorting(sorted)
+	pu.sorted = sorted
+	for j, a := range ci {
+		if kls[j] > median {
+			split = append(split, a)
+		} else {
+			kept = append(kept, a)
+		}
+	}
+	return kept, split
+}
+
+// splitByMajor separates the largest single-major group from the rest.
+func (pu *purifier) splitByMajor(ci []int) (kept, split []int) {
+	var counts [poi.NumMajors]int
+	for _, a := range ci {
+		counts[pu.majors[a]]++
+	}
+	best := poi.Major(0)
+	for mj := 1; mj < poi.NumMajors; mj++ {
+		if counts[mj] > counts[best] {
+			best = poi.Major(mj)
+		}
+	}
+	if counts[best] == len(ci) {
+		return ci, nil
+	}
+	for _, a := range ci {
+		if pu.majors[a] == best {
+			kept = append(kept, a)
+		} else {
+			split = append(split, a)
+		}
+	}
+	return kept, split
+}
+
+// globalize rewrites a local-index slice into global POI indices in
+// place. A sub-cluster is globalized only when emitted as a unit, after
+// which its local indices are never read again.
+func (pu *purifier) globalize(ci []int) []int {
+	for j, a := range ci {
+		ci[j] = pu.cl[a]
+	}
+	return ci
+}

@@ -65,11 +65,11 @@ func NewPanicError(v any) *PanicError {
 	return &PanicError{Value: v, Stack: debug.Stack()}
 }
 
-// call runs one task with panic isolation: a panicking fn(i) yields a
-// *PanicError instead of unwinding the worker goroutine. The "exec.task"
-// fault site fires before the task body, so injected errors and panics
-// exercise exactly the paths real task failures take.
-func call(fn func(i int) error, i int) (err error) {
+// call runs one task with panic isolation: a panicking fn(slot, i)
+// yields a *PanicError instead of unwinding the worker goroutine. The
+// "exec.task" fault site fires before the task body, so injected errors
+// and panics exercise exactly the paths real task failures take.
+func call(fn func(slot, i int) error, slot, i int) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = NewPanicError(v)
@@ -78,7 +78,7 @@ func call(fn func(i int) error, i int) (err error) {
 	if err := fault.Hit("exec.task"); err != nil {
 		return err
 	}
-	return fn(i)
+	return fn(slot, i)
 }
 
 // Options carries the execution-layer knobs every pipeline stage
@@ -101,6 +101,21 @@ func Workers(n int) int {
 	return n
 }
 
+// Slots returns the number of distinct worker slots ParallelForSlots
+// will use for n tasks under the given worker budget — the size callers
+// give per-worker scratch arenas. It is at least 1 so scratch slices
+// can be indexed unconditionally.
+func Slots(workers, n int) int {
+	workers = Workers(workers)
+	if n > 0 && workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // ParallelFor runs fn(i) for every i in [0, n) on at most workers
 // goroutines (non-positive workers means runtime.NumCPU()). The first
 // error cancels the remaining work and is returned; a canceled ctx
@@ -108,6 +123,19 @@ func Workers(n int) int {
 // one, fn runs inline in index order — no goroutines — so a
 // single-worker run is exactly the sequential loop.
 func ParallelFor(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ParallelForSlots(ctx, workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ParallelForSlots is ParallelFor for tasks that reuse per-worker
+// scratch state: fn additionally receives the worker slot running the
+// task, a value in [0, Slots(workers, n)) that is never held by two
+// concurrent tasks. Callers index pre-sized scratch arenas by it —
+// buffers are per-slot, never shared — so reuse cannot race and, as
+// long as a task's OUTPUT never depends on scratch contents left by a
+// previous task, results stay bit-identical for any worker budget.
+// With an effective worker count of one every task runs inline on slot
+// 0 in index order.
+func ParallelForSlots(ctx context.Context, workers, n int, fn func(slot, i int) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -123,7 +151,7 @@ func ParallelFor(ctx context.Context, workers, n int, fn func(i int) error) erro
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := call(fn, i); err != nil {
+			if err := call(fn, 0, i); err != nil {
 				return err
 			}
 		}
@@ -146,7 +174,7 @@ func ParallelFor(ctx context.Context, workers, n int, fn func(i int) error) erro
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for {
 				if err := ctx.Err(); err != nil {
@@ -157,12 +185,12 @@ func ParallelFor(ctx context.Context, workers, n int, fn func(i int) error) erro
 				if i >= n {
 					return
 				}
-				if err := call(fn, i); err != nil {
+				if err := call(fn, slot, i); err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr

@@ -192,8 +192,8 @@ func (e *Env) Fig14h(params pattern.Params) Fig14hResult {
 			}
 		}
 	}
-	ny := e.City.SampleCheckins(e.Workload.Journeys, synth.ProfileNewYork(), e.City.Seed+101)
-	tk := e.City.SampleCheckins(e.Workload.Journeys, synth.ProfileTokyo(), e.City.Seed+101)
+	ny := e.City.SampleCheckins(e.Workload.Journeys, synth.ProfileNewYork(), e.City.Seed+101, e.Cfg.Index)
+	tk := e.City.SampleCheckins(e.Workload.Journeys, synth.ProfileTokyo(), e.City.Seed+101, e.Cfg.Index)
 	r.CheckinShareNY = synth.MajorShare(ny, poi.MedicalService)
 	r.CheckinShareTK = synth.MajorShare(tk, poi.MedicalService)
 	return r

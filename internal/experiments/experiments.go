@@ -43,6 +43,10 @@ type Env struct {
 	City     *synth.City
 	Workload synth.Workload
 	Pipeline *core.Pipeline
+	// Cfg is the pipeline configuration the environment was set up with,
+	// so experiments build their side structures (check-in indexes,
+	// ablation recognizers) on the same backend as the pipeline.
+	Cfg core.Config
 }
 
 // Setup generates the synthetic environment for a scale with the
@@ -66,6 +70,7 @@ func SetupConfig(s Scale, pipeCfg core.Config) *Env {
 		City:     city,
 		Workload: w,
 		Pipeline: core.NewPipeline(city.POIs, w.Journeys, pipeCfg),
+		Cfg:      pipeCfg,
 	}
 }
 

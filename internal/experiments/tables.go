@@ -24,7 +24,7 @@ type Table1Result struct {
 func (e *Env) Table1() []Table1Result {
 	var out []Table1Result
 	for _, profile := range []synth.CheckinProfile{synth.ProfileNewYork(), synth.ProfileTokyo()} {
-		cs := e.City.SampleCheckins(e.Workload.Journeys, profile, e.City.Seed+101)
+		cs := e.City.SampleCheckins(e.Workload.Journeys, profile, e.City.Seed+101, e.Cfg.Index)
 		out = append(out, Table1Result{
 			Profile:       profile.Name,
 			Top:           synth.TopTopics(cs, 10),

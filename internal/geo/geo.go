@@ -132,6 +132,11 @@ func NewProjection(origin Point) Projection {
 // Origin returns the anchor point of the projection.
 func (pr Projection) Origin() Point { return pr.origin }
 
+// CosLat returns the cosine of the origin's latitude — the projection's
+// longitude scale factor. Index backends use it to bound the
+// distortion of planar distances against the true spherical metric.
+func (pr Projection) CosLat() float64 { return pr.cosLat }
+
 // ToMeters converts a WGS84 point to local planar meters.
 func (pr Projection) ToMeters(p Point) Meters {
 	const degToRad = math.Pi / 180
@@ -232,9 +237,42 @@ func BoundingRect(pts []Point) Rect {
 	return r
 }
 
-// CircleRect returns the bounding rectangle of the circle centered at c
-// with radius r meters. Range queries use it as a cheap prefilter before
-// the exact Haversine check.
+// CircleRect returns the bounding rectangle of the spherical cap
+// centered at c with radius r meters. Range queries use it as a cheap
+// prefilter before the exact Haversine check, so the box must contain
+// the whole cap: the latitude span is the exact ±δ of the angular
+// radius, and the longitude span uses the spherical formula
+// Δλ = asin(sin δ / cos φ) — the cap's widest parallel is not at the
+// center's latitude, so scaling by cos(φc) alone under-covers near the
+// poles. When the cap touches a pole the longitude span is the full
+// circle.
 func CircleRect(c Point, r float64) Rect {
-	return Rect{Min: c, Max: c}.BufferMeters(r)
+	if r < 0 {
+		r = 0
+	}
+	const radToDeg = 180 / math.Pi
+	delta := r / EarthRadiusMeters // angular radius
+	dLatDeg := delta * radToDeg
+	latMin := math.Max(c.Lat-dLatDeg, -90)
+	latMax := math.Min(c.Lat+dLatDeg, 90)
+	// A cap containing a pole spans all longitudes; so does a cap wider
+	// than a hemisphere.
+	if c.Lat+dLatDeg >= 90 || c.Lat-dLatDeg <= -90 || delta >= math.Pi/2 {
+		return Rect{
+			Min: Point{Lon: -180, Lat: latMin},
+			Max: Point{Lon: 180, Lat: latMax},
+		}
+	}
+	cosLat := math.Cos(c.Lat * math.Pi / 180)
+	sinRatio := math.Sin(delta) / cosLat
+	var dLonDeg float64
+	if sinRatio >= 1 {
+		dLonDeg = 180
+	} else {
+		dLonDeg = math.Asin(sinRatio) * radToDeg
+	}
+	return Rect{
+		Min: Point{Lon: c.Lon - dLonDeg, Lat: latMin},
+		Max: Point{Lon: c.Lon + dLonDeg, Lat: latMax},
+	}
 }

@@ -58,6 +58,202 @@ func TestBackendConformance(t *testing.T) {
 	}
 }
 
+// randomPointsAt scatters n points within about extent meters of c.
+func randomPointsAt(rng *rand.Rand, c geo.Point, n int, extent float64) []geo.Point {
+	pr := geo.NewProjection(c)
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = pr.ToPoint(geo.Meters{
+			X: (rng.Float64()*2 - 1) * extent,
+			Y: (rng.Float64()*2 - 1) * extent,
+		})
+	}
+	return pts
+}
+
+// TestBackendConformanceHighLatitude cross-checks all backends against
+// brute force on high-latitude (|lat| ≥ 60°) and country-scale point
+// sets with query centers up to 2.5× outside the built extent. At
+// these latitudes the planar projection's longitude scale differs by
+// percent-level factors across the extent, so any fixed planar
+// accept/reject band (the pre-fix grid used ±0.5%) or any fixed planar
+// pruning inflation (the pre-fix k-d tree used 1%) mis-classifies
+// boundary points; the distortion bound must be derived from the built
+// extent instead.
+func TestBackendConformanceHighLatitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	centers := []geo.Point{
+		{Lon: 24.94, Lat: 60.17},
+		{Lon: 18.95, Lat: 69.65},
+		{Lon: -68.3, Lat: -72.0},
+		{Lon: 24.0, Lat: 80.0},
+	}
+	for ci, c := range centers {
+		for trial := 0; trial < 4; trial++ {
+			n := 100 + rng.Intn(150)
+			extent := 50e3 + rng.Float64()*250e3 // country scale
+			pts := randomPointsAt(rng, c, n, extent)
+			radius := (0.2 + rng.Float64()) * extent
+			for _, kind := range backendKinds {
+				idx := New(kind, pts, radius)
+				for q := 0; q < 6; q++ {
+					qc := randomPointsAt(rng, c, 1, extent*2.5)[0]
+					want := sortedCopy(bruteWithin(pts, qc, radius))
+					got := sortedCopy(idx.Within(qc, radius))
+					if !equalIDs(got, want) {
+						t.Fatalf("center %d trial %d: %s.Within(%v, %.0f) missed/extra ids:\ngot  %v\nwant %v",
+							ci, trial, kind, qc, radius, got, want)
+					}
+					k := 1 + rng.Intn(8)
+					wantNear := bruteNearest(pts, qc, k)
+					gotNear := idx.Nearest(qc, k)
+					if !equalIDs(gotNear, wantNear) {
+						t.Fatalf("center %d trial %d: %s.Nearest(%v, %d) = %v, want %v",
+							ci, trial, kind, qc, k, gotNear, wantNear)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBackendConformanceDistortionBoundary pins the exact failure mode
+// of the old fixed ±0.5% planar band. The built extent spans lat 60°–
+// 61°, anchoring the index projection near lat 60.5°, while query and
+// candidates sit at lat 60°: planar distances there read ≈1.5% short of
+// true (cos 60.5° / cos 60° ≈ 0.985), so a candidate at true distance
+// 1.005r showed a planar distance ≈0.99r — inside the old fast-accept
+// band, outside the circle. Candidates straddle the radius in 0.5%
+// steps; every backend must classify each exactly as Haversine does.
+func TestBackendConformanceDistortionBoundary(t *testing.T) {
+	anchor := geo.Point{Lon: 25, Lat: 60}
+	pr := geo.NewProjection(anchor)
+	var pts []geo.Point
+	// Extent-setting points at lat 61, spaced so no two are symmetric
+	// about the query longitude (symmetric pairs tie in distance and the
+	// backends may legitimately order a tie either way).
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geo.Point{Lon: 24.41 + 0.053*float64(i), Lat: 61})
+	}
+	const r = 20000.0
+	for _, f := range []float64{0.975, 0.985, 0.99, 0.995, 1.005, 1.01, 1.015, 1.025} {
+		// A point f·r meters due east of the anchor: its true distance is
+		// f·r to within curvature slack ~1e-5·r, far from the ±0.5% steps.
+		pts = append(pts, pr.ToPoint(geo.Meters{X: r * f}))
+	}
+	want := sortedCopy(bruteWithin(pts, anchor, r))
+	if len(want) == 0 || len(want) == len(pts) {
+		t.Fatalf("degenerate construction: brute force found %d of %d", len(want), len(pts))
+	}
+	for _, kind := range backendKinds {
+		idx := New(kind, pts, r)
+		got := sortedCopy(idx.Within(anchor, r))
+		if !equalIDs(got, want) {
+			t.Errorf("%s.Within at distortion boundary = %v, want %v", kind, got, want)
+		}
+		for k := 1; k <= len(pts); k += 5 {
+			wantNear := bruteNearest(pts, anchor, k)
+			if gotNear := idx.Nearest(anchor, k); !equalIDs(gotNear, wantNear) {
+				t.Errorf("%s.Nearest(anchor, %d) = %v, want %v", kind, k, gotNear, wantNear)
+			}
+		}
+	}
+}
+
+// TestBackendConformanceNearPole exercises the exact-fallback paths: a
+// point set close enough to the pole that no sound distortion bound
+// exists (cos of the hull's extreme latitude under the floor), where
+// every backend must degrade to exact spherical testing and still match
+// brute force.
+func TestBackendConformanceNearPole(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var pts []geo.Point
+	for i := 0; i < 120; i++ {
+		pts = append(pts, geo.Point{
+			Lon: -80 + rng.Float64()*160,
+			Lat: 89.9 + rng.Float64()*0.09,
+		})
+	}
+	queries := []geo.Point{
+		{Lon: 0, Lat: 89.95},
+		{Lon: 60, Lat: 89.92},
+		{Lon: -45, Lat: 89.5}, // below the set, still inside the cap region
+	}
+	for _, radius := range []float64{2e3, 10e3, 60e3} {
+		for _, kind := range backendKinds {
+			idx := New(kind, pts, radius)
+			for _, qc := range queries {
+				want := sortedCopy(bruteWithin(pts, qc, radius))
+				got := sortedCopy(idx.Within(qc, radius))
+				if !equalIDs(got, want) {
+					t.Fatalf("%s.Within(%v, %.0f) near pole = %v, want %v", kind, qc, radius, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWithinAppendMatchesWithin is the equivalence property of the
+// buffered query path: for any query, WithinAppend must append exactly
+// Within's id set after the caller's existing elements, leave the
+// prefix intact, and stay correct when the same buffer is reused across
+// queries of different sizes.
+func TestWithinAppendMatchesWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := randomPoints(rng, 300, 2000)
+	for _, kind := range backendKinds {
+		idx := New(kind, pts, 150)
+		var buf []int
+		for q := 0; q < 60; q++ {
+			center := randomPoints(rng, 1, 2500)[0]
+			radius := rng.Float64() * 500
+			want := idx.Within(center, radius)
+			buf = append(buf[:0], -7, -8) // sentinel prefix from "earlier" use
+			got := idx.WithinAppend(center, radius, buf)
+			if len(got) != len(want)+2 || got[0] != -7 || got[1] != -8 {
+				t.Fatalf("%s: WithinAppend disturbed the prefix: got %v", kind, got)
+			}
+			if !equalIDs(sortedCopy(got[2:]), sortedCopy(want)) {
+				t.Fatalf("%s: WithinAppend suffix %v != Within %v", kind, got[2:], want)
+			}
+			buf = got
+		}
+		if got := idx.WithinAppend(origin, -1, []int{42}); len(got) != 1 || got[0] != 42 {
+			t.Errorf("%s: WithinAppend with negative radius = %v, want [42]", kind, got)
+		}
+	}
+}
+
+// TestNewGridTinyCellWideExtent is the overflow regression test: a 10°
+// span with 0.1 mm cells wants ~10¹⁰ cells per axis, whose product
+// overflows int64. The pre-fix constructor multiplied cols·rows before
+// the dense-table check, so the wrapped (negative) product slipped past
+// the threshold and the table allocation paniced. The fixed constructor
+// grows the cell size to the per-axis cap and checks the axes before
+// multiplying, landing in the sparse map.
+func TestNewGridTinyCellWideExtent(t *testing.T) {
+	pts := []geo.Point{
+		{Lon: 20, Lat: 30},
+		{Lon: 30, Lat: 40},
+		{Lon: 25, Lat: 35},
+	}
+	g := NewGrid(pts, 1e-4)
+	if g.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(pts))
+	}
+	for i, p := range pts {
+		if got := sortedCopy(g.Within(p, 1000)); !equalIDs(got, []int{i}) {
+			t.Errorf("Within(pts[%d], 1km) = %v, want [%d]", i, got, i)
+		}
+	}
+	if got := g.Nearest(pts[2], 3); len(got) != 3 || got[0] != 2 {
+		t.Errorf("Nearest(pts[2], 3) = %v, want [2 ...]", got)
+	}
+	if got := sortedCopy(g.Within(geo.Point{Lon: 25, Lat: 35}, 2e6)); !equalIDs(got, []int{0, 1, 2}) {
+		t.Errorf("wide Within = %v, want [0 1 2]", got)
+	}
+}
+
 // TestBackendConformanceEdges pins the degenerate queries every backend
 // must agree on: an empty point set, a zero radius, and k beyond the
 // set size.

@@ -15,6 +15,7 @@ type Grid struct {
 	pts      []geo.Point
 	planar   []geo.Meters
 	proj     geo.Projection
+	lats     latExtent
 	cellSize float64
 	minX     float64
 	minY     float64
@@ -33,6 +34,13 @@ type Grid struct {
 // falls back to a sparse map (huge extents with tiny cells).
 const maxDenseCells = 1 << 22
 
+// maxGridDim caps the cell count of a single axis. Keeping each axis
+// under 2³¹ guarantees the combined cell key cy·cols+cx fits a 64-bit
+// int, so sparse keys stay unique even for extreme extent/cell-size
+// combinations; the cell size is grown to fit when a caller's hint
+// would exceed the cap.
+const maxGridDim = 1 << 31
+
 // NewGrid builds a grid over pts with the given cell size in meters.
 // A non-positive cellSize defaults to 100 m.
 func NewGrid(pts []geo.Point, cellSize float64) *Grid {
@@ -42,6 +50,7 @@ func NewGrid(pts []geo.Point, cellSize float64) *Grid {
 	g := &Grid{
 		pts:      pts,
 		cellSize: cellSize,
+		lats:     newLatExtent(),
 	}
 	if len(pts) == 0 {
 		g.proj = geo.NewProjection(geo.Point{})
@@ -58,13 +67,23 @@ func NewGrid(pts []geo.Point, cellSize float64) *Grid {
 		minY = math.Min(minY, m.Y)
 		maxX = math.Max(maxX, m.X)
 		maxY = math.Max(maxY, m.Y)
+		g.lats.add(p.Lat)
 	}
 	g.minX, g.minY = minX, minY
-	g.cols = int((maxX-minX)/cellSize) + 1
-	g.rows = int((maxY-minY)/cellSize) + 1
+	// A tiny cell size over a wide extent must not overflow the cell
+	// arithmetic: grow the cells until both axes fit the per-axis cap.
+	// The axis dimensions are then checked against the dense-table
+	// budget BEFORE multiplying them — cols·rows itself can exceed an
+	// int for extents the per-axis cap still allows.
+	if span := math.Max(maxX-minX, maxY-minY); span/g.cellSize >= maxGridDim-1 {
+		g.cellSize = span / (maxGridDim - 2)
+	}
+	g.cols = int((maxX-minX)/g.cellSize) + 1
+	g.rows = int((maxY-minY)/g.cellSize) + 1
 
-	if nCells := g.cols * g.rows; nCells <= maxDenseCells {
+	if g.cols <= maxDenseCells && g.rows <= maxDenseCells/g.cols {
 		// Counting-sort the points into a contiguous cell table.
+		nCells := g.cols * g.rows
 		g.cellStart = make([]int, nCells+1)
 		keys := make([]int, len(pts))
 		for i, m := range g.planar {
@@ -114,61 +133,81 @@ func (g *Grid) Len() int { return len(g.pts) }
 
 // Within implements Index.
 func (g *Grid) Within(center geo.Point, radius float64) []int {
+	return g.WithinAppend(center, radius, nil)
+}
+
+// WithinAppend implements Index: the IDs within radius of center are
+// appended to buf and the extended slice is returned. See the Index
+// documentation for the aliasing contract.
+func (g *Grid) WithinAppend(center geo.Point, radius float64, buf []int) []int {
 	if len(g.pts) == 0 || radius < 0 {
-		return nil
+		return buf
+	}
+	// The planar fast path needs a sound distortion band for the built
+	// extent and this query; when none exists (hull touches a pole, or
+	// the radius is continent-scale relative to the hull latitudes) the
+	// query degrades to exact spherical testing of every point.
+	lo, hi, ok := g.lats.bounds(g.proj.CosLat(), center.Lat, radius)
+	if !ok {
+		for id, p := range g.pts {
+			if geo.Haversine(center, p) <= radius {
+				buf = append(buf, id)
+			}
+		}
+		return buf
 	}
 	c := g.proj.ToMeters(center)
-	loX := int(math.Floor((c.X - radius - g.minX) / g.cellSize))
-	hiX := int(math.Floor((c.X + radius - g.minX) / g.cellSize))
-	loY := int(math.Floor((c.Y - radius - g.minY) / g.cellSize))
-	hiY := int(math.Floor((c.Y + radius - g.minY) / g.cellSize))
+	reach := radius*hi + 1e-9
+	loX := int(math.Floor((c.X - reach - g.minX) / g.cellSize))
+	hiX := int(math.Floor((c.X + reach - g.minX) / g.cellSize))
+	loY := int(math.Floor((c.Y - reach - g.minY) / g.cellSize))
+	hiY := int(math.Floor((c.Y + reach - g.minY) / g.cellSize))
 	loX = max(loX, 0)
 	loY = max(loY, 0)
 	hiX = min(hiX, g.cols-1)
 	hiY = min(hiY, g.rows-1)
 
-	// The planar projection distorts by well under 1% at city scale, so
-	// candidates clearly inside or outside by the planar metric skip the
-	// exact spherical check; only the thin boundary shell pays for
-	// Haversine. This keeps Within exact while removing almost all trig
-	// from the hot path.
-	rLo := radius * 0.995
-	rHi := radius * 1.005
+	// Candidates clearly inside or outside by the planar metric skip the
+	// exact spherical check; only the boundary shell — whose width the
+	// extent's distortion bound just derived — pays for Haversine.
+	rLo := radius * lo
+	rHi := radius * hi
 	test := func(id int, out []int) []int {
 		d := g.planar[id].Dist(c)
 		switch {
 		case d <= rLo:
 			return append(out, id)
-		case d >= rHi:
+		case d > rHi:
 			return out
 		case geo.Haversine(center, g.pts[id]) <= radius:
 			return append(out, id)
 		}
 		return out
 	}
-	var out []int
 	// On a sparse grid a wide query box can cover far more cells than
 	// the map holds entries; iterating the occupied cells is cheaper.
-	if g.sparse != nil && (hiX-loX+1)*(hiY-loY+1) > len(g.sparse) {
+	// The box area is compared in floating point: with per-axis sizes up
+	// to 2³¹ the product can overflow an int.
+	if g.sparse != nil && float64(hiX-loX+1)*float64(hiY-loY+1) > float64(len(g.sparse)) {
 		for key, ids := range g.sparse {
 			cx, cy := key%g.cols, key/g.cols
 			if cx < loX || cx > hiX || cy < loY || cy > hiY {
 				continue
 			}
 			for _, id := range ids {
-				out = test(id, out)
+				buf = test(id, buf)
 			}
 		}
-		return out
+		return buf
 	}
 	for cy := loY; cy <= hiY; cy++ {
 		for cx := loX; cx <= hiX; cx++ {
 			for _, id := range g.cell(cy*g.cols + cx) {
-				out = test(id, out)
+				buf = test(id, buf)
 			}
 		}
 	}
-	return out
+	return buf
 }
 
 // Nearest implements Index. It expands a ring of cells around the query
@@ -197,11 +236,16 @@ func (g *Grid) Nearest(q geo.Point, k int) []int {
 	maxRing := max(g.cols, g.rows)
 	for ring := 0; ring <= maxRing; ring++ {
 		// Once k candidates are held and the closest possible point in
-		// this ring is farther than the current worst, stop.
+		// this ring is farther than the current worst, stop. The ring
+		// bound is planar, the heap distances spherical, so the bound is
+		// deflated by the extent's distortion factor; when no sound
+		// factor exists the scan continues to the last ring.
 		if len(h) == k {
-			minPossible := (float64(ring) - 1) * g.cellSize
-			if minPossible > h.worst() {
-				break
+			if f, ok := g.lats.inflation(g.proj.CosLat(), q.Lat, h.worst()); ok {
+				minPossible := (float64(ring) - 1) * g.cellSize
+				if minPossible > h.worst()*f {
+					break
+				}
 			}
 		}
 		g.visitRing(qx, qy, ring, func(id int) {

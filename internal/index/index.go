@@ -20,8 +20,20 @@ import (
 // Index answers spatial queries over the point set it was built from.
 type Index interface {
 	// Within returns the IDs of all points within radius meters of
-	// center (inclusive), in unspecified order.
+	// center (inclusive), in unspecified order. It is WithinAppend with
+	// a nil buffer.
 	Within(center geo.Point, radius float64) []int
+	// WithinAppend appends the IDs of all points within radius meters
+	// of center (inclusive, unspecified order) to buf and returns the
+	// extended slice — the allocation-free query path for hot loops
+	// that reuse a scratch buffer across calls.
+	//
+	// Aliasing contract: the index never retains buf or the returned
+	// slice, and reads buf's existing elements never (append-only). The
+	// caller owns the buffer exclusively; passing buf[:0] reuses its
+	// capacity. Like append, the returned slice may share backing with
+	// buf or be a grown copy, so the caller must use the return value.
+	WithinAppend(center geo.Point, radius float64, buf []int) []int
 	// Nearest returns the IDs of the k points closest to q, ordered by
 	// increasing distance. Fewer than k IDs are returned when the index
 	// holds fewer points.

@@ -14,6 +14,7 @@ type KDTree struct {
 	pts    []geo.Point
 	planar []geo.Meters
 	proj   geo.Projection
+	lats   latExtent
 	// nodes are stored as a flattened median-split tree: ids holds point
 	// IDs in tree order, and each recursion level alternates the split
 	// axis. left/right boundaries are implicit in the recursion.
@@ -22,7 +23,7 @@ type KDTree struct {
 
 // NewKDTree builds a k-d tree over pts.
 func NewKDTree(pts []geo.Point) *KDTree {
-	t := &KDTree{pts: pts}
+	t := &KDTree{pts: pts, lats: newLatExtent()}
 	if len(pts) == 0 {
 		t.proj = geo.NewProjection(geo.Point{})
 		return t
@@ -31,6 +32,7 @@ func NewKDTree(pts []geo.Point) *KDTree {
 	t.planar = make([]geo.Meters, len(pts))
 	for i, p := range pts {
 		t.planar[i] = t.proj.ToMeters(p)
+		t.lats.add(p.Lat)
 	}
 	t.ids = make([]int, len(pts))
 	for i := range t.ids {
@@ -75,16 +77,36 @@ func (t *KDTree) Len() int { return len(t.pts) }
 
 // Within implements Index.
 func (t *KDTree) Within(center geo.Point, radius float64) []int {
-	if len(t.pts) == 0 || radius < 0 {
-		return nil
-	}
-	c := t.proj.ToMeters(center)
-	var out []int
-	t.rangeSearch(0, len(t.ids), 0, c, radius, center, &out)
-	return out
+	return t.WithinAppend(center, radius, nil)
 }
 
-func (t *KDTree) rangeSearch(lo, hi, axis int, c geo.Meters, radius float64, center geo.Point, out *[]int) {
+// WithinAppend implements Index: the IDs within radius of center are
+// appended to buf and the extended slice is returned. See the Index
+// documentation for the aliasing contract.
+func (t *KDTree) WithinAppend(center geo.Point, radius float64, buf []int) []int {
+	if len(t.pts) == 0 || radius < 0 {
+		return buf
+	}
+	// The plane tests prune in planar space while membership is decided
+	// on the sphere, so the prune radius must absorb the projection's
+	// distortion over the built extent. When no sound bound exists the
+	// query degrades to exact spherical testing of every point.
+	f, ok := t.lats.inflation(t.proj.CosLat(), center.Lat, radius)
+	if !ok {
+		for id, p := range t.pts {
+			if geo.Haversine(center, p) <= radius {
+				buf = append(buf, id)
+			}
+		}
+		return buf
+	}
+	c := t.proj.ToMeters(center)
+	prune := radius*f + 1e-9
+	t.rangeSearch(0, len(t.ids), 0, c, prune, radius, center, &buf)
+	return buf
+}
+
+func (t *KDTree) rangeSearch(lo, hi, axis int, c geo.Meters, prune, radius float64, center geo.Point, out *[]int) {
 	if lo >= hi {
 		return
 	}
@@ -101,14 +123,11 @@ func (t *KDTree) rangeSearch(lo, hi, axis int, c geo.Meters, radius float64, cen
 	} else {
 		qc = c.Y
 	}
-	// The planar projection distorts by well under 1% at city scale;
-	// inflate the prune radius slightly so no true hit is dropped.
-	prune := radius*1.01 + 1e-9
 	if qc-prune <= split {
-		t.rangeSearch(lo, mid, 1-axis, c, radius, center, out)
+		t.rangeSearch(lo, mid, 1-axis, c, prune, radius, center, out)
 	}
 	if qc+prune >= split {
-		t.rangeSearch(mid+1, hi, 1-axis, c, radius, center, out)
+		t.rangeSearch(mid+1, hi, 1-axis, c, prune, radius, center, out)
 	}
 }
 
@@ -152,12 +171,24 @@ func (t *KDTree) knnSearch(lo, hi, axis int, c geo.Meters, q geo.Point, k int, h
 	}
 	t.knnSearch(near, nearHi, 1-axis, c, q, k, h)
 	// Visit the far side only if the splitting plane is closer than the
-	// current worst candidate (with the projection-distortion margin).
+	// current worst candidate. The plane distance is planar, the heap
+	// spherical: any point beating the worst lies within worst true
+	// meters, so its planar distance — and hence the plane's — is at
+	// most worst times the extent's distortion factor. Without a sound
+	// factor the far side is always visited.
 	planeDist := (qc - split)
 	if planeDist < 0 {
 		planeDist = -planeDist
 	}
-	if len(*h) < k || planeDist <= h.worst()*1.01+1e-9 {
+	visit := len(*h) < k
+	if !visit {
+		if f, ok := t.lats.inflation(t.proj.CosLat(), q.Lat, h.worst()); ok {
+			visit = planeDist <= h.worst()*f+1e-9
+		} else {
+			visit = true
+		}
+	}
+	if visit {
 		t.knnSearch(far, farHi, 1-axis, c, q, k, h)
 	}
 }

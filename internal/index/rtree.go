@@ -102,13 +102,19 @@ func (t *RTree) Len() int { return len(t.pts) }
 
 // Within implements Index.
 func (t *RTree) Within(center geo.Point, radius float64) []int {
+	return t.WithinAppend(center, radius, nil)
+}
+
+// WithinAppend implements Index: the IDs within radius of center are
+// appended to buf and the extended slice is returned. See the Index
+// documentation for the aliasing contract.
+func (t *RTree) WithinAppend(center geo.Point, radius float64, buf []int) []int {
 	if t.root == nil || radius < 0 {
-		return nil
+		return buf
 	}
 	box := geo.CircleRect(center, radius)
-	var out []int
-	t.search(t.root, box, center, radius, &out)
-	return out
+	t.search(t.root, box, center, radius, &buf)
+	return buf
 }
 
 func (t *RTree) search(n *rtreeNode, box geo.Rect, center geo.Point, radius float64, out *[]int) {
@@ -165,12 +171,40 @@ func (t *RTree) knn(n *rtreeNode, q geo.Point, k int, h *maxHeap) {
 	}
 }
 
-// rectMinDist lower-bounds the Haversine distance from q to any point in
-// r by clamping q into the rectangle and measuring to the clamp point.
+// rectMinDist returns the minimum Haversine distance from q to the
+// lon/lat rectangle r — the pruning lower bound of the kNN search.
+//
+// Plain coordinate clamping is only correct on a flat map: on the
+// sphere the closest point of a meridian edge to q is not at q's
+// latitude but at the foot of the great-circle perpendicular,
+// tan φ_f = tan φ_q / cos Δλ, which diverges from the clamp latitude at
+// high latitudes and once overestimated the bound enough to prune nodes
+// holding true neighbors.
 func rectMinDist(q geo.Point, r geo.Rect) float64 {
-	c := geo.Point{
-		Lon: math.Max(r.Min.Lon, math.Min(q.Lon, r.Max.Lon)),
-		Lat: math.Max(r.Min.Lat, math.Min(q.Lat, r.Max.Lat)),
+	if r.Contains(q) {
+		return 0
 	}
-	return geo.Haversine(q, c)
+	if q.Lon >= r.Min.Lon && q.Lon <= r.Max.Lon {
+		// Haversine is monotone in |Δφ| at fixed longitude, so the
+		// nearest rect point shares q's longitude on the closer parallel
+		// edge.
+		lat := math.Max(r.Min.Lat, math.Min(q.Lat, r.Max.Lat))
+		return geo.Haversine(q, geo.Point{Lon: q.Lon, Lat: lat})
+	}
+	// q lies beyond a meridian edge; Haversine is monotone in |Δλ| at
+	// fixed latitude, so the minimizer sits on the nearer edge. Its
+	// latitude is either an edge endpoint or the perpendicular foot.
+	edgeLon := math.Max(r.Min.Lon, math.Min(q.Lon, r.Max.Lon))
+	best := math.Min(
+		geo.Haversine(q, geo.Point{Lon: edgeLon, Lat: r.Min.Lat}),
+		geo.Haversine(q, geo.Point{Lon: edgeLon, Lat: r.Max.Lat}),
+	)
+	dLon := math.Abs(q.Lon-edgeLon) * math.Pi / 180
+	if cosD := math.Cos(dLon); cosD > 0 {
+		foot := math.Atan(math.Tan(q.Lat*math.Pi/180)/cosD) * 180 / math.Pi
+		if foot > r.Min.Lat && foot < r.Max.Lat {
+			best = math.Min(best, geo.Haversine(q, geo.Point{Lon: edgeLon, Lat: foot}))
+		}
+	}
+	return best
 }

@@ -63,58 +63,93 @@ func newClosureComputer(db []trajectory.SemanticTrajectory, params Params, kind 
 	return cc
 }
 
+// closureScratch is the per-worker reusable state of the closure BFS.
+// The computer itself is shared across workers, so every mutable buffer
+// lives here; maps are emptied with clear() instead of reallocated,
+// which keeps their buckets warm across the many patterns one worker
+// finalizes. Results never depend on leftover scratch contents, so the
+// reuse cannot perturb worker-count determinism.
+type closureScratch struct {
+	ids       []int // range-query buffer
+	cand      []int // candidate trajectory list, valid until the next candidates call
+	nearFirst map[int]bool
+	seen      map[int]bool
+	found     map[int]bool
+	tried     map[string]bool
+	frontier  []trajectory.SemanticTrajectory
+	next      []trajectory.SemanticTrajectory
+	keyBuf    []byte
+}
+
+func newClosureScratch() *closureScratch {
+	return &closureScratch{
+		nearFirst: make(map[int]bool),
+		seen:      make(map[int]bool),
+		found:     make(map[int]bool),
+		tried:     make(map[string]bool),
+	}
+}
+
 // candidates returns the database trajectories having stays within
-// ε_t of both endpoints of the target.
-func (cc *closureComputer) candidates(target trajectory.SemanticTrajectory) []int {
+// ε_t of both endpoints of the target. The returned slice is sc's and
+// only valid until the next candidates call on the same scratch.
+func (cc *closureComputer) candidates(target trajectory.SemanticTrajectory, sc *closureScratch) []int {
 	if target.Len() == 0 {
 		return nil
 	}
 	first := target.Stays[0].P
 	last := target.Stays[target.Len()-1].P
-	nearFirst := make(map[int]bool)
-	for _, si := range cc.stayIdx.Within(first, cc.params.MaxDist) {
-		nearFirst[cc.stayTraj[si]] = true
+	clear(sc.nearFirst)
+	clear(sc.seen)
+	sc.ids = cc.stayIdx.WithinAppend(first, cc.params.MaxDist, sc.ids[:0])
+	for _, si := range sc.ids {
+		sc.nearFirst[cc.stayTraj[si]] = true
 	}
-	var out []int
-	seen := make(map[int]bool)
-	for _, si := range cc.stayIdx.Within(last, cc.params.MaxDist) {
+	out := sc.cand[:0]
+	sc.ids = cc.stayIdx.WithinAppend(last, cc.params.MaxDist, sc.ids[:0])
+	for _, si := range sc.ids {
 		ti := cc.stayTraj[si]
-		if nearFirst[ti] && !seen[ti] {
-			seen[ti] = true
+		if sc.nearFirst[ti] && !sc.seen[ti] {
+			sc.seen[ti] = true
 			out = append(out, ti)
 		}
 	}
+	sc.cand = out
 	return out
 }
 
 // key quantizes a counterpart sequence for frontier deduplication. The
 // shared projection keeps keys tied to absolute positions.
-func (cc *closureComputer) key(st trajectory.SemanticTrajectory) string {
-	out := make([]byte, 0, 16*st.Len())
+func (cc *closureComputer) key(st trajectory.SemanticTrajectory, sc *closureScratch) string {
+	out := sc.keyBuf[:0]
 	for _, sp := range st.Stays {
 		m := cc.proj.ToMeters(sp.P)
 		out = fmt.Appendf(out, "%d:%d:%d;",
 			int(math.Floor(m.X/cc.quantum)), int(math.Floor(m.Y/cc.quantum)), sp.S)
 	}
+	sc.keyBuf = out
 	return string(out)
 }
 
 // supportGroups runs the closure BFS for one pattern representative and
 // returns the support count and the per-position groups (Definition 10:
 // the representative's own stays are members of their groups).
-func (cc *closureComputer) supportGroups(rep []trajectory.StayPoint) (int, [][]trajectory.StayPoint) {
+func (cc *closureComputer) supportGroups(rep []trajectory.StayPoint, sc *closureScratch) (int, [][]trajectory.StayPoint) {
 	m := len(rep)
 	groups := make([][]trajectory.StayPoint, m)
 	query := trajectory.SemanticTrajectory{Stays: rep}
 
-	found := make(map[int]bool)
-	tried := map[string]bool{cc.key(query): true}
-	frontier := []trajectory.SemanticTrajectory{query}
+	clear(sc.found)
+	clear(sc.tried)
+	found, tried := sc.found, sc.tried
+	tried[cc.key(query, sc)] = true
+	frontier := append(sc.frontier[:0], query)
+	next := sc.next[:0]
 
 	for len(frontier) > 0 {
-		var next []trajectory.SemanticTrajectory
+		next = next[:0]
 		for _, target := range frontier {
-			for _, ti := range cc.candidates(target) {
+			for _, ti := range cc.candidates(target, sc) {
 				if found[ti] {
 					continue
 				}
@@ -129,14 +164,15 @@ func (cc *closureComputer) supportGroups(rep []trajectory.StayPoint) (int, [][]t
 					groups[j] = append(groups[j], cp[j])
 				}
 				cpTraj := trajectory.SemanticTrajectory{Stays: cp}
-				if k := cc.key(cpTraj); !tried[k] {
+				if k := cc.key(cpTraj, sc); !tried[k] {
 					tried[k] = true
 					next = append(next, cpTraj)
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	sc.frontier, sc.next = frontier, next
 	// Definition 10 includes sp_j itself in its group; as the
 	// representative is usually a member of some closure counterpart,
 	// add it only where it is not already present.
@@ -228,8 +264,12 @@ func finalize(ctx context.Context, db []trajectory.SemanticTrajectory, ps []Patt
 	}
 	ps = dedupeMaximal(ps, params.EpsT)
 	cc := newClosureComputer(db, params, opt.Index)
-	err := exec.ParallelFor(ctx, opt.Workers, len(ps), func(i int) error {
-		sup, groups := cc.supportGroups(ps[i].Stays)
+	scratch := make([]*closureScratch, exec.Slots(opt.Workers, len(ps)))
+	for i := range scratch {
+		scratch[i] = newClosureScratch()
+	}
+	err := exec.ParallelForSlots(ctx, opt.Workers, len(ps), func(slot, i int) error {
+		sup, groups := cc.supportGroups(ps[i].Stays, scratch[slot])
 		ps[i].Support = sup
 		ps[i].Groups = groups
 		return nil

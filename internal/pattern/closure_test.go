@@ -44,7 +44,7 @@ func TestClosureMatchesTrajectoryDatabase(t *testing.T) {
 	params := testParams() // EpsT 100 via normalized? testParams has no EpsT
 	params.EpsT = 100
 	cc := newClosureComputer(db, params, index.KindGrid)
-	sup, groups := cc.supportGroups(rep)
+	sup, groups := cc.supportGroups(rep, newClosureScratch())
 
 	// Reference: the trajectory package's Definition 8 closure.
 	ref := trajectory.Database(db).Closure(
@@ -92,7 +92,7 @@ func TestClosureCandidatePrefilterFindsSubsequenceMatches(t *testing.T) {
 	params := testParams()
 	params.EpsT = 100
 	cc := newClosureComputer(db, params, index.KindGrid)
-	sup, _ := cc.supportGroups(rep)
+	sup, _ := cc.supportGroups(rep, newClosureScratch())
 	if sup != 1 {
 		t.Fatalf("support = %d, want 1 (subsequence match)", sup)
 	}

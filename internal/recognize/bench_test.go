@@ -1,0 +1,56 @@
+package recognize
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"csdm/internal/csd"
+	"csdm/internal/geo"
+	"csdm/internal/synth"
+	"csdm/internal/trajectory"
+)
+
+var (
+	annotOnce sync.Once
+	annotRec  *CSDRecognizer
+	annotDB   []trajectory.SemanticTrajectory
+)
+
+// annotFixture builds the same synthetic workload as the repository's
+// BenchmarkMine, its diagram, and the chained trajectory database.
+func annotFixture() (*CSDRecognizer, []trajectory.SemanticTrajectory) {
+	annotOnce.Do(func() {
+		cfg := synth.DefaultConfig()
+		cfg.Seed = 1
+		cfg.NumPOIs = 3000
+		cfg.NumPassengers = 600
+		cfg.Days = 14
+		city := synth.NewCity(cfg)
+		w := city.GenerateWorkload()
+		stays := make([]geo.Point, 0, 2*len(w.Journeys))
+		for _, j := range w.Journeys {
+			stays = append(stays, j.Pickup, j.Dropoff)
+		}
+		d := csd.Build(city.POIs, stays, csd.DefaultParams())
+		annotRec = NewCSDRecognizer(d)
+		annotDB = trajectory.Chain(w.Journeys, trajectory.DefaultChainParams())
+	})
+	return annotRec, annotDB
+}
+
+// BenchmarkAnnotate measures Algorithm 3's annotation loop alone — the
+// diagram and the chained database are prebuilt — on one worker, so
+// the allocation count isolates the recognizer's per-stay cost (the
+// buffered path should stay flat regardless of database size).
+func BenchmarkAnnotate(b *testing.B) {
+	r, db := annotFixture()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := AnnotateCtx(ctx, db, r, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -29,23 +29,47 @@ func (r *CSDRecognizer) Name() string { return "CSD" }
 
 // Recognize implements Recognizer (Algorithm 3 lines 5–11).
 func (r *CSDRecognizer) Recognize(p geo.Point) poi.Semantics {
+	var sc Scratch
+	return r.RecognizeBuf(p, &sc)
+}
+
+// RecognizeBuf implements BufferedRecognizer. The per-unit vote tallies
+// live in parallel slices scanned linearly — a stay point sees a
+// handful of units at most, so the scan beats a map and allocates
+// nothing. The winner rule (highest vote, lowest unit ID on ties)
+// matches the map formulation exactly: vote sums accumulate in range
+// order either way.
+func (r *CSDRecognizer) RecognizeBuf(p geo.Point, sc *Scratch) poi.Semantics {
 	d := r.diagram
 	kernel := d.Kernel()
-	in := d.MembersWithin(p, kernel.Radius())
-	if len(in) == 0 {
+	sc.ids = d.MembersWithinAppend(p, kernel.Radius(), sc.ids[:0])
+	if len(sc.ids) == 0 {
 		return 0
 	}
-	votes := make(map[int]float64)
-	tags := make(map[int]poi.Semantics)
-	for _, i := range in {
+	uids, votes, tags := sc.uids[:0], sc.votes[:0], sc.tags[:0]
+	for _, i := range sc.ids {
 		uid := d.UnitOf(i)
-		votes[uid] += d.Pop[i] * kernel.Weight(d.POIs[i].Location, p)
-		tags[uid] = tags[uid].Union(d.POIs[i].Semantics())
+		w := d.Pop[i] * kernel.Weight(d.POIs[i].Location, p)
+		sem := d.POIs[i].Semantics()
+		k := 0
+		for ; k < len(uids); k++ {
+			if uids[k] == uid {
+				votes[k] += w
+				tags[k] = tags[k].Union(sem)
+				break
+			}
+		}
+		if k == len(uids) {
+			uids = append(uids, uid)
+			votes = append(votes, w)
+			tags = append(tags, sem)
+		}
 	}
-	best, bestVote := -1, -1.0
-	for uid, v := range votes {
-		if v > bestVote || (v == bestVote && uid < best) {
-			best, bestVote = uid, v
+	sc.uids, sc.votes, sc.tags = uids, votes, tags
+	best := 0
+	for k := 1; k < len(uids); k++ {
+		if votes[k] > votes[best] || (votes[k] == votes[best] && uids[k] < uids[best]) {
+			best = k
 		}
 	}
 	return tags[best]

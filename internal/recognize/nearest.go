@@ -17,12 +17,15 @@ type NearestPOIRecognizer struct {
 	radius float64
 }
 
-// NewNearestPOIRecognizer indexes the POI set; radius bounds the search
-// (the paper's R3σ is the natural choice).
-func NewNearestPOIRecognizer(pois []poi.POI, radius float64) *NearestPOIRecognizer {
+// NewNearestPOIRecognizer indexes the POI set on the requested backend;
+// radius bounds the search (the paper's R3σ is the natural choice).
+// Earlier versions hardcoded the grid here, so an rtree/kdtree pipeline
+// silently ran its ablation baseline on a different backend than every
+// other stage.
+func NewNearestPOIRecognizer(pois []poi.POI, radius float64, kind index.Kind) *NearestPOIRecognizer {
 	return &NearestPOIRecognizer{
 		pois:   pois,
-		idx:    index.New(index.KindGrid, poi.Locations(pois), radius),
+		idx:    index.New(kind, poi.Locations(pois), radius),
 		radius: radius,
 	}
 }

@@ -25,6 +25,27 @@ type Recognizer interface {
 	Recognize(p geo.Point) poi.Semantics
 }
 
+// Scratch is per-worker reusable state for buffered recognition. One
+// Scratch belongs to exactly one worker at a time (the zero value is
+// ready to use); a recognizer may leave arbitrary garbage in it between
+// calls but must never let an answer depend on that garbage, so scratch
+// reuse cannot perturb worker-count determinism.
+type Scratch struct {
+	ids   []int
+	uids  []int
+	votes []float64
+	tags  []poi.Semantics
+}
+
+// BufferedRecognizer is a Recognizer whose lookups can run against
+// caller-owned scratch instead of allocating per call. Annotation loops
+// type-assert for it and thread one Scratch per worker slot.
+type BufferedRecognizer interface {
+	Recognizer
+	// RecognizeBuf is Recognize using sc for all transient state.
+	RecognizeBuf(p geo.Point, sc *Scratch) poi.Semantics
+}
+
 // Annotate fills in the semantic property of every stay point of every
 // trajectory in db, in place — the outer loop of Algorithm 3.
 func Annotate(db []trajectory.SemanticTrajectory, r Recognizer) {
@@ -37,6 +58,17 @@ func Annotate(db []trajectory.SemanticTrajectory, r Recognizer) {
 // the annotation is identical for any worker budget. A canceled ctx
 // aborts with ctx.Err(), leaving db partially annotated.
 func AnnotateCtx(ctx context.Context, db []trajectory.SemanticTrajectory, r Recognizer, workers int) error {
+	if br, ok := r.(BufferedRecognizer); ok {
+		scratch := make([]Scratch, exec.Slots(workers, len(db)))
+		return exec.ParallelForSlots(ctx, workers, len(db), func(slot, ti int) error {
+			sc := &scratch[slot]
+			stays := db[ti].Stays
+			for si := range stays {
+				stays[si].S = br.RecognizeBuf(stays[si].P, sc)
+			}
+			return nil
+		})
+	}
 	return exec.ParallelFor(ctx, workers, len(db), func(ti int) error {
 		stays := db[ti].Stays
 		for si := range stays {

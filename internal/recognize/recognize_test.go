@@ -7,6 +7,7 @@ import (
 
 	"csdm/internal/csd"
 	"csdm/internal/geo"
+	"csdm/internal/index"
 	"csdm/internal/poi"
 	"csdm/internal/trajectory"
 )
@@ -81,7 +82,7 @@ func TestCSDRecognizerStableUnderGPSNoise(t *testing.T) {
 	pois, stays := shopVsRestaurantScene(rng)
 	d := csd.Build(pois, stays, csd.DefaultParams())
 	votingR := NewCSDRecognizer(d)
-	nearestR := NewNearestPOIRecognizer(pois, 100)
+	nearestR := NewNearestPOIRecognizer(pois, 100, index.KindKDTree)
 
 	base := at(5, 0) // near the boundary region between units
 	stable := func(r Recognizer) int {
@@ -187,7 +188,7 @@ func TestNearestPOIRecognizer(t *testing.T) {
 		mkPOI(1, poi.Restaurant, 0, 0),
 		mkPOI(2, poi.ShopMarket, 50, 0),
 	}
-	r := NewNearestPOIRecognizer(pois, 100)
+	r := NewNearestPOIRecognizer(pois, 100, index.KindKDTree)
 	if r.Name() != "NearestPOI" {
 		t.Fatalf("Name = %q", r.Name())
 	}

@@ -111,12 +111,28 @@ func (r *ROIRecognizer) InRegion(p geo.Point) bool {
 // inherits the union of the categories of the POIs within
 // AnnotateRadius; outside every region it stays unannotated.
 func (r *ROIRecognizer) Recognize(p geo.Point) poi.Semantics {
-	if !r.InRegion(p) {
+	var sc Scratch
+	return r.RecognizeBuf(p, &sc)
+}
+
+// RecognizeBuf implements BufferedRecognizer; sc.ids serves both the
+// region-membership and the POI range query in turn.
+func (r *ROIRecognizer) RecognizeBuf(p geo.Point, sc *Scratch) poi.Semantics {
+	sc.ids = r.stayIdx.WithinAppend(p, r.params.Eps, sc.ids[:0])
+	in := false
+	for _, si := range sc.ids {
+		if r.regionOf[si] >= 0 {
+			in = true
+			break
+		}
+	}
+	if !in {
 		return 0
 	}
 	var counts [poi.NumMajors]int
 	total := 0
-	for _, pi := range r.poiIdx.Within(p, r.params.AnnotateRadius) {
+	sc.ids = r.poiIdx.WithinAppend(p, r.params.AnnotateRadius, sc.ids[:0])
+	for _, pi := range sc.ids {
 		counts[r.pois[pi].Major()]++
 		total++
 	}

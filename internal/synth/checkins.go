@@ -72,10 +72,12 @@ func ProfileTokyo() CheckinProfile {
 // SampleCheckins simulates the check-in stream a biased community would
 // publish from the (unbiased) taxi visits: each drop-off is resolved to
 // its nearest POI within 150 m, and the visit is shared with the
-// profile's acceptance probability for that POI's major category.
-func (c *City) SampleCheckins(js []trajectory.Journey, profile CheckinProfile, seed int64) []Checkin {
+// profile's acceptance probability for that POI's major category. kind
+// selects the nearest-POI index backend (earlier versions hardcoded the
+// grid, ignoring the pipeline's configured backend).
+func (c *City) SampleCheckins(js []trajectory.Journey, profile CheckinProfile, seed int64, kind index.Kind) []Checkin {
 	rng := rand.New(rand.NewSource(seed))
-	idx := index.New(index.KindGrid, poi.Locations(c.POIs), 100)
+	idx := index.New(kind, poi.Locations(c.POIs), 100)
 	var out []Checkin
 	for _, j := range js {
 		near := idx.Nearest(j.Dropoff, 1)

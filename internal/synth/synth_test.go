@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"csdm/internal/geo"
+	"csdm/internal/index"
 	"csdm/internal/poi"
 	"csdm/internal/trajectory"
 )
@@ -285,7 +286,7 @@ func TestCheckinBiasSuppressesMedical(t *testing.T) {
 	c := NewCity(testConfig())
 	w := c.GenerateWorkload()
 	for _, profile := range []CheckinProfile{ProfileNewYork(), ProfileTokyo()} {
-		cs := c.SampleCheckins(w.Journeys, profile, 99)
+		cs := c.SampleCheckins(w.Journeys, profile, 99, index.KindGrid)
 		if len(cs) == 0 {
 			t.Fatalf("%s produced no check-ins", profile.Name)
 		}
@@ -299,8 +300,8 @@ func TestCheckinBiasSuppressesMedical(t *testing.T) {
 func TestCheckinProfilesDiffer(t *testing.T) {
 	c := NewCity(testConfig())
 	w := c.GenerateWorkload()
-	ny := c.SampleCheckins(w.Journeys, ProfileNewYork(), 99)
-	tk := c.SampleCheckins(w.Journeys, ProfileTokyo(), 99)
+	ny := c.SampleCheckins(w.Journeys, ProfileNewYork(), 99, index.KindKDTree)
+	tk := c.SampleCheckins(w.Journeys, ProfileTokyo(), 99, index.KindRTree)
 	// Tokyo's station share should far exceed New York's (Table 1).
 	nyStations := MajorShare(ny, poi.TrafficStations)
 	tkStations := MajorShare(tk, poi.TrafficStations)
