@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"csdm/internal/obs"
 	"csdm/internal/poi"
 	"csdm/internal/synth"
 	"csdm/internal/trajectory"
@@ -137,5 +138,52 @@ func TestCLILenientLoad(t *testing.T) {
 	}
 	if !strings.Contains(out, "skipped 1 bad rows") {
 		t.Errorf("lenient run does not report the skip:\n%s", out)
+	}
+}
+
+// TestCLIMetricsOut runs a mine with -metrics-out and validates the
+// final Prometheus dump: it must pass the exposition linter and cover
+// the metric families the telemetry layer promises (stage durations,
+// exec task latencies, runtime gauges, checkpoint counters, and the
+// pre-declared fault counter).
+func TestCLIMetricsOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	pois, journeys := writeInputs(t, dir)
+	metricsPath := filepath.Join(dir, "metrics.txt")
+
+	code, out := runCLI(t, bin, "-pois", pois, "-journeys", journeys,
+		"-checkpoint", filepath.Join(dir, "ckpt"),
+		"-metrics-out", metricsPath, "mine")
+	if code != 0 {
+		t.Fatalf("mine with -metrics-out: exit %d\n%s", code, out)
+	}
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, fam := range []string{
+		"csdm_stage_duration_seconds_bucket",
+		"csdm_stage_duration_seconds_count",
+		"csdm_exec_task_seconds_count",
+		"csdm_exec_tasks_total",
+		"csdm_exec_panics_total 0",
+		"csdm_fault_injected_total 0",
+		"go_goroutines",
+		"go_gc_pause_seconds",
+		"ckpt_saved_diagram",
+		"csdm_patterns_mined_total",
+		"csdm_index_query_seconds",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("metrics dump missing %q", fam)
+		}
+	}
+	if errs := obs.Lint(strings.NewReader(body)); len(errs) != 0 {
+		t.Fatalf("metrics dump fails lint: %v\n%s", errs, body)
 	}
 }

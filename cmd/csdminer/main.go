@@ -17,9 +17,13 @@
 // and -index selects the spatial-index backend (grid, kdtree, rtree).
 // -trace prints the per-stage telemetry report to stderr after the
 // run; -debug-addr serves net/http/pprof, expvar (the live counters
-// under "csdm"), /debug/trace (the span tree as JSON) and
-// /debug/stages (the stage graph with each artifact's build origin)
-// for inspecting a long run in flight.
+// under "csdm"), /debug/trace (the span tree as JSON), /debug/stages
+// (the stage graph with each artifact's build origin) and /metrics
+// (the process metrics registry in Prometheus text format) for
+// inspecting a long run in flight — see internal/obs/obshttp.
+// -metrics-out writes a final Prometheus-format metrics dump to a
+// file after the run; -linger keeps the debug server alive after the
+// run so a scraper can collect the final state.
 //
 // Robustness flags: -lenient skips malformed input rows (bounded by
 // -max-bad-rows) instead of failing the load; -checkpoint persists
@@ -31,26 +35,25 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"csdm/internal/ckpt"
 	"csdm/internal/core"
 	"csdm/internal/csd"
+	"csdm/internal/exec"
 	"csdm/internal/fault"
 	"csdm/internal/index"
 	"csdm/internal/load"
 	"csdm/internal/metrics"
 	"csdm/internal/obs"
+	"csdm/internal/obs/obshttp"
 	"csdm/internal/pattern"
 	"csdm/internal/poi"
 	"csdm/internal/stage"
@@ -101,6 +104,8 @@ func main() {
 		degraded    = flag.Bool("degraded-fallback", false, "fall back to ROI recognition when the CSD build fails")
 		faultSpec   = flag.String("fault", "", "fault-injection spec site:kind:trigger[,...] (testing only)")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection rules (testing only)")
+		metricsOut  = flag.String("metrics-out", "", "write the final Prometheus-format metrics dump to this file")
+		linger      = flag.Duration("linger", 0, "with -debug-addr, keep the process (and its debug server) alive this long after the run")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -115,12 +120,44 @@ func main() {
 		progress("fault injection active: %s (seed %d)", *faultSpec, *faultSeed)
 	}
 
+	// Telemetry wiring. The per-run Trace exists whenever any telemetry
+	// consumer does; the process-lifetime Registry exists whenever a
+	// scrape surface does (-debug-addr) or a final dump was requested
+	// (-metrics-out). The trace mirrors onto the registry, and the
+	// execution, index and fault layers hook in directly, so /metrics
+	// carries the whole pipeline: stage durations, task latencies,
+	// sampled index queries, checkpoint/fault/load counters, and the
+	// runtime sampler's process-health gauges.
 	var tr *obs.Trace
-	if *traceFlag || *debugAddr != "" {
+	var reg *obs.Registry
+	if *traceFlag || *debugAddr != "" || *metricsOut != "" {
 		tr = obs.New()
 	}
+	if *debugAddr != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		tr.Mirror(reg)
+		exec.SetMetrics(reg)
+		index.SetMetrics(reg, 0)
+		fault.SetMetrics(reg)
+		stopSampler := obs.StartRuntimeSampler(reg, time.Second)
+		defer stopSampler()
+	}
+	// stagesPipe feeds /debug/stages once the pipeline exists; the
+	// debug server starts before input loading so a hung load is
+	// already inspectable.
+	var stagesPipe atomic.Pointer[core.Pipeline]
 	if *debugAddr != "" {
-		serveDebug(*debugAddr, tr)
+		obshttp.Serve(*debugAddr, obshttp.Options{
+			Trace:    tr,
+			Registry: reg,
+			Stages: func() []stage.Info {
+				if p := stagesPipe.Load(); p != nil {
+					return p.Stages()
+				}
+				return nil
+			},
+			Logf: progress,
+		})
 	}
 
 	cfg := core.DefaultConfig()
@@ -149,9 +186,7 @@ func main() {
 	}
 	pipe := core.NewPipeline(pois, journeys, cfg)
 	pipe.SetTrace(tr)
-	if *debugAddr != "" {
-		serveStages(pipe)
-	}
+	stagesPipe.Store(pipe)
 	if *loadDiagram != "" {
 		d, err := readDiagramFile(*loadDiagram)
 		if err != nil {
@@ -199,6 +234,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "--- stage report ---")
 		tr.WriteText(os.Stderr)
 	}
+	if *metricsOut != "" {
+		if err := ckpt.WriteAtomic(*metricsOut, reg.WritePrometheus); err != nil {
+			die(exitPipeline, fmt.Errorf("write metrics %s: %w", *metricsOut, err))
+		}
+		progress("metrics written to %s", *metricsOut)
+	}
+	if *debugAddr != "" && *linger > 0 {
+		progress("run complete; debug server lingering for %s", *linger)
+		time.Sleep(*linger)
+	}
 }
 
 // prepare runs the shared stages the subcommand needs eagerly under
@@ -245,63 +290,6 @@ func prepare(pipe *core.Pipeline, m *ckpt.Manager, needDiagram bool, kinds ...co
 		}
 	}
 	return nil
-}
-
-// serveDebug starts the live-inspection HTTP server in the background:
-// net/http/pprof and expvar register themselves on the default mux,
-// the trace's counters and gauges are published under the "csdm"
-// expvar, and /debug/trace returns the full span tree as JSON.
-func serveDebug(addr string, tr *obs.Trace) {
-	expvar.Publish("csdm", expvar.Func(func() any {
-		return map[string]any{
-			"counters": tr.Counters(),
-			"gauges":   tr.Gauges(),
-		}
-	}))
-	http.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(tr.Snapshot())
-	})
-	progress("debug server listening on http://%s/debug/pprof/ (also /debug/vars, /debug/trace, /debug/stages)", addr)
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			log.Printf("debug server: %v", err)
-		}
-	}()
-}
-
-// serveStages registers /debug/stages on the default mux: the declared
-// stage graph with each stage's dependencies, checkpoint artifact and
-// current build origin, so an operator can see at a glance which
-// artifacts a long run has resumed, built or not yet reached.
-func serveStages(pipe *core.Pipeline) {
-	http.HandleFunc("/debug/stages", func(w http.ResponseWriter, _ *http.Request) {
-		infos := pipe.Stages()
-		out := make([]map[string]any, 0, len(infos))
-		for _, in := range infos {
-			m := map[string]any{
-				"name":   in.Name,
-				"deps":   in.Deps,
-				"origin": in.Origin.String(),
-			}
-			if in.Site != "" {
-				m["fault_site"] = in.Site
-			}
-			if in.Artifact != "" {
-				m["artifact"], m["file"] = in.Artifact, in.File
-			}
-			if in.Err != nil {
-				m["error"] = in.Err.Error()
-			}
-			out = append(out, m)
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(out)
-	})
 }
 
 // readDiagramFile loads a diagram written with -save-diagram.

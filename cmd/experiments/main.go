@@ -10,9 +10,10 @@
 //	            [-timings timings.json]
 //
 // -timings writes a machine-readable JSON record of the run: wall time
-// per experiment stage plus the pipeline's telemetry snapshot (spans
-// and counters), giving future changes a perf trajectory to regress
-// against.
+// per experiment stage, p50/p95/p99 quantile rows for every latency
+// histogram the pipeline recorded (also printed to stdout), and the
+// full telemetry snapshot (spans, counters, histograms), giving future
+// changes a perf trajectory to regress against.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -38,13 +40,37 @@ type stageTiming struct {
 	Seconds float64 `json:"seconds"`
 }
 
+// quantileRow is one histogram's quantile summary in the -timings
+// document: the distribution (per-stage durations, task latencies,
+// sampled index queries) flattened to the three alerting quantiles.
+type quantileRow struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
 // timingsFile is the -timings JSON document.
 type timingsFile struct {
 	Workload     string        `json:"workload"`
 	SetupSeconds float64       `json:"setup_seconds"`
 	Stages       []stageTiming `json:"stages"`
 	TotalSeconds float64       `json:"total_seconds"`
-	Trace        obs.Snapshot  `json:"trace"`
+	// Quantiles summarizes every telemetry histogram the run produced,
+	// sorted by name; the full bucket data rides in Trace.Histograms.
+	Quantiles []quantileRow `json:"quantiles"`
+	Trace     obs.Snapshot  `json:"trace"`
+}
+
+// quantileRows flattens a snapshot's histograms into sorted rows.
+func quantileRows(snap obs.Snapshot) []quantileRow {
+	rows := make([]quantileRow, 0, len(snap.Histograms))
+	for name, h := range snap.Histograms {
+		rows = append(rows, quantileRow{Name: name, Count: h.Count, P50: h.P50, P95: h.P95, P99: h.P99})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
 }
 
 func main() {
@@ -136,12 +162,21 @@ func main() {
 	fmt.Printf("total %.1fs\n", time.Since(start).Seconds())
 
 	if *timings != "" {
+		snap := tr.Snapshot()
+		rows := quantileRows(snap)
+		if len(rows) > 0 {
+			fmt.Println("latency quantiles (seconds):")
+			for _, r := range rows {
+				fmt.Printf("  %-60s n=%-6d p50=%.4g p95=%.4g p99=%.4g\n", r.Name, r.Count, r.P50, r.P95, r.P99)
+			}
+		}
 		doc := timingsFile{
 			Workload:     env.Pipeline.Describe(),
 			SetupSeconds: setupSeconds,
 			Stages:       stages,
 			TotalSeconds: time.Since(start).Seconds(),
-			Trace:        tr.Snapshot(),
+			Quantiles:    rows,
+			Trace:        snap,
 		}
 		f, err := os.Create(*timings)
 		if err != nil {

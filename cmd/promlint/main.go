@@ -1,0 +1,159 @@
+// Command promlint validates Prometheus text-exposition (0.0.4)
+// documents — the output of csdminer's /metrics endpoint or its
+// -metrics-out dump — without any external dependency. It is the CI
+// gate that keeps the hand-rolled exposition writer honest: HELP/TYPE
+// grammar, metric-name and label syntax, duplicate series, counter
+// signs, and histogram invariants (monotone cumulative buckets, +Inf
+// bucket matching _count).
+//
+// Usage:
+//
+//	promlint [-require fam1,fam2,...] [-trace trace.json] [file ...]
+//
+// With no file arguments the document is read from stdin. -require
+// fails unless every named metric family appears in at least one
+// document (sample or TYPE line). -trace additionally validates a
+// /debug/trace JSON snapshot: it must parse and carry the stable
+// shape — spans, counters, gauges and histograms all present, never
+// null. Exit code 1 on any violation, with one line per finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"csdm/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	tracePath := flag.String("trace", "", "also validate this /debug/trace JSON snapshot")
+	flag.Parse()
+
+	failures := 0
+	report := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "promlint: "+format+"\n", args...)
+		failures++
+	}
+
+	var docs []namedDoc
+	if flag.NArg() == 0 {
+		body, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			report("stdin: %v", err)
+		} else {
+			docs = append(docs, namedDoc{name: "<stdin>", body: string(body)})
+		}
+	}
+	for _, path := range flag.Args() {
+		body, err := os.ReadFile(path)
+		if err != nil {
+			report("%v", err)
+			continue
+		}
+		docs = append(docs, namedDoc{name: path, body: string(body)})
+	}
+
+	for _, d := range docs {
+		for _, err := range obs.Lint(strings.NewReader(d.body)) {
+			report("%s: %v", d.name, err)
+		}
+	}
+
+	if *require != "" {
+		for _, fam := range strings.Split(*require, ",") {
+			fam = strings.TrimSpace(fam)
+			if fam == "" {
+				continue
+			}
+			found := false
+			for _, d := range docs {
+				if hasFamily(d.body, fam) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				report("required metric family %q not found in any document", fam)
+			}
+		}
+	}
+
+	if *tracePath != "" {
+		if err := checkTrace(*tracePath); err != nil {
+			report("%s: %v", *tracePath, err)
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d problem(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %d document(s) clean\n", len(docs))
+}
+
+type namedDoc struct {
+	name string
+	body string
+}
+
+// hasFamily reports whether a document exposes the named family: a
+// sample line for the family (optionally with labels or a histogram
+// suffix) or its TYPE declaration.
+func hasFamily(doc, fam string) bool {
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(line, "# TYPE "+fam+" ") {
+			return true
+		}
+		if !strings.HasPrefix(line, fam) {
+			continue
+		}
+		rest := line[len(fam):]
+		if rest == "" {
+			continue
+		}
+		switch rest[0] {
+		case ' ', '\t', '{':
+			return true
+		case '_':
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				tail := line[len(fam):]
+				if strings.HasPrefix(tail, suf) && (len(tail) == len(suf) || tail[len(suf)] == ' ' || tail[len(suf)] == '{') {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkTrace validates a /debug/trace snapshot's stable JSON shape:
+// every collection present and non-null.
+func checkTrace(path string) error {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		return fmt.Errorf("not a JSON object: %w", err)
+	}
+	for _, key := range []string{"spans", "counters", "gauges", "histograms"} {
+		v, ok := raw[key]
+		if !ok {
+			return fmt.Errorf("trace snapshot missing %q", key)
+		}
+		if string(v) == "null" {
+			return fmt.Errorf("trace snapshot %q is null (want an empty collection)", key)
+		}
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("does not decode as a trace snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestHasFamily(t *testing.T) {
+	doc := `# TYPE lat_seconds histogram
+lat_seconds_bucket{le="+Inf"} 1
+lat_seconds_sum 0.5
+lat_seconds_count 1
+plain_total 3
+labeled_total{x="1"} 2
+`
+	for fam, want := range map[string]bool{
+		"lat_seconds":   true, // via TYPE and histogram suffixes
+		"plain_total":   true,
+		"labeled_total": true,
+		"missing":       false,
+		"plain":         false, // prefix of plain_total, not a family
+		"lat":           false,
+	} {
+		if got := hasFamily(doc, fam); got != want {
+			t.Errorf("hasFamily(%q) = %v, want %v", fam, got, want)
+		}
+	}
+}

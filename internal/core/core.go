@@ -439,11 +439,15 @@ func (p *Pipeline) Mine(a Approach, params pattern.Params) []pattern.Pattern {
 // Config.StageTimeout, and the "core.extract" fault site guarding the
 // entry.
 func (p *Pipeline) extract(ctx context.Context, a Approach, db []trajectory.SemanticTrajectory, params pattern.Params) ([]pattern.Pattern, error) {
-	return stage.Run(p.graph, ctx,
+	ps, err := stage.Run(p.graph, ctx,
 		stage.Decl{Name: "extract." + a.String(), Site: "core.extract"},
 		func(env stage.Env) ([]pattern.Pattern, error) {
 			return extractor(a.Extractor).Extract(env, db, params)
 		})
+	if err == nil && p.trace != nil {
+		p.trace.Add(obs.Label("csdm_patterns_mined_total", "approach", a.String()), int64(len(ps)))
+	}
+	return ps, err
 }
 
 // MineCtx is Mine under a cancellation context: recognition and
@@ -456,6 +460,9 @@ func (p *Pipeline) MineCtx(ctx context.Context, a Approach, params pattern.Param
 	if err != nil && a.Recognizer == RecCSD && p.cfg.DegradedFallback && ctx.Err() == nil {
 		if roiDB, roiErr := p.DatabaseCtx(ctx, RecROI); roiErr == nil {
 			p.trace.Add("core.approach.degraded", 1)
+			if p.trace != nil {
+				p.trace.Add(obs.Label("csdm_mine_degraded_total", "approach", a.String()), 1)
+			}
 			db, err = roiDB, nil
 		}
 	}
@@ -572,6 +579,9 @@ func (p *Pipeline) mineOne(ctx context.Context, a Approach, params pattern.Param
 		// ROI recognition still works — mine on the coarser database
 		// rather than returning nothing.
 		p.trace.Add("core.approach.degraded", 1)
+		if p.trace != nil {
+			p.trace.Add(obs.Label("csdm_mine_degraded_total", "approach", a.String()), 1)
+		}
 		kind, res.Degraded = RecROI, true
 	}
 	if err := sh.err[kind]; err != nil {

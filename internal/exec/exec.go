@@ -28,11 +28,51 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"csdm/internal/fault"
 	"csdm/internal/index"
 	"csdm/internal/obs"
 )
+
+// execMetrics is the pool's process-metrics hook: the registry plus
+// pre-resolved histograms, so the per-task cost when metrics are on is
+// two time.Now calls and two atomic bumps — never a map lookup — and
+// the cost when off is one atomic pointer load per pool invocation.
+type execMetrics struct {
+	reg  *obs.Registry
+	task *obs.Histogram // csdm_exec_task_seconds
+	wait *obs.Histogram // csdm_exec_queue_wait_seconds
+}
+
+var metricsHook atomic.Pointer[execMetrics]
+
+// SetMetrics wires the execution layer to a process-lifetime metrics
+// registry: every pool invocation then records per-task latency
+// (csdm_exec_task_seconds), per-worker queue wait — the delay between
+// pool start and a worker reaching its first task
+// (csdm_exec_queue_wait_seconds) — the running task total
+// (csdm_exec_tasks_total), and recovered panics
+// (csdm_exec_panics_total, pre-declared at zero so the series exists
+// before the first crash). Passing nil detaches; with no registry set
+// the pools run at their uninstrumented speed.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		metricsHook.Store(nil)
+		return
+	}
+	r.Describe("csdm_exec_task_seconds", "Latency of individual tasks run on the bounded worker pools.")
+	r.Describe("csdm_exec_queue_wait_seconds", "Delay between pool start and a worker picking up its first task.")
+	r.Describe("csdm_exec_tasks_total", "Tasks executed by the bounded worker pools.")
+	r.Describe("csdm_exec_panics_total", "Worker panics recovered and converted to errors.")
+	r.Add("csdm_exec_tasks_total", 0)
+	r.Add("csdm_exec_panics_total", 0)
+	metricsHook.Store(&execMetrics{
+		reg:  r,
+		task: r.Histogram("csdm_exec_task_seconds", obs.DefBuckets),
+		wait: r.Histogram("csdm_exec_queue_wait_seconds", obs.DefBuckets),
+	})
+}
 
 // PanicError is a worker panic converted to an error: the recovered
 // value plus the stack captured at the panic site. It propagates
@@ -62,6 +102,9 @@ func Panics() int64 { return panics.Load() }
 // use it so every isolated panic is accounted the same way.
 func NewPanicError(v any) *PanicError {
 	panics.Add(1)
+	if m := metricsHook.Load(); m != nil {
+		m.reg.Add("csdm_exec_panics_total", 1)
+	}
 	return &PanicError{Value: v, Stack: debug.Stack()}
 }
 
@@ -79,6 +122,20 @@ func call(fn func(slot, i int) error, slot, i int) (err error) {
 		return err
 	}
 	return fn(slot, i)
+}
+
+// timedCall is call plus per-task latency observation when the metrics
+// hook is set. With m == nil it compiles down to a plain call — no
+// closure, no time reads — so uninstrumented pools allocate nothing
+// extra per task.
+func timedCall(m *execMetrics, fn func(slot, i int) error, slot, i int) error {
+	if m == nil {
+		return call(fn, slot, i)
+	}
+	t0 := time.Now()
+	err := call(fn, slot, i)
+	m.task.Observe(time.Since(t0).Seconds())
+	return err
 }
 
 // Options carries the execution-layer knobs every pipeline stage
@@ -146,12 +203,26 @@ func ParallelForSlots(ctx context.Context, workers, n int, fn func(slot, i int) 
 	if workers > n {
 		workers = n
 	}
+
+	// Process-metrics hook: loaded once per pool invocation, so the
+	// disabled path costs one atomic load and a nil compare. When set,
+	// each task is timed and counted via timedCall; the multi-worker
+	// path below also records per-worker queue wait. The hook must not
+	// wrap fn in a closure or introduce closure-captured locals here —
+	// either forces a heap escape that the uninstrumented hot path
+	// would pay too (timedCall and the goroutine parameter below keep
+	// everything escape-free).
+	m := metricsHook.Load()
+	if m != nil {
+		m.reg.Add("csdm_exec_tasks_total", int64(n))
+	}
+
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := call(fn, 0, i); err != nil {
+			if err := timedCall(m, fn, 0, i); err != nil {
 				return err
 			}
 		}
@@ -172,10 +243,17 @@ func ParallelForSlots(ctx context.Context, workers, n int, fn func(slot, i int) 
 			cancel()
 		})
 	}
+	var poolStart time.Time
+	if m != nil {
+		poolStart = time.Now()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(slot int) {
+		go func(slot int, poolStart time.Time) {
 			defer wg.Done()
+			if m != nil {
+				m.wait.Observe(time.Since(poolStart).Seconds())
+			}
 			for {
 				if err := ctx.Err(); err != nil {
 					fail(err)
@@ -185,12 +263,12 @@ func ParallelForSlots(ctx context.Context, workers, n int, fn func(slot, i int) 
 				if i >= n {
 					return
 				}
-				if err := call(fn, slot, i); err != nil {
+				if err := timedCall(m, fn, slot, i); err != nil {
 					fail(err)
 					return
 				}
 			}
-		}(w)
+		}(w, poolStart)
 	}
 	wg.Wait()
 	return firstErr

@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"csdm/internal/obs"
+)
+
+// TestPoolMetrics drives the worker pool with a registry attached and
+// checks the four exec metric families: task latency, queue wait, task
+// totals, and the pre-declared panic counter.
+func TestPoolMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	SetMetrics(r)
+	defer SetMetrics(nil)
+
+	const n = 40
+	if err := ParallelFor(context.Background(), 4, n, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Counter("csdm_exec_tasks_total"); got != n {
+		t.Fatalf("tasks_total = %d, want %d", got, n)
+	}
+	if got := r.HistogramSnapshot("csdm_exec_task_seconds").Count; got != n {
+		t.Fatalf("task latency observations = %d, want %d", got, n)
+	}
+	// One queue-wait observation per worker goroutine.
+	if got := r.HistogramSnapshot("csdm_exec_queue_wait_seconds").Count; got != 4 {
+		t.Fatalf("queue wait observations = %d, want 4", got)
+	}
+	if got := r.Counter("csdm_exec_panics_total"); got != 0 {
+		t.Fatalf("panics_total = %d, want pre-declared 0", got)
+	}
+
+	// Inline (workers=1) path: tasks are still timed, no queue wait.
+	if err := ParallelFor(context.Background(), 1, 3, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Counter("csdm_exec_tasks_total"); got != n+3 {
+		t.Fatalf("tasks_total after inline run = %d, want %d", got, n+3)
+	}
+	if got := r.HistogramSnapshot("csdm_exec_queue_wait_seconds").Count; got != 4 {
+		t.Fatalf("inline run recorded queue wait: %d observations", got)
+	}
+
+	// A recovered panic lands in the registry counter.
+	err := ParallelFor(context.Background(), 2, 4, func(i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic not converted: %v", err)
+	}
+	if got := r.Counter("csdm_exec_panics_total"); got != 1 {
+		t.Fatalf("panics_total = %d, want 1", got)
+	}
+
+	var b strings.Builder
+	if werr := r.WritePrometheus(&b); werr != nil {
+		t.Fatal(werr)
+	}
+	if errs := obs.Lint(strings.NewReader(b.String())); len(errs) != 0 {
+		t.Fatalf("exec metrics fail lint: %v\n%s", errs, b.String())
+	}
+}
+
+// TestSetMetricsNilDetaches: after detaching, pools record nothing.
+func TestSetMetricsNilDetaches(t *testing.T) {
+	r := obs.NewRegistry()
+	SetMetrics(r)
+	SetMetrics(nil)
+	if err := ParallelFor(context.Background(), 2, 8, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Counter("csdm_exec_tasks_total"); got != 0 {
+		t.Fatalf("detached registry still counted %d tasks", got)
+	}
+}

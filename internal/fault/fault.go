@@ -34,7 +34,31 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"csdm/internal/obs"
 )
+
+// metricsHook is the process-metrics registry, when one is attached.
+// Firing a fault is by construction a rare event, so the accounting
+// below (labeled counter names) may allocate; the not-firing path never
+// touches it beyond the loads Hit already does.
+var metricsHook atomic.Pointer[obs.Registry]
+
+// SetMetrics wires fault injection to a process-lifetime metrics
+// registry: every fired fault bumps csdm_fault_injected_total
+// (pre-declared at zero, so the series is scrapable before — ideally
+// instead of — any fault) and a per-site, per-kind detail counter
+// csdm_fault_fired_total{site,kind}. Passing nil detaches.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		metricsHook.Store(nil)
+		return
+	}
+	r.Describe("csdm_fault_injected_total", "Faults fired by the deterministic injector.")
+	r.Describe("csdm_fault_fired_total", "Faults fired by the deterministic injector, by site and kind.")
+	r.Add("csdm_fault_injected_total", 0)
+	metricsHook.Store(r)
+}
 
 // Kind is the behavior a rule injects at its site.
 type Kind int
@@ -195,6 +219,10 @@ func (in *Injector) Hit(site string) error {
 	in.mu.Unlock()
 	if fire == nil {
 		return nil
+	}
+	if r := metricsHook.Load(); r != nil {
+		r.Add("csdm_fault_injected_total", 1)
+		r.Add(obs.Label("csdm_fault_fired_total", "site", site, "kind", fire.kind.String()), 1)
 	}
 	switch fire.kind {
 	case KindPanic:

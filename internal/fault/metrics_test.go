@@ -1,0 +1,56 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"csdm/internal/obs"
+)
+
+// TestFaultMetrics: fired faults are counted in total and by site/kind;
+// sites that are hit but never fire count nothing.
+func TestFaultMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	SetMetrics(r)
+	defer SetMetrics(nil)
+
+	if got := r.Counter("csdm_fault_injected_total"); got != 0 {
+		t.Fatalf("injected_total not pre-declared at 0: %d", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "csdm_fault_injected_total 0") {
+		t.Fatalf("zero-valued series not exposed:\n%s", b.String())
+	}
+
+	in, err := Parse("csd.popularity:error:2,csd.merging:delay:1:1ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Activate(in)
+	defer Activate(nil)
+
+	if err := Hit("csd.popularity"); err != nil {
+		t.Fatalf("first hit fired early: %v", err)
+	}
+	if err := Hit("csd.popularity"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second hit did not fire: %v", err)
+	}
+	if err := Hit("csd.merging"); err != nil {
+		t.Fatalf("delay rule returned error: %v", err)
+	}
+	if err := Hit("unknown.site"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := r.Counter("csdm_fault_injected_total"); got != 2 {
+		t.Fatalf("injected_total = %d, want 2 (one error, one delay)", got)
+	}
+	if got := r.Counter(obs.Label("csdm_fault_fired_total", "site", "csd.popularity", "kind", "error")); got != 1 {
+		t.Fatalf("per-site error counter = %d, want 1", got)
+	}
+	if got := r.Counter(obs.Label("csdm_fault_fired_total", "site", "csd.merging", "kind", "delay")); got != 1 {
+		t.Fatalf("per-site delay counter = %d, want 1", got)
+	}
+}

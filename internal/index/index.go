@@ -97,15 +97,17 @@ func CellHint(radius float64) float64 {
 
 // New builds an index of the requested kind over pts. hint is the
 // expected query radius in meters; the grid derives its cell size from
-// it via CellHint, the k-d tree and R-tree ignore it.
+// it via CellHint, the k-d tree and R-tree ignore it. When SetMetrics
+// has attached a registry, the returned index samples query latencies
+// and result sizes (1-in-N, so the hot paths stay allocation-free).
 func New(kind Kind, pts []geo.Point, hint float64) Index {
 	switch kind {
 	case KindKDTree:
-		return NewKDTree(pts)
+		return instrument(kind, NewKDTree(pts))
 	case KindRTree:
-		return NewRTree(pts)
+		return instrument(kind, NewRTree(pts))
 	default:
-		return NewGrid(pts, CellHint(hint))
+		return instrument(KindGrid, NewGrid(pts, CellHint(hint)))
 	}
 }
 

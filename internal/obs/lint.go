@@ -1,0 +1,441 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-exposition (0.0.4) document — the
+// output of WritePrometheus or any /metrics endpoint — without external
+// dependencies. It checks the line grammar (HELP/TYPE comments, sample
+// lines), metric-name and label syntax including escape sequences,
+// TYPE placement and uniqueness, duplicate series, negative counters,
+// and histogram invariants: parseable le bounds, monotone
+// non-decreasing cumulative bucket counts, a +Inf bucket, and
+// _count == the +Inf bucket. It returns every violation found (nil for
+// a clean document), so CI can report them all at once.
+func Lint(r io.Reader) []error {
+	l := &linter{
+		types:   make(map[string]string),
+		helps:   make(map[string]bool),
+		sampled: make(map[string]bool),
+		seen:    make(map[string]int),
+		hists:   make(map[string]map[string][]bucketSample),
+		hcount:  make(map[string]map[string]float64),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		l.line(line, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.errs = append(l.errs, fmt.Errorf("lint: read: %w", err))
+	}
+	l.finish()
+	return l.errs
+}
+
+// bucketSample is one _bucket series occurrence inside a histogram
+// group (same family, same non-le labels).
+type bucketSample struct {
+	le    float64
+	value float64
+	line  int
+}
+
+type linter struct {
+	errs    []error
+	types   map[string]string // family -> declared TYPE
+	helps   map[string]bool   // family -> HELP seen
+	sampled map[string]bool   // family -> samples emitted already
+	seen    map[string]int    // exact series -> first line
+	// hists groups histogram bucket samples: family -> non-le label
+	// body -> buckets, for the post-scan monotonicity check.
+	hists  map[string]map[string][]bucketSample
+	hcount map[string]map[string]float64 // family -> labels -> _count value
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (l *linter) line(n int, s string) {
+	if strings.TrimSpace(s) == "" {
+		return
+	}
+	if strings.HasPrefix(s, "#") {
+		l.comment(n, s)
+		return
+	}
+	l.sample(n, s)
+}
+
+// comment handles # HELP and # TYPE lines; other comments are legal
+// and ignored.
+func (l *linter) comment(n int, s string) {
+	fields := strings.SplitN(s, " ", 4)
+	if len(fields) < 2 {
+		return
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			l.errf(n, "HELP without a metric name")
+			return
+		}
+		fam := fields[2]
+		if !validMetricName(fam) {
+			l.errf(n, "HELP for invalid metric name %q", fam)
+		}
+		if l.helps[fam] {
+			l.errf(n, "second HELP for %s", fam)
+		}
+		l.helps[fam] = true
+		if len(fields) == 4 && !validEscapes(fields[3], false) {
+			l.errf(n, "HELP text for %s has an invalid escape sequence", fam)
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			l.errf(n, "TYPE needs a metric name and a type")
+			return
+		}
+		fam, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(fam) {
+			l.errf(n, "TYPE for invalid metric name %q", fam)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(n, "unknown TYPE %q for %s", typ, fam)
+		}
+		if _, dup := l.types[fam]; dup {
+			l.errf(n, "second TYPE for %s", fam)
+		}
+		if l.sampled[fam] {
+			l.errf(n, "TYPE for %s after its samples", fam)
+		}
+		l.types[fam] = typ
+	}
+}
+
+// sample parses one sample line: name[{labels}] value [timestamp].
+func (l *linter) sample(n int, s string) {
+	name, rest, ok := splitSampleName(s)
+	if !ok {
+		l.errf(n, "malformed sample %q", s)
+		return
+	}
+	if !validMetricName(name) {
+		l.errf(n, "invalid metric name %q", name)
+		return
+	}
+	var labelBody string
+	if strings.HasPrefix(rest, "{") {
+		end := findLabelEnd(rest)
+		if end < 0 {
+			l.errf(n, "unterminated label set in %q", s)
+			return
+		}
+		labelBody = rest[1:end]
+		rest = rest[end+1:]
+	}
+	labels, lerr := parseLabels(labelBody)
+	if lerr != nil {
+		l.errf(n, "%s: %v", name, lerr)
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		l.errf(n, "%s: want 'value [timestamp]', got %q", name, strings.TrimSpace(rest))
+		return
+	}
+	value, verr := parseValue(fields[0])
+	if verr != nil {
+		l.errf(n, "%s: bad value %q", name, fields[0])
+		return
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			l.errf(n, "%s: bad timestamp %q", name, fields[1])
+		}
+	}
+
+	key := name + "{" + canonicalLabels(labels) + "}"
+	if first, dup := l.seen[key]; dup {
+		l.errf(n, "duplicate series %s (first at line %d)", key, first)
+	} else {
+		l.seen[key] = n
+	}
+
+	fam, role := histFamily(name, l.types)
+	l.sampled[fam] = true
+	if typ := l.types[fam]; typ == "counter" && value < 0 {
+		l.errf(n, "counter %s has negative value %g", key, value)
+	}
+	switch role {
+	case "bucket":
+		le, ok := labels["le"]
+		if !ok {
+			l.errf(n, "%s without an le label", name)
+			return
+		}
+		bound, err := parseValue(le)
+		if err != nil {
+			l.errf(n, "%s: unparseable le %q", name, le)
+			return
+		}
+		group := canonicalLabelsExcept(labels, "le")
+		if l.hists[fam] == nil {
+			l.hists[fam] = make(map[string][]bucketSample)
+		}
+		l.hists[fam][group] = append(l.hists[fam][group], bucketSample{le: bound, value: value, line: n})
+	case "count":
+		group := canonicalLabels(labels)
+		if l.hcount[fam] == nil {
+			l.hcount[fam] = make(map[string]float64)
+		}
+		l.hcount[fam][group] = value
+	}
+}
+
+// finish runs the whole-document histogram checks.
+func (l *linter) finish() {
+	fams := make([]string, 0, len(l.hists))
+	for fam := range l.hists {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		groups := make([]string, 0, len(l.hists[fam]))
+		for g := range l.hists[fam] {
+			groups = append(groups, g)
+		}
+		sort.Strings(groups)
+		for _, g := range groups {
+			buckets := l.hists[fam][g]
+			sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+			last := buckets[len(buckets)-1]
+			if !isInf(last.le) {
+				l.errs = append(l.errs, fmt.Errorf("histogram %s{%s} has no +Inf bucket", fam, g))
+			}
+			prev := -1.0
+			for _, b := range buckets {
+				if b.value < prev {
+					l.errf(b.line, "histogram %s{%s} bucket le=%g count %g below previous %g (not cumulative)",
+						fam, g, b.le, b.value, prev)
+				}
+				prev = b.value
+			}
+			if counts, ok := l.hcount[fam]; ok {
+				if c, ok := counts[g]; ok && isInf(last.le) && c != last.value {
+					l.errs = append(l.errs, fmt.Errorf("histogram %s{%s}: _count %g != +Inf bucket %g", fam, g, c, last.value))
+				}
+			}
+		}
+	}
+}
+
+func isInf(v float64) bool { return v > 1.7e308 }
+
+// histFamily maps a sample name onto its histogram family and role
+// when the _bucket/_sum/_count suffix belongs to a declared histogram.
+func histFamily(name string, types map[string]string) (fam, role string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base, suf[1:]
+		}
+	}
+	return name, ""
+}
+
+// splitSampleName cuts the metric name off the front of a sample line.
+func splitSampleName(s string) (name, rest string, ok bool) {
+	i := 0
+	for i < len(s) && !strings.ContainsRune(" \t{", rune(s[i])) {
+		i++
+	}
+	if i == 0 {
+		return "", "", false
+	}
+	return s[:i], strings.TrimLeft(s[i:], " \t"), true
+}
+
+// findLabelEnd locates the closing brace of a label set, honoring
+// escapes inside quoted values. s starts with '{'.
+func findLabelEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip escaped char
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// parseLabels decodes a label body (`k="v",k2="v2"`) into a map,
+// validating names, quoting and escape sequences.
+func parseLabels(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	body = strings.TrimSuffix(strings.TrimSpace(body), ",")
+	if body == "" {
+		return labels, nil
+	}
+	i := 0
+	for i < len(body) {
+		// label name
+		j := i
+		for j < len(body) && body[j] != '=' {
+			j++
+		}
+		if j == len(body) {
+			return nil, fmt.Errorf("label %q missing '='", body[i:])
+		}
+		name := strings.TrimSpace(body[i:j])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		// opening quote
+		j++
+		if j >= len(body) || body[j] != '"' {
+			return nil, fmt.Errorf("label %s: unquoted value", name)
+		}
+		// value with escapes
+		var val strings.Builder
+		j++
+		for {
+			if j >= len(body) {
+				return nil, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := body[j]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if j+1 >= len(body) {
+					return nil, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch body[j+1] {
+				case '\\', '"':
+					val.WriteByte(body[j+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %s: invalid escape \\%c", name, body[j+1])
+				}
+				j += 2
+				continue
+			}
+			val.WriteByte(c)
+			j++
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("duplicate label %s", name)
+		}
+		labels[name] = val.String()
+		j++ // past closing quote
+		if j < len(body) {
+			if body[j] != ',' {
+				return nil, fmt.Errorf("label %s: expected ',' at %q", name, body[j:])
+			}
+			j++
+		}
+		i = j
+	}
+	return labels, nil
+}
+
+// parseValue parses a sample value: a Go float, +Inf, -Inf or NaN.
+func parseValue(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+func canonicalLabels(labels map[string]string) string {
+	return canonicalLabelsExcept(labels, "")
+}
+
+func canonicalLabelsExcept(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "__name__" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validEscapes reports whether every backslash in s starts a legal
+// escape (\\ and \n everywhere; additionally \" inside label values).
+func validEscapes(s string, inLabel bool) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			continue
+		}
+		if i+1 >= len(s) {
+			return false
+		}
+		switch s[i+1] {
+		case '\\', 'n':
+		case '"':
+			if !inLabel {
+				return false
+			}
+		default:
+			return false
+		}
+		i++
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintStr(s string) []error { return Lint(strings.NewReader(s)) }
+
+func wantErr(t *testing.T, doc, substr string) {
+	t.Helper()
+	errs := lintStr(doc)
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return
+		}
+	}
+	t.Fatalf("lint errors %v missing %q for doc:\n%s", errs, substr, doc)
+}
+
+func TestLintClean(t *testing.T) {
+	doc := `# HELP requests_total Total requests.
+# TYPE requests_total counter
+requests_total{path="/metrics"} 5
+requests_total{path="/debug/trace"} 2
+# TYPE temp gauge
+temp -3.5
+temp_k{unit="weird\nvalue\\x\"q"} 2
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="0.2"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 0.9
+lat_seconds_count 4
+untyped_thing 9 1700000000
+`
+	if errs := lintStr(doc); len(errs) != 0 {
+		t.Fatalf("clean document produced errors: %v", errs)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	wantErr(t, "9bad_name 1\n", "invalid metric name")
+	wantErr(t, "ok 1\nok 2\n", "duplicate series")
+	wantErr(t, "# TYPE m counter\nm -1\n", "negative value")
+	wantErr(t, "# TYPE m widget\n", "unknown TYPE")
+	wantErr(t, "# TYPE m counter\n# TYPE m counter\n", "second TYPE")
+	wantErr(t, "# HELP m a\n# HELP m b\n", "second HELP")
+	wantErr(t, "m 1\n# TYPE m counter\n", "after its samples")
+	wantErr(t, "m{le=\"0.1\" 1\n", "unterminated label set")
+	wantErr(t, "m{x=unquoted} 1\n", "unquoted value")
+	wantErr(t, `m{x="bad\q"} 1`+"\n", "invalid escape")
+	wantErr(t, `m{x="a",x="b"} 1`+"\n", "duplicate label")
+	wantErr(t, "m notanumber\n", "bad value")
+	wantErr(t, "m 1 notatime\n", "bad timestamp")
+	wantErr(t, "m 1 2 3\n", "want 'value [timestamp]'")
+}
+
+func TestLintHistogramInvariants(t *testing.T) {
+	// Non-cumulative buckets.
+	wantErr(t, `# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="0.2"} 3
+h_bucket{le="+Inf"} 5
+h_count 5
+`, "not cumulative")
+	// Missing +Inf bucket.
+	wantErr(t, `# TYPE h histogram
+h_bucket{le="0.1"} 1
+h_count 1
+`, "no +Inf bucket")
+	// _count disagrees with +Inf.
+	wantErr(t, `# TYPE h histogram
+h_bucket{le="+Inf"} 4
+h_count 5
+`, "_count 5 != +Inf bucket 4")
+	// Bucket with no le label.
+	wantErr(t, `# TYPE h histogram
+h_bucket 4
+`, "without an le label")
+	// Unparseable le.
+	wantErr(t, `# TYPE h histogram
+h_bucket{le="abc"} 4
+`, "unparseable le")
+	// Labeled histograms are checked per label set.
+	doc := `# TYPE h histogram
+h_bucket{stage="a",le="0.1"} 1
+h_bucket{stage="a",le="+Inf"} 2
+h_count{stage="a"} 2
+h_bucket{stage="b",le="0.1"} 9
+h_bucket{stage="b",le="+Inf"} 9
+h_count{stage="b"} 9
+`
+	if errs := lintStr(doc); len(errs) != 0 {
+		t.Fatalf("per-label histogram groups flagged: %v", errs)
+	}
+}
+
+// TestLintIgnoresUndeclaredSuffixes: _bucket on a family never declared
+// as a histogram is just a plain metric, not a histogram member.
+func TestLintIgnoresUndeclaredSuffixes(t *testing.T) {
+	if errs := lintStr("water_bucket 3\n"); len(errs) != 0 {
+		t.Fatalf("plain *_bucket metric flagged: %v", errs)
+	}
+}

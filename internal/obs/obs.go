@@ -31,10 +31,28 @@ type Trace struct {
 
 	counters sync.Map // string -> *int64
 	gauges   sync.Map // string -> *uint64 (math.Float64bits)
+	hists    sync.Map // string -> *Histogram
+
+	// mirror, when set, receives a copy of every counter delta, gauge
+	// set and histogram observation — the bridge from the per-run Trace
+	// to the process-lifetime Registry behind /metrics.
+	mirror atomic.Pointer[Registry]
 }
 
 // New returns an empty trace ready to collect telemetry.
 func New() *Trace { return &Trace{} }
+
+// Mirror forwards every future counter delta, gauge set and histogram
+// observation to r as well, so a process-lifetime Registry accumulates
+// across runs while the Trace stays per-run. Passing nil detaches.
+// Attach before the run starts; the forwarding pointer is read
+// atomically, so a late attach is safe but misses earlier updates.
+func (t *Trace) Mirror(r *Registry) {
+	if t == nil {
+		return
+	}
+	t.mirror.Store(r)
+}
 
 // Start opens a root span. On a nil trace it returns a nil span, whose
 // methods are all no-ops.
@@ -60,6 +78,9 @@ func (t *Trace) Add(name string, delta int64) {
 		v, _ = t.counters.LoadOrStore(name, new(int64))
 	}
 	atomic.AddInt64(v.(*int64), delta)
+	if r := t.mirror.Load(); r != nil {
+		r.Add(name, delta)
+	}
 }
 
 // Counter returns the named counter's current value (zero when the
@@ -98,6 +119,9 @@ func (t *Trace) SetGauge(name string, value float64) {
 		v, _ = t.gauges.LoadOrStore(name, new(uint64))
 	}
 	atomic.StoreUint64(v.(*uint64), math.Float64bits(value))
+	if r := t.mirror.Load(); r != nil {
+		r.SetGauge(name, value)
+	}
 }
 
 // Gauge returns the named gauge's latest value and whether it was set.
@@ -120,6 +144,51 @@ func (t *Trace) Gauges() map[string]float64 {
 	out := make(map[string]float64)
 	t.gauges.Range(func(k, v any) bool {
 		out[k.(string)] = math.Float64frombits(atomic.LoadUint64(v.(*uint64)))
+		return true
+	})
+	return out
+}
+
+// Observe records one observation on the named histogram, creating it
+// with the DefBuckets ladder on first use. Latency observations are in
+// seconds by convention (name the metric *_seconds). Names may carry a
+// Prometheus label suffix built with Label, which the exposition
+// writer splits back into family and labels.
+func (t *Trace) Observe(name string, v float64) {
+	if t == nil {
+		return
+	}
+	h, ok := t.hists.Load(name)
+	if !ok {
+		h, _ = t.hists.LoadOrStore(name, NewHistogram(DefBuckets))
+	}
+	h.(*Histogram).Observe(v)
+	if r := t.mirror.Load(); r != nil {
+		r.Observe(name, v)
+	}
+}
+
+// HistogramSnapshot returns the named histogram's current state (the
+// zero snapshot when it was never observed).
+func (t *Trace) HistogramSnapshot(name string) HistogramSnapshot {
+	if t == nil {
+		return HistogramSnapshot{}
+	}
+	h, ok := t.hists.Load(name)
+	if !ok {
+		return HistogramSnapshot{}
+	}
+	return h.(*Histogram).Snapshot()
+}
+
+// Histograms snapshots every histogram.
+func (t *Trace) Histograms() map[string]HistogramSnapshot {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]HistogramSnapshot)
+	t.hists.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Histogram).Snapshot()
 		return true
 	})
 	return out
@@ -202,11 +271,15 @@ type SpanSnapshot struct {
 	Children []SpanSnapshot `json:"children,omitempty"`
 }
 
-// Snapshot is the serializable form of a whole trace.
+// Snapshot is the serializable form of a whole trace. Every field
+// marshals as an empty (never null) collection when unpopulated, so
+// the /debug/trace JSON shape is stable for consumers regardless of
+// which telemetry kinds a run produced.
 type Snapshot struct {
-	Spans    []SpanSnapshot     `json:"spans"`
-	Counters map[string]int64   `json:"counters"`
-	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	Spans      []SpanSnapshot               `json:"spans"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
 func (s *Span) snapshot() SpanSnapshot {
@@ -234,12 +307,22 @@ func (s *Span) snapshot() SpanSnapshot {
 // endpoint can snapshot mid-run.
 func (t *Trace) Snapshot() Snapshot {
 	if t == nil {
-		return Snapshot{}
+		return Snapshot{
+			Spans:      []SpanSnapshot{},
+			Counters:   map[string]int64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]HistogramSnapshot{},
+		}
 	}
 	t.mu.Lock()
 	roots := append([]*Span(nil), t.roots...)
 	t.mu.Unlock()
-	snap := Snapshot{Counters: t.Counters(), Gauges: t.Gauges()}
+	snap := Snapshot{
+		Spans:      make([]SpanSnapshot, 0, len(roots)),
+		Counters:   t.Counters(),
+		Gauges:     t.Gauges(),
+		Histograms: t.Histograms(),
+	}
 	for _, r := range roots {
 		snap.Spans = append(snap.Spans, r.snapshot())
 	}
@@ -285,6 +368,19 @@ func (t *Trace) WriteText(w io.Writer) error {
 		sort.Strings(names)
 		for _, n := range names {
 			fmt.Fprintf(&b, "  %-52s %g\n", n, snap.Gauges[n])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		names := make([]string, 0, len(snap.Histograms))
+		for n := range snap.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			h := snap.Histograms[n]
+			fmt.Fprintf(&b, "  %-52s n=%d p50=%.4g p95=%.4g p99=%.4g sum=%.4g\n",
+				n, h.Count, h.P50, h.P95, h.P99, h.Sum)
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -103,7 +103,12 @@ func TestNilTraceNoOp(t *testing.T) {
 	if _, ok := tr.Gauge("g"); ok {
 		t.Fatal("nil trace recorded a gauge")
 	}
-	if tr.Counters() != nil || tr.Gauges() != nil {
+	tr.Observe("h", 0.5)
+	if tr.HistogramSnapshot("h").Count != 0 {
+		t.Fatal("nil trace recorded a histogram observation")
+	}
+	tr.Mirror(NewRegistry()) // no-op, must not panic
+	if tr.Counters() != nil || tr.Gauges() != nil || tr.Histograms() != nil {
 		t.Fatal("nil trace returned non-nil maps")
 	}
 	if tr.Report() != "" {
@@ -112,9 +117,90 @@ func TestNilTraceNoOp(t *testing.T) {
 	if err := tr.WriteText(nil); err != nil {
 		t.Fatalf("nil trace WriteText: %v", err)
 	}
+	// The snapshot shape is stable even for a nil trace: empty, never
+	// null, collections — so /debug/trace JSON always has the same keys.
 	snap := tr.Snapshot()
-	if snap.Spans != nil || snap.Counters != nil {
-		t.Fatal("nil trace produced a non-empty snapshot")
+	if snap.Spans == nil || len(snap.Spans) != 0 {
+		t.Fatal("nil trace snapshot spans not an empty slice")
+	}
+	if snap.Counters == nil || snap.Gauges == nil || snap.Histograms == nil {
+		t.Fatal("nil trace snapshot has null collections")
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"spans":[]`, `"counters":{}`, `"gauges":{}`, `"histograms":{}`} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("nil snapshot JSON %s missing %s", data, key)
+		}
+	}
+}
+
+// TestSnapshotStableShape pins the satellite fix: an empty live trace
+// must marshal empty collections, not nulls.
+func TestSnapshotStableShape(t *testing.T) {
+	data, err := json.Marshal(New().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "null") {
+		t.Fatalf("empty trace snapshot JSON contains null: %s", data)
+	}
+}
+
+// TestTraceObserve covers the Trace-level histogram surface and its
+// appearance in snapshots and the text report.
+func TestTraceObserve(t *testing.T) {
+	tr := New()
+	for i := 1; i <= 100; i++ {
+		tr.Observe("lat_seconds", float64(i)/1000)
+	}
+	h := tr.HistogramSnapshot("lat_seconds")
+	if h.Count != 100 {
+		t.Fatalf("count = %d, want 100", h.Count)
+	}
+	if h.P50 <= 0 || h.P95 < h.P50 || h.P99 < h.P95 {
+		t.Fatalf("quantiles not ordered: p50=%g p95=%g p99=%g", h.P50, h.P95, h.P99)
+	}
+	all := tr.Histograms()
+	if len(all) != 1 || all["lat_seconds"].Count != 100 {
+		t.Fatalf("Histograms() = %+v, want one entry with count 100", all)
+	}
+	if rep := tr.Report(); !strings.Contains(rep, "histograms:") || !strings.Contains(rep, "lat_seconds") {
+		t.Fatalf("report missing histogram section:\n%s", rep)
+	}
+	if tr.HistogramSnapshot("missing").Count != 0 {
+		t.Fatal("unknown histogram not zero")
+	}
+}
+
+// TestMirror verifies the Trace→Registry bridge: counters, gauges and
+// observations recorded on a mirrored trace land in the registry too.
+func TestMirror(t *testing.T) {
+	tr := New()
+	reg := NewRegistry()
+	tr.Mirror(reg)
+	tr.Add("ckpt.saved.diagram", 3)
+	tr.SetGauge("csd.coverage", 0.75)
+	tr.Observe("stage_seconds", 0.01)
+	if got := reg.Counter("ckpt.saved.diagram"); got != 3 {
+		t.Fatalf("mirrored counter = %d, want 3", got)
+	}
+	if v, ok := reg.Gauge("csd.coverage"); !ok || v != 0.75 {
+		t.Fatalf("mirrored gauge = %v (set=%v), want 0.75", v, ok)
+	}
+	if got := reg.HistogramSnapshot("stage_seconds").Count; got != 1 {
+		t.Fatalf("mirrored histogram count = %d, want 1", got)
+	}
+	// Detach: further updates stay local.
+	tr.Mirror(nil)
+	tr.Add("ckpt.saved.diagram", 1)
+	if got := reg.Counter("ckpt.saved.diagram"); got != 3 {
+		t.Fatalf("detached mirror still updated: %d", got)
+	}
+	if got := tr.Counter("ckpt.saved.diagram"); got != 4 {
+		t.Fatalf("trace counter = %d, want 4", got)
 	}
 }
 

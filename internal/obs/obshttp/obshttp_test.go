@@ -1,0 +1,135 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"csdm/internal/obs"
+	"csdm/internal/stage"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	tr := obs.New()
+	reg := obs.NewRegistry()
+	tr.Mirror(reg)
+	sp := tr.Start("stage.test")
+	tr.Add("ckpt.saved.diagram", 2)
+	tr.Observe("csdm_stage_duration_seconds", 0.01)
+	sp.End()
+
+	stages := func() []stage.Info {
+		return []stage.Info{
+			{Name: "csd.build", Deps: []string{"stays"}, Artifact: "diagram", File: "d.json", Origin: stage.OriginBuilt},
+			{Name: "broken", Err: errors.New("nope")},
+		}
+	}
+	srv := httptest.NewServer(NewMux(Options{Trace: tr, Registry: reg, Stages: stages, ExpvarName: "csdm_test_a"}))
+	defer srv.Close()
+
+	// /debug/trace: stable-shape JSON with the right content type.
+	body, ct := get(t, srv, "/debug/trace")
+	if ct != "application/json" {
+		t.Fatalf("/debug/trace Content-Type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v\n%s", err, body)
+	}
+	if len(snap.Spans) != 1 || snap.Counters["ckpt.saved.diagram"] != 2 {
+		t.Fatalf("bad trace snapshot: %s", body)
+	}
+	if strings.Contains(body, `"histograms":null`) {
+		t.Fatalf("trace JSON has null collections: %s", body)
+	}
+
+	// /debug/stages: JSON list with origins and errors.
+	body, ct = get(t, srv, "/debug/stages")
+	if ct != "application/json" {
+		t.Fatalf("/debug/stages Content-Type = %q", ct)
+	}
+	var infos []map[string]any
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatalf("/debug/stages not JSON: %v\n%s", err, body)
+	}
+	if len(infos) != 2 || infos[0]["name"] != "csd.build" || infos[0]["origin"] != "built" {
+		t.Fatalf("bad stages payload: %s", body)
+	}
+	if infos[1]["error"] != "nope" {
+		t.Fatalf("stage error not surfaced: %s", body)
+	}
+
+	// /metrics: Prometheus exposition carrying the mirrored telemetry,
+	// clean under the package linter.
+	body, ct = get(t, srv, "/metrics")
+	if ct != ContentTypeMetrics {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{"ckpt_saved_diagram 2", "csdm_stage_duration_seconds_count 1"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if errs := obs.Lint(strings.NewReader(body)); len(errs) != 0 {
+		t.Fatalf("/metrics fails lint: %v\n%s", errs, body)
+	}
+
+	// /debug/vars: expvar still works and carries the csdm block.
+	body, _ = get(t, srv, "/debug/vars")
+	if !strings.Contains(body, "csdm_test_a") {
+		t.Fatalf("/debug/vars missing published block:\n%s", body)
+	}
+
+	// /debug/pprof/ index renders.
+	body, _ = get(t, srv, "/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}
+
+// TestNilTolerance: a mux over nothing still serves stable responses.
+func TestNilTolerance(t *testing.T) {
+	srv := httptest.NewServer(NewMux(Options{ExpvarName: "csdm_test_b"}))
+	defer srv.Close()
+	body, _ := get(t, srv, "/debug/trace")
+	for _, want := range []string{`"spans": []`, `"counters": {}`, `"histograms": {}`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("nil trace JSON missing %s:\n%s", want, body)
+		}
+	}
+	body, _ = get(t, srv, "/debug/stages")
+	if strings.TrimSpace(body) != "[]" {
+		t.Fatalf("nil stages = %q, want []", body)
+	}
+	body, _ = get(t, srv, "/metrics")
+	if body != "" {
+		t.Fatalf("nil registry /metrics = %q, want empty", body)
+	}
+}
+
+// TestRepeatedPublish: building two muxes with the same expvar name
+// must not panic (expvar.Publish would).
+func TestRepeatedPublish(t *testing.T) {
+	NewMux(Options{ExpvarName: "csdm_test_c"})
+	NewMux(Options{ExpvarName: "csdm_test_c"})
+}

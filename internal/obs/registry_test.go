@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryNilNoOp(t *testing.T) {
+	var r *Registry
+	r.Add("c", 1)
+	if r.Counter("c") != 0 {
+		t.Fatal("nil registry recorded a counter")
+	}
+	r.SetGauge("g", 1)
+	if _, ok := r.Gauge("g"); ok {
+		t.Fatal("nil registry recorded a gauge")
+	}
+	r.Observe("h", 1)
+	if r.HistogramSnapshot("h").Count != 0 {
+		t.Fatal("nil registry recorded an observation")
+	}
+	h := r.Histogram("h", DefBuckets)
+	if h != nil {
+		t.Fatal("nil registry returned a non-nil histogram")
+	}
+	h.Observe(1) // nil histogram from nil registry is a valid no-op
+	r.Describe("h", "help")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry wrote output: %q err=%v", b.String(), err)
+	}
+}
+
+func TestRegistryCountersGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Add("requests_total", 0) // pre-declare
+	if got := r.Counter("requests_total"); got != 0 {
+		t.Fatalf("pre-declared counter = %d, want 0", got)
+	}
+	r.Add("requests_total", 5)
+	r.Add("requests_total", 2)
+	if got := r.Counter("requests_total"); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	r.SetGauge("temp", 1.5)
+	r.SetGauge("temp", 2.5)
+	if v, ok := r.Gauge("temp"); !ok || v != 2.5 {
+		t.Fatalf("gauge = %v (set=%v), want 2.5", v, ok)
+	}
+	if _, ok := r.Gauge("missing"); ok {
+		t.Fatal("unknown gauge reported set")
+	}
+}
+
+func TestRegistryHistogramReuse(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("lat", DefBuckets)
+	h2 := r.Histogram("lat", SizeBuckets) // existing keeps its bounds
+	if h1 != h2 {
+		t.Fatal("same name returned different histograms")
+	}
+	h1.Observe(0.001)
+	if got := r.HistogramSnapshot("lat").Count; got != 1 {
+		t.Fatalf("snapshot count = %d, want 1", got)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("q_seconds", "backend", "grid"); got != `q_seconds{backend="grid"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := Label("m", "a", "1", "b", "2"); got != `m{a="1",b="2"}` {
+		t.Fatalf("Label two pairs = %q", got)
+	}
+	got := Label("m", "k", "a\\b\"c\nd")
+	want := `m{k="a\\b\"c\nd"}`
+	if got != want {
+		t.Fatalf("escaped Label = %q, want %q", got, want)
+	}
+}
+
+func TestSplitAndSanitize(t *testing.T) {
+	fam, labels := splitName(`stage_seconds{stage="csd.build"}`)
+	if fam != "stage_seconds" || labels != `stage="csd.build"` {
+		t.Fatalf("splitName = %q / %q", fam, labels)
+	}
+	fam, labels = splitName("plain")
+	if fam != "plain" || labels != "" {
+		t.Fatalf("splitName plain = %q / %q", fam, labels)
+	}
+	for in, want := range map[string]string{
+		"ckpt.saved.diagram": "ckpt_saved_diagram",
+		"exec.tasks":         "exec_tasks",
+		"already_ok:total":   "already_ok:total",
+		"9lives":             "_lives",
+		"":                   "_",
+		"a-b c":              "a_b_c",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusRoundTrip is the exposition guarantee: everything
+// the registry writes must pass the package's own linter, and the
+// output must contain the expected families, series and histogram
+// structure.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("csdm_stage_duration_seconds", "Stage wall time.")
+	r.Add(Label("csdm_stage_errors_total", "stage", "csd.build"), 2)
+	r.Add("ckpt.saved.diagram", 1) // dotted legacy name
+	r.SetGauge("go_goroutines", 12)
+	r.SetGauge(Label("go_gc_pause_seconds", "quantile", "0.99"), 0.001)
+	h := r.Histogram(Label("csdm_stage_duration_seconds", "stage", "csd.build"), ExpBuckets(0.001, 2, 4))
+	h.Observe(0.0005)
+	h.Observe(0.003)
+	h.Observe(100) // overflow
+	r.Histogram(Label("csdm_stage_duration_seconds", "stage", "roi.detect"), ExpBuckets(0.001, 2, 4)).Observe(0.002)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP csdm_stage_duration_seconds Stage wall time.\n",
+		"# TYPE csdm_stage_duration_seconds histogram\n",
+		"# TYPE csdm_stage_errors_total counter\n",
+		"# TYPE go_goroutines gauge\n",
+		`csdm_stage_errors_total{stage="csd.build"} 2`,
+		"ckpt_saved_diagram 1",
+		"go_goroutines 12",
+		`go_gc_pause_seconds{quantile="0.99"} 0.001`,
+		`csdm_stage_duration_seconds_bucket{stage="csd.build",le="0.001"} 1`,
+		`csdm_stage_duration_seconds_bucket{stage="csd.build",le="+Inf"} 3`,
+		`csdm_stage_duration_seconds_count{stage="csd.build"} 3`,
+		`csdm_stage_duration_seconds_count{stage="roi.detect"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: le=0.004 must already include the 0.002 bucket.
+	if !strings.Contains(out, `csdm_stage_duration_seconds_bucket{stage="csd.build",le="0.004"} 2`) {
+		t.Errorf("buckets not cumulative:\n%s", out)
+	}
+	if errs := Lint(strings.NewReader(out)); len(errs) != 0 {
+		t.Fatalf("registry output fails its own linter: %v\n%s", errs, out)
+	}
+}
+
+// TestWritePrometheusDeterministic pins stable ordering: two writes of
+// the same registry produce identical bytes (families and series
+// sorted), which CI diffing and scrape dedup both rely on.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"b_total", "a_total", "c_total"} {
+		r.Add(n, 1)
+	}
+	r.Add(Label("d_total", "x", "2"), 1)
+	r.Add(Label("d_total", "x", "1"), 1)
+	var b1, b2 strings.Builder
+	r.WritePrometheus(&b1)
+	r.WritePrometheus(&b2)
+	if b1.String() != b2.String() {
+		t.Fatalf("non-deterministic output:\n%s\n---\n%s", b1.String(), b2.String())
+	}
+	iA := strings.Index(b1.String(), "\na_total")
+	iB := strings.Index(b1.String(), "\nb_total")
+	iC := strings.Index(b1.String(), "\nc_total")
+	if !(iA < iB && iB < iC) {
+		t.Fatalf("families not sorted:\n%s", b1.String())
+	}
+	x1 := strings.Index(b1.String(), `d_total{x="1"}`)
+	x2 := strings.Index(b1.String(), `d_total{x="2"}`)
+	if !(x1 >= 0 && x2 > x1) {
+		t.Fatalf("series not sorted by labels:\n%s", b1.String())
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSamples are the runtime/metrics series the sampler polls and
+// the gauge names they are exposed under. Kept small on purpose: the
+// process-health signals a serving deployment alerts on (heap, GC,
+// goroutines), not the full runtime/metrics catalog.
+var runtimeSamples = []struct {
+	runtime string
+	gauge   string
+	help    string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "Number of live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of live heap objects."},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "Total bytes of memory mapped by the Go runtime."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles since process start."},
+	{"/gc/pauses:seconds", "go_gc_pause_seconds", "Distribution of GC stop-the-world pause latencies (quantile gauges)."},
+}
+
+// StartRuntimeSampler registers the Go runtime's health metrics on r
+// and samples them once immediately and then on every tick: goroutine
+// count, live heap bytes, total mapped memory, GC cycle count, and GC
+// pause quantiles (p50/p95/p99, from the runtime's own pause
+// histogram). The returned stop function halts the ticker goroutine
+// (idempotent). A nil registry gets a no-op stop and no goroutine; a
+// non-positive interval defaults to one second.
+func StartRuntimeSampler(r *Registry, every time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	for _, s := range runtimeSamples {
+		r.Describe(s.gauge, s.help)
+	}
+	r.Describe("csdm_runtime_samples_total", "Completed runtime-metrics sampling passes.")
+	sampleRuntime(r)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sampleRuntime(r)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// sampleRuntime reads one batch of runtime/metrics samples into r.
+func sampleRuntime(r *Registry) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, s := range runtimeSamples {
+		samples[i].Name = s.runtime
+	}
+	metrics.Read(samples)
+	for i, s := range samples {
+		gauge := runtimeSamples[i].gauge
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			r.SetGauge(gauge, float64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			r.SetGauge(gauge, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			for _, q := range []struct {
+				q     float64
+				label string
+			}{{0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+				r.SetGauge(Label(gauge, "quantile", q.label), runtimeHistQuantile(h, q.q))
+			}
+		}
+	}
+	r.Add("csdm_runtime_samples_total", 1)
+}
+
+// runtimeHistQuantile estimates a quantile of a runtime/metrics
+// histogram as the upper bound of the bucket holding the q-th sample
+// (the runtime's buckets are fine enough that interpolation buys
+// nothing for alerting gauges). Returns 0 for an empty histogram.
+func runtimeHistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerNilRegistry(t *testing.T) {
+	stop := StartRuntimeSampler(nil, time.Millisecond)
+	stop() // must be a callable no-op
+	stop()
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, time.Hour) // immediate sample only
+	defer stop()
+
+	if v, ok := r.Gauge("go_goroutines"); !ok || v < 1 {
+		t.Fatalf("go_goroutines = %v (set=%v), want >= 1", v, ok)
+	}
+	if v, ok := r.Gauge("go_memory_total_bytes"); !ok || v <= 0 {
+		t.Fatalf("go_memory_total_bytes = %v (set=%v), want > 0", v, ok)
+	}
+	if _, ok := r.Gauge("go_heap_objects_bytes"); !ok {
+		t.Fatal("go_heap_objects_bytes not sampled")
+	}
+	if got := r.Counter("csdm_runtime_samples_total"); got != 1 {
+		t.Fatalf("samples_total = %d, want 1", got)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP go_goroutines Number of live goroutines.",
+		"# TYPE go_goroutines gauge",
+		`go_gc_pause_seconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime exposition missing %q", want)
+		}
+	}
+	if errs := Lint(strings.NewReader(out)); len(errs) != 0 {
+		t.Fatalf("runtime metrics fail lint: %v\n%s", errs, out)
+	}
+
+	stop()
+	stop() // idempotent
+}
+
+func TestRuntimeSamplerTicks(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeSampler(r, 5*time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Counter("csdm_runtime_samples_total") < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler did not tick: %d samples", r.Counter("csdm_runtime_samples_total"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -120,6 +120,10 @@ func AnnotateJourneysEnv(env stage.Env, js []trajectory.Journey, chain trajector
 	sp = root.Start("annotate")
 	exec.Note(tr, len(db), exec.Workers(env.Opt.Workers))
 	err := AnnotateCtx(env.Ctx, db, r, env.Opt.Workers)
+	if tr != nil {
+		tr.Observe(obs.Label("csdm_recognize_annotate_seconds", "recognizer", r.Name()),
+			sp.Duration().Seconds())
+	}
 	sp.End()
 	if err != nil {
 		return nil, err

@@ -434,6 +434,9 @@ func run[T any](g *Graph, ctx context.Context, decl Decl, codec *Codec[T], fn Fu
 			v, err := next(env)
 			if err != nil && env.Run.Err() == nil && errors.Is(sctx.Err(), context.DeadlineExceeded) {
 				cfg.Trace.Add(cfg.prefix()+".timeouts", 1)
+				if cfg.Trace != nil {
+					cfg.Trace.Add(obs.Label("csdm_stage_timeouts_total", "stage", decl.Name), 1)
+				}
 				var zero T
 				return zero, fmt.Errorf("stage %s exceeded its %v deadline: %w", decl.Name, cfg.StageTimeout, err)
 			}
@@ -441,12 +444,28 @@ func run[T any](g *Graph, ctx context.Context, decl Decl, codec *Codec[T], fn Fu
 		}
 	}
 
-	// Outermost: the stage span.
+	// Outermost: the stage span, plus the per-stage duration histogram
+	// and error counter. Both are label-keyed metrics mirrored onto the
+	// process Registry when one is attached; the whole block is guarded
+	// on cfg.Trace so untraced runs pay nothing (the labeled-name
+	// construction allocates), and it opens no child spans — the span
+	// tree stays exactly the middleware chain the engine tests pin.
 	sp := cfg.Trace.Start("stage." + decl.Name)
 	defer sp.End()
 	cfg.Trace.Add(cfg.prefix()+".runs", 1)
 	env := Env{Ctx: ctx, Run: ctx, Span: sp, Trace: cfg.Trace, Opt: cfg.Opt}
+	var started time.Time
+	if cfg.Trace != nil {
+		started = time.Now()
+	}
 	v, err := body(env)
+	if cfg.Trace != nil {
+		cfg.Trace.Observe(obs.Label("csdm_stage_duration_seconds", "stage", decl.Name), time.Since(started).Seconds())
+		if err != nil {
+			cfg.Trace.Add(cfg.prefix()+".errors", 1)
+			cfg.Trace.Add(obs.Label("csdm_stage_errors_total", "stage", decl.Name), 1)
+		}
+	}
 	if err != nil {
 		var zero T
 		return zero, origin, err
