@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
 	"csdm/internal/core"
@@ -25,13 +28,50 @@ type BenchMineResult struct {
 	// Patterns is the mined pattern count — deterministic for a given
 	// workload, so the gate compares it exactly.
 	Patterns int `json:"patterns"`
+	// ParallelEfficiency is the speedup over the workers-1 line of the
+	// same report: ns(workers-1) / ns(workers-k). 1.0 by definition on
+	// the workers-1 line; zero when the report has no workers-1 line to
+	// normalize against. On machines with fewer cores than workers the
+	// honest value saturates near 1.0 — cmd/benchgate reads num_cpu and
+	// only enforces its efficiency floor when the cores were there.
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
 }
 
 // BenchMineReport is the top-level JSON document.
 type BenchMineReport struct {
-	Benchmark  string            `json:"benchmark"`
-	GoMaxProcs int               `json:"go_max_procs"`
-	Results    []BenchMineResult `json:"results"`
+	Benchmark  string `json:"benchmark"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	// NumCPU records the machine's core count at measurement time —
+	// unlike GOMAXPROCS it cannot be inflated by environment, so the
+	// gate uses it to decide whether a parallel-efficiency floor is
+	// physically meaningful on this machine.
+	NumCPU  int               `json:"num_cpu"`
+	Results []BenchMineResult `json:"results"`
+}
+
+// benchMineWorkerCounts resolves the worker curve to measure: the
+// $BENCH_MINE_WORKERS comma list when set (so CI pins an exact curve
+// regardless of runner core count), otherwise {1, 4, NumCPU}
+// deduplicated — the scaling curve the gate's efficiency floor reads.
+func benchMineWorkerCounts(t *testing.T) []int {
+	if env := os.Getenv("BENCH_MINE_WORKERS"); env != "" {
+		var counts []int
+		for _, part := range strings.Split(env, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				t.Fatalf("BENCH_MINE_WORKERS: bad worker count %q", part)
+			}
+			counts = append(counts, n)
+		}
+		return counts
+	}
+	set := map[int]bool{1: true, 4: true, runtime.NumCPU(): true}
+	counts := make([]int, 0, len(set))
+	for n := range set {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	return counts
 }
 
 // TestEmitBenchMineJSON re-runs BenchmarkMine's workload through
@@ -44,13 +84,13 @@ func TestEmitBenchMineJSON(t *testing.T) {
 	if path == "" {
 		t.Skip("BENCH_MINE_JSON not set")
 	}
-	report := BenchMineReport{Benchmark: "BenchmarkMine", GoMaxProcs: runtime.GOMAXPROCS(0)}
-	params := benchParams()
-	counts := []int{1}
-	if n := runtime.NumCPU(); n > 1 {
-		counts = append(counts, n)
+	report := BenchMineReport{
+		Benchmark:  "BenchmarkMine",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
-	for _, workers := range counts {
+	params := benchParams()
+	for _, workers := range benchMineWorkerCounts(t) {
 		cfg := core.DefaultConfig()
 		cfg.Workers = workers
 		env := experiments.SetupConfig(benchScale(), cfg)
@@ -68,6 +108,21 @@ func TestEmitBenchMineJSON(t *testing.T) {
 			AllocsPerOp: r.AllocsPerOp(),
 			Patterns:    patterns,
 		})
+	}
+	// Normalize the scaling curve against this report's own workers-1
+	// line (cross-machine ns/op is meaningless; same-report ratios are
+	// the portable signal).
+	var baseNs int64
+	for _, r := range report.Results {
+		if r.Workers == 1 {
+			baseNs = r.NsPerOp
+			break
+		}
+	}
+	if baseNs > 0 {
+		for i := range report.Results {
+			report.Results[i].ParallelEfficiency = float64(baseNs) / float64(report.Results[i].NsPerOp)
+		}
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,20 +1,31 @@
 // Command benchgate compares two BenchmarkMine JSON reports (written by
 // TestEmitBenchMineJSON with BENCH_MINE_JSON set) and fails when the
 // candidate regresses: a slower ns_per_op beyond the tolerance, more
-// allocs_per_op beyond its own tolerance, or any change in the
-// deterministic pattern count.
+// allocs_per_op beyond its own tolerance, any change in the
+// deterministic pattern count, or — with -min-efficiency set — a
+// multi-worker line whose speedup over the candidate's own workers-1
+// line falls below the floor.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_5.json -candidate bench_new.json \
-//	    [-tolerance 0.10] [-alloc-tolerance 0.10]
+//	benchgate -baseline BENCH_7.json -candidate bench_new.json \
+//	    [-tolerance 0.10] [-alloc-tolerance 0.10] [-min-efficiency 2.0]
 //
-// Worker counts present in only one report are skipped (machines
-// differ in core count); the sequential workers-1 line exists in every
-// report and always gates. A baseline written before allocs_per_op
-// existed carries zero there, which disables the allocation comparison
-// for that line (allocation counts, unlike timings, are deterministic
-// enough to gate tightly once a real baseline exists).
+// Every worker count the candidate reports must exist in the baseline:
+// a missing baseline line is an error, not a skip — a silently skipped
+// line is a gate that never gates. Pin the candidate's curve to the
+// baseline's with $BENCH_MINE_WORKERS when measuring on machines whose
+// core count differs from the baseline machine's. Baseline lines absent
+// from the candidate are reported but don't fail (a baseline refreshed
+// on a bigger machine must not brick smaller ones).
+//
+// The efficiency floor is recomputed from the candidate report itself —
+// ns(workers-1) / ns(workers-k) — never trusted from the file, and it
+// is enforced only when the candidate machine had at least as many
+// cores as the line's worker count (num_cpu in the report): demanding a
+// 2× speedup from a 1-core container would gate on physics, not code.
+// A baseline written before allocs_per_op existed carries zero there,
+// which disables the allocation comparison for that line.
 package main
 
 import (
@@ -25,15 +36,17 @@ import (
 )
 
 type result struct {
-	Workers     int   `json:"workers"`
-	NsPerOp     int64 `json:"ns_per_op"`
-	AllocsPerOp int64 `json:"allocs_per_op"`
-	Patterns    int   `json:"patterns"`
+	Workers            int     `json:"workers"`
+	NsPerOp            int64   `json:"ns_per_op"`
+	AllocsPerOp        int64   `json:"allocs_per_op"`
+	Patterns           int     `json:"patterns"`
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
 }
 
 type report struct {
 	Benchmark  string   `json:"benchmark"`
 	GoMaxProcs int      `json:"go_max_procs"`
+	NumCPU     int      `json:"num_cpu"`
 	Results    []result `json:"results"`
 }
 
@@ -49,14 +62,26 @@ func readReport(path string) (report, error) {
 	return r, nil
 }
 
+// nsPerOp returns the report's ns_per_op for the given worker count,
+// or zero when the line is absent.
+func (r report) nsPerOp(workers int) int64 {
+	for _, res := range r.Results {
+		if res.Workers == workers {
+			return res.NsPerOp
+		}
+	}
+	return 0
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "committed baseline JSON")
 	candidate := flag.String("candidate", "", "freshly measured JSON")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed ns_per_op slowdown (0.10 = 10%)")
 	allocTolerance := flag.Float64("alloc-tolerance", 0.10, "allowed allocs_per_op growth (0.10 = 10%)")
+	minEfficiency := flag.Float64("min-efficiency", 0, "minimum speedup of multi-worker lines over the candidate's workers-1 line (0 disables)")
 	flag.Parse()
 	if *baseline == "" || *candidate == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline a.json -candidate b.json [-tolerance 0.10] [-alloc-tolerance 0.10]")
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline a.json -candidate b.json [-tolerance 0.10] [-alloc-tolerance 0.10] [-min-efficiency 2.0]")
 		os.Exit(2)
 	}
 	base, err := readReport(*baseline)
@@ -73,12 +98,32 @@ func main() {
 	for _, r := range base.Results {
 		byWorkers[r.Workers] = r
 	}
+	candWorkers := make(map[int]bool, len(cand.Results))
+	for _, r := range cand.Results {
+		candWorkers[r.Workers] = true
+	}
+	for _, b := range base.Results {
+		if !candWorkers[b.Workers] {
+			fmt.Printf("workers-%d: baseline only (candidate machine did not measure it), not gated\n", b.Workers)
+		}
+	}
+
+	// The scaling curves are normalized inside each report: same
+	// machine, same build, so the ratio is pure parallelism and stays
+	// comparable across machines of different absolute speed.
+	candBaseNs := cand.nsPerOp(1)
+	baseBaseNs := base.nsPerOp(1)
+
 	failed := false
 	compared := 0
+	fmt.Printf("%-10s  %-26s  %-26s  %-14s  %s\n", "line", "ns/op (base -> cand)", "allocs/op (base -> cand)", "efficiency", "status")
 	for _, c := range cand.Results {
 		b, ok := byWorkers[c.Workers]
 		if !ok {
-			fmt.Printf("workers-%d: no baseline line, skipped\n", c.Workers)
+			// A gate that silently skips unmatched lines never gates:
+			// candidate lines must have a baseline to answer to.
+			fmt.Printf("workers-%d: FAIL (no baseline line; refresh the baseline or pin BENCH_MINE_WORKERS to its curve)\n", c.Workers)
+			failed = true
 			continue
 		}
 		compared++
@@ -87,23 +132,55 @@ func main() {
 		if b.AllocsPerOp > 0 {
 			allocRatio = float64(c.AllocsPerOp) / float64(b.AllocsPerOp)
 		}
+
+		// Efficiencies are recomputed from each report's own workers-1
+		// line, not read: the files' parallel_efficiency fields are
+		// informational only.
+		candEff := 0.0
+		if candBaseNs > 0 && c.NsPerOp > 0 {
+			candEff = float64(candBaseNs) / float64(c.NsPerOp)
+		}
+		baseEff := 0.0
+		if baseBaseNs > 0 && b.NsPerOp > 0 {
+			baseEff = float64(baseBaseNs) / float64(b.NsPerOp)
+		}
+		effNote := fmt.Sprintf("%.2fx -> %.2fx", baseEff, candEff)
+		if c.Workers == 1 {
+			effNote = "1.00x (norm)"
+		}
+
 		status := "ok"
-		if c.Patterns != b.Patterns {
-			status = "FAIL (patterns changed: mining output is no longer identical)"
+		switch {
+		case c.Patterns != b.Patterns:
+			status = fmt.Sprintf("FAIL (patterns %d -> %d: mining output is no longer identical)", b.Patterns, c.Patterns)
 			failed = true
-		} else if ratio > 1.0+*tolerance {
+		case ratio > 1.0+*tolerance:
 			status = fmt.Sprintf("FAIL (>%.0f%% slower)", *tolerance*100)
 			failed = true
-		} else if b.AllocsPerOp > 0 && allocRatio > 1.0+*allocTolerance {
+		case b.AllocsPerOp > 0 && allocRatio > 1.0+*allocTolerance:
 			status = fmt.Sprintf("FAIL (>%.0f%% more allocations)", *allocTolerance*100)
 			failed = true
+		case *minEfficiency > 0 && c.Workers > 1:
+			switch {
+			case cand.NumCPU > 0 && cand.NumCPU < c.Workers:
+				status = fmt.Sprintf("ok (efficiency floor skipped: machine has %d cores < %d workers)", cand.NumCPU, c.Workers)
+			case candBaseNs == 0:
+				status = "FAIL (no workers-1 line in candidate to compute efficiency against)"
+				failed = true
+			case candEff < *minEfficiency:
+				status = fmt.Sprintf("FAIL (efficiency %.2fx < %.2fx floor)", candEff, *minEfficiency)
+				failed = true
+			}
 		}
-		allocNote := "allocs n/a"
+
+		allocCol := "n/a"
 		if b.AllocsPerOp > 0 {
-			allocNote = fmt.Sprintf("allocs %d -> %d (%.2fx)", b.AllocsPerOp, c.AllocsPerOp, allocRatio)
+			allocCol = fmt.Sprintf("%d -> %d (%.2fx)", b.AllocsPerOp, c.AllocsPerOp, allocRatio)
 		}
-		fmt.Printf("workers-%d: %d -> %d ns/op (%.2fx), %s, patterns %d -> %d: %s\n",
-			c.Workers, b.NsPerOp, c.NsPerOp, ratio, allocNote, b.Patterns, c.Patterns, status)
+		fmt.Printf("%-10s  %-26s  %-26s  %-14s  %s\n",
+			fmt.Sprintf("workers-%d", c.Workers),
+			fmt.Sprintf("%d -> %d (%.2fx)", b.NsPerOp, c.NsPerOp, ratio),
+			allocCol, effNote, status)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: no comparable worker counts between reports")

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"csdm/internal/exec"
 	"csdm/internal/geo"
 )
 
@@ -471,6 +472,54 @@ func TestExtractLeavesLabelsAreConsistent(t *testing.T) {
 	for l, n := range seen {
 		if n < 10 {
 			t.Fatalf("cluster %d has %d members, below minPts", l, n)
+		}
+	}
+}
+
+// TestOpticsParallelDeterminism pins the tentpole invariant of the
+// parallel core-distance precompute: the OPTICS ordering, reachability
+// plot and core distances must be bit-identical for any worker budget
+// (and with or without an arena pool attached), because the mined
+// pattern set downstream is gated on exact equality.
+func TestOpticsParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := threeBlobs(rng)
+	pts = append(pts, blob(rng, 30, 500, 500, 400)...) // sparse bridge
+
+	ref := OpticsWith(pts, 300, 5, exec.Options{Workers: 1})
+	for _, opt := range []exec.Options{
+		{Workers: 8},
+		{Workers: 3, Arenas: exec.NewArenaPool()},
+		{Workers: 8, Arenas: exec.NewArenaPool()},
+	} {
+		got := OpticsWith(pts, 300, 5, opt)
+		if len(got.Order) != len(ref.Order) {
+			t.Fatalf("workers=%d: order length %d != %d", opt.Workers, len(got.Order), len(ref.Order))
+		}
+		for i := range ref.Order {
+			if got.Order[i] != ref.Order[i] {
+				t.Fatalf("workers=%d: Order[%d] = %d, want %d", opt.Workers, i, got.Order[i], ref.Order[i])
+			}
+		}
+		for i := range ref.Reach {
+			if math.Float64bits(got.Reach[i]) != math.Float64bits(ref.Reach[i]) {
+				t.Fatalf("workers=%d: Reach[%d] = %v, want %v", opt.Workers, i, got.Reach[i], ref.Reach[i])
+			}
+			if math.Float64bits(got.CoreDist[i]) != math.Float64bits(ref.CoreDist[i]) {
+				t.Fatalf("workers=%d: CoreDist[%d] = %v, want %v", opt.Workers, i, got.CoreDist[i], ref.CoreDist[i])
+			}
+		}
+	}
+
+	// Arena reuse across invocations must not leak state between runs.
+	pool := exec.NewArenaPool()
+	opt := exec.Options{Workers: 4, Arenas: pool}
+	for run := 0; run < 3; run++ {
+		got := OpticsWith(pts, 300, 5, opt)
+		for i := range ref.Reach {
+			if math.Float64bits(got.Reach[i]) != math.Float64bits(ref.Reach[i]) {
+				t.Fatalf("run %d: pooled Reach[%d] diverged", run, i)
+			}
 		}
 	}
 }

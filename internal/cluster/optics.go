@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -13,8 +14,11 @@ import (
 // paper's Algorithm 4 uses OPTICS so the distance threshold need not be
 // configured: clusters are cut out of the reachability plot afterwards.
 type OpticsResult struct {
-	pts    []geo.Point
-	planar []geo.Meters
+	pts []geo.Point
+	// px/py are the packed planar coordinates, aliased from the same
+	// SoA store the spatial index was built over (one batch projection
+	// serves both).
+	px, py []float64
 	// Order is the OPTICS processing order of point indices.
 	Order []int
 	// Reach[i] is the reachability distance of point i (meters);
@@ -52,34 +56,48 @@ func OpticsWith(pts []geo.Point, maxEps float64, minPts int, opt exec.Options) *
 	if n == 0 || maxEps <= 0 || minPts <= 0 {
 		return res
 	}
-	idx := index.New(opt.Index, pts, maxEps)
+	// Index and clustering share one packed SoA store: the index build
+	// batch-projects it at the centroid — the same origin (and the same
+	// per-point bits) the previous per-point projection produced — and
+	// the reachability math below reads the planar slices directly. All
+	// internal distance math runs in this local planar projection: at
+	// city scale the distortion is far below the reachability resolution
+	// the extraction steps care about, and it avoids spherical trig in
+	// the innermost loops.
+	pp := geo.Pack(pts)
+	idx := index.NewPacked(opt.Index, pp, maxEps)
 	nbrs := neighborhoods(idx, pts, maxEps, opt.Workers)
 	processed := make([]bool, n)
+	pp.EnsureProjected()
+	px, py := pp.X, pp.Y
+	res.px, res.py = px, py
 
-	// All internal distance math runs in a local planar projection:
-	// at city scale the distortion is far below the reachability
-	// resolution the extraction steps care about, and it avoids
-	// spherical trig in the innermost loops.
-	proj := geo.NewProjection(geo.Centroid(pts))
-	planar := make([]geo.Meters, n)
-	for i, p := range pts {
-		planar[i] = proj.ToMeters(p)
-	}
-	res.planar = planar
-
-	ds := make([]float64, 0, 64)
-	coreDist := func(i int, neighbors []int) float64 {
+	// Core distances depend only on a point's own neighborhood and the
+	// fixed planar coordinates, so they can all be computed up front on
+	// the worker pool instead of lazily inside the (inherently
+	// sequential) ordering walk — the values are identical either way,
+	// and with them precomputed the walk is pure queue work. Each slot
+	// borrows a float64 arena for its squared-distance scratch; the
+	// quickselect reorders scratch only, so task output never depends on
+	// contents left by a previous task.
+	slots := exec.Slots(opt.Workers, n)
+	arenas := opt.AcquireArenas(slots)
+	_ = exec.ParallelForSlots(context.Background(), opt.Workers, n, func(slot, i int) error {
+		neighbors := nbrs[i]
 		if len(neighbors) < minPts {
-			return math.Inf(1)
+			return nil // stays +Inf
 		}
-		ds = ds[:0]
+		ds := arenas[slot].F64[:0]
 		for _, j := range neighbors {
-			dx := planar[i].X - planar[j].X
-			dy := planar[i].Y - planar[j].Y
+			dx := px[i] - px[j]
+			dy := py[i] - py[j]
 			ds = append(ds, dx*dx+dy*dy)
 		}
-		return math.Sqrt(quickselect(ds, minPts-1))
-	}
+		arenas[slot].F64 = ds
+		res.CoreDist[i] = math.Sqrt(quickselect(ds, minPts-1))
+		return nil
+	})
+	opt.ReleaseArenas(arenas)
 
 	// One queue serves every component: it always drains empty before the
 	// next start point, and Pop resets the popped id's position slot, so
@@ -91,12 +109,10 @@ func OpticsWith(pts []geo.Point, maxEps float64, minPts int, opt exec.Options) *
 		}
 		processed[start] = true
 		res.Order = append(res.Order, start)
-		neighbors := nbrs[start]
-		res.CoreDist[start] = coreDist(start, neighbors)
 		if math.IsInf(res.CoreDist[start], 1) {
 			continue
 		}
-		update(res, neighbors, start, seeds, processed)
+		update(res, nbrs[start], start, seeds, processed)
 		for seeds.Len() > 0 {
 			cur := seeds.pop().id
 			if processed[cur] {
@@ -104,10 +120,8 @@ func OpticsWith(pts []geo.Point, maxEps float64, minPts int, opt exec.Options) *
 			}
 			processed[cur] = true
 			res.Order = append(res.Order, cur)
-			curNeighbors := nbrs[cur]
-			res.CoreDist[cur] = coreDist(cur, curNeighbors)
 			if !math.IsInf(res.CoreDist[cur], 1) {
-				update(res, curNeighbors, cur, seeds, processed)
+				update(res, nbrs[cur], cur, seeds, processed)
 			}
 		}
 	}
@@ -121,7 +135,9 @@ func update(res *OpticsResult, neighbors []int, center int, seeds *seedQueue, pr
 		if processed[j] {
 			continue
 		}
-		newReach := math.Max(cd, res.planar[center].Dist(res.planar[j]))
+		dx := res.px[center] - res.px[j]
+		dy := res.py[center] - res.py[j]
+		newReach := math.Max(cd, math.Sqrt(dx*dx+dy*dy))
 		if newReach < res.Reach[j] {
 			res.Reach[j] = newReach
 			seeds.upsert(j, newReach)

@@ -171,6 +171,12 @@ type Pipeline struct {
 	pois     []poi.POI
 	journeys []trajectory.Journey
 
+	// arenas is the pipeline-lifetime scratch pool every stage shares
+	// (via exec.Options.Arenas on stage.Env): parallel regions check
+	// per-slot arenas out of it, so scratch buffers grown by one stage
+	// invocation are reused by the next instead of reallocated.
+	arenas *exec.ArenaPool
+
 	// trace is the optional telemetry sink (nil-safe no-op when absent).
 	trace *obs.Trace
 	// store is the optional checkpoint store (nil disables resume/save).
@@ -212,13 +218,15 @@ func (p *Pipeline) SetCheckpoints(s stage.Store) { p.store = s }
 // with the six per-approach extractions running as one-shot stages on
 // top (MineCtx / MineAllCtx).
 func NewPipeline(pois []poi.POI, journeys []trajectory.Journey, cfg Config) *Pipeline {
-	p := &Pipeline{cfg: cfg, pois: pois, journeys: journeys}
+	p := &Pipeline{cfg: cfg, pois: pois, journeys: journeys, arenas: exec.NewArenaPool()}
 	// The config closure is re-read on every stage run, so SetTrace and
 	// SetCheckpoints may be wired after construction.
 	p.graph = stage.NewGraph(func() stage.Config {
+		opt := p.cfg.ExecOptions()
+		opt.Arenas = p.arenas
 		return stage.Config{
 			Trace:         p.trace,
-			Opt:           p.cfg.ExecOptions(),
+			Opt:           opt,
 			StageTimeout:  p.cfg.StageTimeout,
 			Store:         p.store,
 			CounterPrefix: "core.stage",

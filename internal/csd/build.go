@@ -29,15 +29,6 @@ func BuildTraced(pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace
 	return d
 }
 
-// BuildContext is the pre-engine full-control constructor.
-//
-// Deprecated: use BuildEnv with a stage.Env; this wrapper only repacks
-// its parameters and will be removed once no caller threads them by
-// hand (see DESIGN.md §5d).
-func BuildContext(ctx context.Context, pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace, opt exec.Options) (*Diagram, error) {
-	return BuildEnv(stage.Env{Ctx: ctx, Run: ctx, Trace: tr, Opt: opt}, pois, stays, params)
-}
-
 // BuildEnv is the full-control constructor: each construction stage —
 // popularity model, popularity clustering (Algorithm 1), semantic
 // purification (Algorithm 2), unit merging — records a span under

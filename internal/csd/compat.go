@@ -1,0 +1,24 @@
+// compat.go quarantines the package's deprecated pre-engine wrappers:
+// everything here only repacks parameters into a stage.Env and will be
+// deleted once no caller threads them by hand (see DESIGN.md §5d). New
+// code must use the Env-based constructors directly.
+package csd
+
+import (
+	"context"
+
+	"csdm/internal/exec"
+	"csdm/internal/geo"
+	"csdm/internal/obs"
+	"csdm/internal/poi"
+	"csdm/internal/stage"
+)
+
+// BuildContext is the pre-engine full-control constructor.
+//
+// Deprecated: use BuildEnv with a stage.Env; this wrapper only repacks
+// its parameters and will be removed once no caller threads them by
+// hand (see DESIGN.md §5d).
+func BuildContext(ctx context.Context, pois []poi.POI, stays []geo.Point, params Params, tr *obs.Trace, opt exec.Options) (*Diagram, error) {
+	return BuildEnv(stage.Env{Ctx: ctx, Run: ctx, Trace: tr, Opt: opt}, pois, stays, params)
+}

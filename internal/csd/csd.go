@@ -186,20 +186,21 @@ func Popularity(pois []poi.POI, stays []geo.Point, kernel geo.GaussianKernel) []
 // kernel sum is independent, so the loop fans out over the worker pool.
 // pop[i] is accumulated in the index's result order regardless of the
 // worker count, so the sums are bit-identical across budgets. Each
-// worker slot reuses one range-query buffer — the sums depend only on
-// the query results, never on leftover buffer contents, so the reuse
-// cannot perturb determinism.
+// worker slot borrows one range-query buffer from the cross-stage arena
+// pool — the sums depend only on the query results, never on leftover
+// buffer contents, so reuse within and across stage invocations cannot
+// perturb determinism.
 func popularity(ctx context.Context, pois []poi.POI, stays []geo.Point, kernel geo.GaussianKernel, opt exec.Options) ([]float64, error) {
 	pop := make([]float64, len(pois))
 	if len(stays) == 0 {
 		return pop, nil
 	}
 	stayIdx := index.New(opt.Index, stays, kernel.Radius())
-	bufs := make([][]int, exec.Slots(opt.Workers, len(pois)))
+	arenas := opt.AcquireArenas(exec.Slots(opt.Workers, len(pois)))
 	err := exec.ParallelForSlots(ctx, opt.Workers, len(pois), func(slot, i int) error {
 		loc := pois[i].Location
-		buf := stayIdx.WithinAppend(loc, kernel.Radius(), bufs[slot][:0])
-		bufs[slot] = buf
+		buf := stayIdx.WithinAppend(loc, kernel.Radius(), arenas[slot].Ints[:0])
+		arenas[slot].Ints = buf
 		var sum float64
 		for _, s := range buf {
 			sum += kernel.Weight(loc, stays[s])
@@ -207,6 +208,7 @@ func popularity(ctx context.Context, pois []poi.POI, stays []geo.Point, kernel g
 		pop[i] = sum
 		return nil
 	})
+	opt.ReleaseArenas(arenas)
 	if err != nil {
 		return nil, err
 	}

@@ -139,7 +139,7 @@ func timedCall(m *execMetrics, fn func(slot, i int) error, slot, i int) error {
 }
 
 // Options carries the execution-layer knobs every pipeline stage
-// shares. The zero value means "all cores, grid index".
+// shares. The zero value means "all cores, grid index, no arena reuse".
 type Options struct {
 	// Workers bounds a stage's parallelism. Zero or negative means
 	// runtime.NumCPU(); one runs the stage sequentially inline.
@@ -147,7 +147,22 @@ type Options struct {
 	// Index selects the spatial-index backend stages build their
 	// range/kNN structures with.
 	Index index.Kind
+	// Arenas is the cross-stage scratch pool. Stages that run parallel
+	// regions check per-slot arenas out of it (AcquireArenas /
+	// ReleaseArenas) so scratch buffers are reused across stage
+	// invocations instead of reallocated. Nil disables reuse — every
+	// region then gets fresh arenas — which keeps Options' zero value
+	// fully functional.
+	Arenas *ArenaPool
 }
+
+// AcquireArenas checks n per-slot arenas out of the options' pool (or
+// allocates fresh ones when no pool is attached). Pair with
+// ReleaseArenas at region end.
+func (o Options) AcquireArenas(n int) []*Arena { return o.Arenas.Acquire(n) }
+
+// ReleaseArenas returns arenas checked out with AcquireArenas.
+func (o Options) ReleaseArenas(as []*Arena) { o.Arenas.Release(as) }
 
 // Workers resolves a configured worker count: non-positive means
 // runtime.NumCPU().

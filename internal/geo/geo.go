@@ -146,6 +146,20 @@ func (pr Projection) ToMeters(p Point) Meters {
 	}
 }
 
+// ProjectAll batch-projects lon[i]/lat[i] into dstX[i]/dstY[i] for every
+// i. The per-element arithmetic is the exact expression ToMeters
+// evaluates — same operands, same order — so dstX[i]/dstY[i] are
+// bit-identical to ToMeters(Point{Lon: lon[i], Lat: lat[i]}); packed
+// stores filled through this API preserve every planar-distance result
+// of the per-point path. All four slices must have equal length.
+func (pr Projection) ProjectAll(dstX, dstY, lon, lat []float64) {
+	const degToRad = math.Pi / 180
+	for i := range lon {
+		dstX[i] = (lon[i] - pr.origin.Lon) * degToRad * EarthRadiusMeters * pr.cosLat
+		dstY[i] = (lat[i] - pr.origin.Lat) * degToRad * EarthRadiusMeters
+	}
+}
+
 // ToPoint converts local planar meters back to a WGS84 point.
 func (pr Projection) ToPoint(m Meters) Point {
 	const radToDeg = 180 / math.Pi

@@ -11,9 +11,12 @@ import (
 // cells overlapping the query circle's bounding box. For the paper's
 // city-scale workloads with short radii (ε_p = 30 m, R3σ = 100 m) this is
 // the fastest of the three indexes.
+//
+// The grid scans coordinates through a packed SoA store: candidate
+// tests read the contiguous planar X/Y slices sequentially instead of
+// chasing []Point/[]Meters elements, so cell sweeps run cache-dense.
 type Grid struct {
-	pts      []geo.Point
-	planar   []geo.Meters
+	pp       *geo.PackedPoints
 	proj     geo.Projection
 	lats     latExtent
 	cellSize float64
@@ -42,32 +45,37 @@ const maxDenseCells = 1 << 22
 const maxGridDim = 1 << 31
 
 // NewGrid builds a grid over pts with the given cell size in meters.
-// A non-positive cellSize defaults to 100 m.
+// A non-positive cellSize defaults to 100 m. It is a thin adapter over
+// NewGridPacked.
 func NewGrid(pts []geo.Point, cellSize float64) *Grid {
+	return NewGridPacked(geo.Pack(pts), cellSize)
+}
+
+// NewGridPacked builds a grid over a packed coordinate store, batch-
+// projecting it at the centroid unless already projected. The grid
+// aliases the store's slices; the caller must not mutate pp afterwards.
+func NewGridPacked(pp *geo.PackedPoints, cellSize float64) *Grid {
 	if cellSize <= 0 {
 		cellSize = 100
 	}
 	g := &Grid{
-		pts:      pts,
+		pp:       pp,
 		cellSize: cellSize,
 		lats:     newLatExtent(),
 	}
-	if len(pts) == 0 {
+	if pp.Len() == 0 {
 		g.proj = geo.NewProjection(geo.Point{})
 		return g
 	}
-	g.proj = geo.NewProjection(geo.Centroid(pts))
-	g.planar = make([]geo.Meters, len(pts))
+	g.proj = pp.EnsureProjected()
+	g.lats.min, g.lats.max = pp.LatBounds()
 	minX, minY := math.Inf(1), math.Inf(1)
 	maxX, maxY := math.Inf(-1), math.Inf(-1)
-	for i, p := range pts {
-		m := g.proj.ToMeters(p)
-		g.planar[i] = m
-		minX = math.Min(minX, m.X)
-		minY = math.Min(minY, m.Y)
-		maxX = math.Max(maxX, m.X)
-		maxY = math.Max(maxY, m.Y)
-		g.lats.add(p.Lat)
+	for i := range pp.X {
+		minX = math.Min(minX, pp.X[i])
+		minY = math.Min(minY, pp.Y[i])
+		maxX = math.Max(maxX, pp.X[i])
+		maxY = math.Max(maxY, pp.Y[i])
 	}
 	g.minX, g.minY = minX, minY
 	// A tiny cell size over a wide extent must not overflow the cell
@@ -81,19 +89,20 @@ func NewGrid(pts []geo.Point, cellSize float64) *Grid {
 	g.cols = int((maxX-minX)/g.cellSize) + 1
 	g.rows = int((maxY-minY)/g.cellSize) + 1
 
+	n := pp.Len()
 	if g.cols <= maxDenseCells && g.rows <= maxDenseCells/g.cols {
 		// Counting-sort the points into a contiguous cell table.
 		nCells := g.cols * g.rows
 		g.cellStart = make([]int, nCells+1)
-		keys := make([]int, len(pts))
-		for i, m := range g.planar {
-			keys[i] = g.cellKey(m)
+		keys := make([]int, n)
+		for i := 0; i < n; i++ {
+			keys[i] = g.cellKey(pp.X[i], pp.Y[i])
 			g.cellStart[keys[i]+1]++
 		}
 		for c := 0; c < nCells; c++ {
 			g.cellStart[c+1] += g.cellStart[c]
 		}
-		g.ids = make([]int, len(pts))
+		g.ids = make([]int, n)
 		fill := make([]int, nCells)
 		for i, k := range keys {
 			g.ids[g.cellStart[k]+fill[k]] = i
@@ -101,8 +110,8 @@ func NewGrid(pts []geo.Point, cellSize float64) *Grid {
 		}
 	} else {
 		g.sparse = make(map[int][]int)
-		for i, m := range g.planar {
-			k := g.cellKey(m)
+		for i := 0; i < n; i++ {
+			k := g.cellKey(pp.X[i], pp.Y[i])
 			g.sparse[k] = append(g.sparse[k], i)
 		}
 	}
@@ -117,19 +126,19 @@ func (g *Grid) cell(k int) []int {
 	return g.sparse[k]
 }
 
-func (g *Grid) cellCoords(m geo.Meters) (cx, cy int) {
-	cx = int((m.X - g.minX) / g.cellSize)
-	cy = int((m.Y - g.minY) / g.cellSize)
+func (g *Grid) cellCoords(x, y float64) (cx, cy int) {
+	cx = int((x - g.minX) / g.cellSize)
+	cy = int((y - g.minY) / g.cellSize)
 	return cx, cy
 }
 
-func (g *Grid) cellKey(m geo.Meters) int {
-	cx, cy := g.cellCoords(m)
+func (g *Grid) cellKey(x, y float64) int {
+	cx, cy := g.cellCoords(x, y)
 	return cy*g.cols + cx
 }
 
 // Len implements Index.
-func (g *Grid) Len() int { return len(g.pts) }
+func (g *Grid) Len() int { return g.pp.Len() }
 
 // Within implements Index.
 func (g *Grid) Within(center geo.Point, radius float64) []int {
@@ -140,7 +149,7 @@ func (g *Grid) Within(center geo.Point, radius float64) []int {
 // appended to buf and the extended slice is returned. See the Index
 // documentation for the aliasing contract.
 func (g *Grid) WithinAppend(center geo.Point, radius float64, buf []int) []int {
-	if len(g.pts) == 0 || radius < 0 {
+	if g.pp.Len() == 0 || radius < 0 {
 		return buf
 	}
 	// The planar fast path needs a sound distortion band for the built
@@ -149,8 +158,8 @@ func (g *Grid) WithinAppend(center geo.Point, radius float64, buf []int) []int {
 	// query degrades to exact spherical testing of every point.
 	lo, hi, ok := g.lats.bounds(g.proj.CosLat(), center.Lat, radius)
 	if !ok {
-		for id, p := range g.pts {
-			if geo.Haversine(center, p) <= radius {
+		for id := 0; id < g.pp.Len(); id++ {
+			if geo.Haversine(center, g.pp.At(id)) <= radius {
 				buf = append(buf, id)
 			}
 		}
@@ -169,17 +178,21 @@ func (g *Grid) WithinAppend(center geo.Point, radius float64, buf []int) []int {
 
 	// Candidates clearly inside or outside by the planar metric skip the
 	// exact spherical check; only the boundary shell — whose width the
-	// extent's distortion bound just derived — pays for Haversine.
+	// extent's distortion bound just derived — pays for Haversine. The
+	// planar distances stream out of the packed X/Y slices.
 	rLo := radius * lo
 	rHi := radius * hi
+	px, py := g.pp.X, g.pp.Y
 	test := func(id int, out []int) []int {
-		d := g.planar[id].Dist(c)
+		dx := px[id] - c.X
+		dy := py[id] - c.Y
+		d := math.Sqrt(dx*dx + dy*dy)
 		switch {
 		case d <= rLo:
 			return append(out, id)
 		case d > rHi:
 			return out
-		case geo.Haversine(center, g.pts[id]) <= radius:
+		case geo.Haversine(center, g.pp.At(id)) <= radius:
 			return append(out, id)
 		}
 		return out
@@ -213,14 +226,14 @@ func (g *Grid) WithinAppend(center geo.Point, radius float64, buf []int) []int {
 // Nearest implements Index. It expands a ring of cells around the query
 // until k candidates are confirmed closer than the next unexplored ring.
 func (g *Grid) Nearest(q geo.Point, k int) []int {
-	if k <= 0 || len(g.pts) == 0 {
+	if k <= 0 || g.pp.Len() == 0 {
 		return nil
 	}
-	if k > len(g.pts) {
-		k = len(g.pts)
+	if k > g.pp.Len() {
+		k = g.pp.Len()
 	}
 	c := g.proj.ToMeters(q)
-	qx, qy := g.cellCoords(c)
+	qx, qy := g.cellCoords(c.X, c.Y)
 	qx = clamp(qx, 0, g.cols-1)
 	qy = clamp(qy, 0, g.rows-1)
 
@@ -228,8 +241,8 @@ func (g *Grid) Nearest(q geo.Point, k int) []int {
 	// A sparse grid's occupied cells can be a vanishing fraction of the
 	// ring area; a linear scan is then both simpler and faster.
 	if g.sparse != nil {
-		for id := range g.pts {
-			h.offer(heapItem{id: id, dist: geo.Haversine(q, g.pts[id])}, k)
+		for id := 0; id < g.pp.Len(); id++ {
+			h.offer(heapItem{id: id, dist: geo.Haversine(q, g.pp.At(id))}, k)
 		}
 		return h.sortedIDs()
 	}
@@ -249,7 +262,7 @@ func (g *Grid) Nearest(q geo.Point, k int) []int {
 			}
 		}
 		g.visitRing(qx, qy, ring, func(id int) {
-			h.offer(heapItem{id: id, dist: geo.Haversine(q, g.pts[id])}, k)
+			h.offer(heapItem{id: id, dist: geo.Haversine(q, g.pp.At(id))}, k)
 		})
 	}
 	return h.sortedIDs()

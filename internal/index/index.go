@@ -101,13 +101,23 @@ func CellHint(radius float64) float64 {
 // has attached a registry, the returned index samples query latencies
 // and result sizes (1-in-N, so the hot paths stay allocation-free).
 func New(kind Kind, pts []geo.Point, hint float64) Index {
+	return NewPacked(kind, geo.Pack(pts), hint)
+}
+
+// NewPacked builds an index of the requested kind directly over a
+// packed coordinate store, skipping the []Point copy. The store is
+// batch-projected at its centroid on first use and its slices are
+// aliased by the index, so the caller must treat pp as frozen
+// afterwards; several indexes may share one store (they agree on the
+// centroid origin and only the first build pays the projection).
+func NewPacked(kind Kind, pp *geo.PackedPoints, hint float64) Index {
 	switch kind {
 	case KindKDTree:
-		return instrument(kind, NewKDTree(pts))
+		return instrument(kind, NewKDTreePacked(pp))
 	case KindRTree:
-		return instrument(kind, NewRTree(pts))
+		return instrument(kind, NewRTreePacked(pp))
 	default:
-		return instrument(KindGrid, NewGrid(pts, CellHint(hint)))
+		return instrument(KindGrid, NewGridPacked(pp, CellHint(hint)))
 	}
 }
 

@@ -9,32 +9,37 @@ import (
 // KDTree is a static 2-d tree over planar-projected points. It offers
 // logarithmic point queries regardless of how skewed the data is, which
 // makes it the robust default when point density varies wildly (e.g.
-// dense downtown vs. empty suburbs).
+// dense downtown vs. empty suburbs). Coordinates live in a packed SoA
+// store, so node visits read the contiguous planar X/Y slices.
 type KDTree struct {
-	pts    []geo.Point
-	planar []geo.Meters
-	proj   geo.Projection
-	lats   latExtent
+	pp   *geo.PackedPoints
+	proj geo.Projection
+	lats latExtent
 	// nodes are stored as a flattened median-split tree: ids holds point
 	// IDs in tree order, and each recursion level alternates the split
 	// axis. left/right boundaries are implicit in the recursion.
 	ids []int
 }
 
-// NewKDTree builds a k-d tree over pts.
+// NewKDTree builds a k-d tree over pts. It is a thin adapter over
+// NewKDTreePacked.
 func NewKDTree(pts []geo.Point) *KDTree {
-	t := &KDTree{pts: pts, lats: newLatExtent()}
-	if len(pts) == 0 {
+	return NewKDTreePacked(geo.Pack(pts))
+}
+
+// NewKDTreePacked builds a k-d tree over a packed coordinate store,
+// batch-projecting it at the centroid unless already projected. The
+// tree aliases the store's slices; the caller must not mutate pp
+// afterwards.
+func NewKDTreePacked(pp *geo.PackedPoints) *KDTree {
+	t := &KDTree{pp: pp, lats: newLatExtent()}
+	if pp.Len() == 0 {
 		t.proj = geo.NewProjection(geo.Point{})
 		return t
 	}
-	t.proj = geo.NewProjection(geo.Centroid(pts))
-	t.planar = make([]geo.Meters, len(pts))
-	for i, p := range pts {
-		t.planar[i] = t.proj.ToMeters(p)
-		t.lats.add(p.Lat)
-	}
-	t.ids = make([]int, len(pts))
+	t.proj = pp.EnsureProjected()
+	t.lats.min, t.lats.max = pp.LatBounds()
+	t.ids = make([]int, pp.Len())
 	for i := range t.ids {
 		t.ids[i] = i
 	}
@@ -67,13 +72,13 @@ func (t *KDTree) selectNth(lo, hi, n, axis int) {
 
 func (t *KDTree) coord(id, axis int) float64 {
 	if axis == 0 {
-		return t.planar[id].X
+		return t.pp.X[id]
 	}
-	return t.planar[id].Y
+	return t.pp.Y[id]
 }
 
 // Len implements Index.
-func (t *KDTree) Len() int { return len(t.pts) }
+func (t *KDTree) Len() int { return t.pp.Len() }
 
 // Within implements Index.
 func (t *KDTree) Within(center geo.Point, radius float64) []int {
@@ -84,7 +89,7 @@ func (t *KDTree) Within(center geo.Point, radius float64) []int {
 // appended to buf and the extended slice is returned. See the Index
 // documentation for the aliasing contract.
 func (t *KDTree) WithinAppend(center geo.Point, radius float64, buf []int) []int {
-	if len(t.pts) == 0 || radius < 0 {
+	if t.pp.Len() == 0 || radius < 0 {
 		return buf
 	}
 	// The plane tests prune in planar space while membership is decided
@@ -93,8 +98,8 @@ func (t *KDTree) WithinAppend(center geo.Point, radius float64, buf []int) []int
 	// query degrades to exact spherical testing of every point.
 	f, ok := t.lats.inflation(t.proj.CosLat(), center.Lat, radius)
 	if !ok {
-		for id, p := range t.pts {
-			if geo.Haversine(center, p) <= radius {
+		for id := 0; id < t.pp.Len(); id++ {
+			if geo.Haversine(center, t.pp.At(id)) <= radius {
 				buf = append(buf, id)
 			}
 		}
@@ -113,7 +118,7 @@ func (t *KDTree) rangeSearch(lo, hi, axis int, c geo.Meters, prune, radius float
 	mid := (lo + hi) / 2
 	id := t.ids[mid]
 	// Exact test on the sphere; the planar tree only prunes.
-	if geo.Haversine(center, t.pts[id]) <= radius {
+	if geo.Haversine(center, t.pp.At(id)) <= radius {
 		*out = append(*out, id)
 	}
 	split := t.coord(id, axis)
@@ -133,11 +138,11 @@ func (t *KDTree) rangeSearch(lo, hi, axis int, c geo.Meters, prune, radius float
 
 // Nearest implements Index.
 func (t *KDTree) Nearest(q geo.Point, k int) []int {
-	if k <= 0 || len(t.pts) == 0 {
+	if k <= 0 || t.pp.Len() == 0 {
 		return nil
 	}
-	if k > len(t.pts) {
-		k = len(t.pts)
+	if k > t.pp.Len() {
+		k = t.pp.Len()
 	}
 	c := t.proj.ToMeters(q)
 	h := make(maxHeap, 0, k+1)
@@ -151,7 +156,7 @@ func (t *KDTree) knnSearch(lo, hi, axis int, c geo.Meters, q geo.Point, k int, h
 	}
 	mid := (lo + hi) / 2
 	id := t.ids[mid]
-	h.offer(heapItem{id: id, dist: geo.Haversine(q, t.pts[id])}, k)
+	h.offer(heapItem{id: id, dist: geo.Haversine(q, t.pp.At(id))}, k)
 
 	split := t.coord(id, axis)
 	var qc float64

@@ -13,9 +13,13 @@ const rtreeMaxEntries = 16
 // RTree is a static R-tree bulk-loaded with the Sort-Tile-Recursive (STR)
 // algorithm. STR packing yields near-minimal overlap between sibling
 // bounding boxes, so range queries touch few subtrees even on clustered
-// city data.
+// city data. Leaf scans read coordinates out of a packed SoA store and
+// use the projection's distortion band to accept or reject most
+// candidates with planar math before falling back to Haversine.
 type RTree struct {
-	pts  []geo.Point
+	pp   *geo.PackedPoints
+	proj geo.Projection
+	lats latExtent
 	root *rtreeNode
 }
 
@@ -25,13 +29,25 @@ type rtreeNode struct {
 	ids      []int        // point IDs, leaves only
 }
 
-// NewRTree bulk-loads an R-tree over pts.
+// NewRTree bulk-loads an R-tree over pts. It is a thin adapter over
+// NewRTreePacked.
 func NewRTree(pts []geo.Point) *RTree {
-	t := &RTree{pts: pts}
-	if len(pts) == 0 {
+	return NewRTreePacked(geo.Pack(pts))
+}
+
+// NewRTreePacked bulk-loads an R-tree over a packed coordinate store,
+// batch-projecting it at the centroid unless already projected. The
+// tree aliases the store's slices; the caller must not mutate pp
+// afterwards.
+func NewRTreePacked(pp *geo.PackedPoints) *RTree {
+	t := &RTree{pp: pp, lats: newLatExtent()}
+	if pp.Len() == 0 {
+		t.proj = geo.NewProjection(geo.Point{})
 		return t
 	}
-	ids := make([]int, len(pts))
+	t.proj = pp.EnsureProjected()
+	t.lats.min, t.lats.max = pp.LatBounds()
+	ids := make([]int, pp.Len())
 	for i := range ids {
 		ids[i] = i
 	}
@@ -44,7 +60,7 @@ func NewRTree(pts []geo.Point) *RTree {
 // each: sort by longitude, slice into vertical strips, sort each strip by
 // latitude, and cut into runs.
 func (t *RTree) packLeaves(ids []int) []*rtreeNode {
-	sort.Slice(ids, func(i, j int) bool { return t.pts[ids[i]].Lon < t.pts[ids[j]].Lon })
+	sort.Slice(ids, func(i, j int) bool { return t.pp.Lon[ids[i]] < t.pp.Lon[ids[j]] })
 	nLeaves := (len(ids) + rtreeMaxEntries - 1) / rtreeMaxEntries
 	stripCount := int(math.Ceil(math.Sqrt(float64(nLeaves))))
 	stripSize := stripCount * rtreeMaxEntries
@@ -52,13 +68,13 @@ func (t *RTree) packLeaves(ids []int) []*rtreeNode {
 	var leaves []*rtreeNode
 	for s := 0; s < len(ids); s += stripSize {
 		strip := ids[s:min(s+stripSize, len(ids))]
-		sort.Slice(strip, func(i, j int) bool { return t.pts[strip[i]].Lat < t.pts[strip[j]].Lat })
+		sort.Slice(strip, func(i, j int) bool { return t.pp.Lat[strip[i]] < t.pp.Lat[strip[j]] })
 		for o := 0; o < len(strip); o += rtreeMaxEntries {
 			run := strip[o:min(o+rtreeMaxEntries, len(strip))]
 			leaf := &rtreeNode{ids: append([]int(nil), run...)}
-			leaf.rect = geo.Rect{Min: t.pts[run[0]], Max: t.pts[run[0]]}
+			leaf.rect = geo.Rect{Min: t.pp.At(run[0]), Max: t.pp.At(run[0])}
 			for _, id := range run[1:] {
-				leaf.rect = leaf.rect.Extend(t.pts[id])
+				leaf.rect = leaf.rect.Extend(t.pp.At(id))
 			}
 			leaves = append(leaves, leaf)
 		}
@@ -98,7 +114,7 @@ func (t *RTree) packUpward(nodes []*rtreeNode) *rtreeNode {
 }
 
 // Len implements Index.
-func (t *RTree) Len() int { return len(t.pts) }
+func (t *RTree) Len() int { return t.pp.Len() }
 
 // Within implements Index.
 func (t *RTree) Within(center geo.Point, radius float64) []int {
@@ -113,7 +129,20 @@ func (t *RTree) WithinAppend(center geo.Point, radius float64, buf []int) []int 
 		return buf
 	}
 	box := geo.CircleRect(center, radius)
-	t.search(t.root, box, center, radius, &buf)
+	// When the built extent admits a sound distortion band for this
+	// query, leaf candidates clearly inside or outside by the planar
+	// metric skip the exact spherical check; only the boundary shell
+	// pays for Haversine. Band membership agrees with Haversine, so the
+	// appended IDs — and their order — are unchanged. Without a band
+	// (hull touches a pole, continent-scale radius) every leaf candidate
+	// is tested on the sphere, exactly as before.
+	lo, hi, ok := t.lats.bounds(t.proj.CosLat(), center.Lat, radius)
+	if !ok {
+		t.search(t.root, box, center, radius, &buf)
+		return buf
+	}
+	c := t.proj.ToMeters(center)
+	t.searchBand(t.root, box, center, c, radius, radius*lo, radius*hi, &buf)
 	return buf
 }
 
@@ -123,7 +152,7 @@ func (t *RTree) search(n *rtreeNode, box geo.Rect, center geo.Point, radius floa
 	}
 	if n.children == nil {
 		for _, id := range n.ids {
-			if geo.Haversine(center, t.pts[id]) <= radius {
+			if geo.Haversine(center, t.pp.At(id)) <= radius {
 				*out = append(*out, id)
 			}
 		}
@@ -134,14 +163,42 @@ func (t *RTree) search(n *rtreeNode, box geo.Rect, center geo.Point, radius floa
 	}
 }
 
+// searchBand is search with the planar fast path: candidates at planar
+// distance ≤ rLo are accepted and > rHi rejected without touching
+// Haversine; the planar distances stream out of the packed X/Y slices.
+func (t *RTree) searchBand(n *rtreeNode, box geo.Rect, center geo.Point, c geo.Meters, radius, rLo, rHi float64, out *[]int) {
+	if !n.rect.Intersects(box) {
+		return
+	}
+	if n.children == nil {
+		px, py := t.pp.X, t.pp.Y
+		for _, id := range n.ids {
+			dx := px[id] - c.X
+			dy := py[id] - c.Y
+			d := math.Sqrt(dx*dx + dy*dy)
+			switch {
+			case d <= rLo:
+				*out = append(*out, id)
+			case d > rHi:
+			case geo.Haversine(center, t.pp.At(id)) <= radius:
+				*out = append(*out, id)
+			}
+		}
+		return
+	}
+	for _, ch := range n.children {
+		t.searchBand(ch, box, center, c, radius, rLo, rHi, out)
+	}
+}
+
 // Nearest implements Index using best-first branch-and-bound over node
 // rectangles.
 func (t *RTree) Nearest(q geo.Point, k int) []int {
 	if t.root == nil || k <= 0 {
 		return nil
 	}
-	if k > len(t.pts) {
-		k = len(t.pts)
+	if k > t.pp.Len() {
+		k = t.pp.Len()
 	}
 	h := make(maxHeap, 0, k+1)
 	t.knn(t.root, q, k, &h)
@@ -154,7 +211,7 @@ func (t *RTree) knn(n *rtreeNode, q geo.Point, k int, h *maxHeap) {
 	}
 	if n.children == nil {
 		for _, id := range n.ids {
-			h.offer(heapItem{id: id, dist: geo.Haversine(q, t.pts[id])}, k)
+			h.offer(heapItem{id: id, dist: geo.Haversine(q, t.pp.At(id))}, k)
 		}
 		return
 	}

@@ -120,7 +120,7 @@ func extractStages(env stage.Env, name string, db []trajectory.SemanticTrajector
 	defer root.End()
 
 	sp := root.Start("prefixspan")
-	coarse := minePrefixSpan(db, params)
+	coarse := minePrefixSpan(db, params, env.Opt)
 	sp.End()
 	tr.Add("extract."+name+".coarse", int64(len(coarse)))
 
@@ -162,7 +162,7 @@ type coarsePattern struct {
 // support and groups are computed over the containment closure.
 // Unannotated stays carry the empty property, which forms no frequent
 // item worth keeping: patterns containing it are dropped.
-func minePrefixSpan(db []trajectory.SemanticTrajectory, params Params) []coarsePattern {
+func minePrefixSpan(db []trajectory.SemanticTrajectory, params Params, opt exec.Options) []coarsePattern {
 	seqs := make([]seqpattern.Sequence, len(db))
 	for i, st := range db {
 		seq := make(seqpattern.Sequence, st.Len())
@@ -171,11 +171,11 @@ func minePrefixSpan(db []trajectory.SemanticTrajectory, params Params) []coarseP
 		}
 		seqs[i] = seq
 	}
-	mined := seqpattern.Mine(seqs, seqpattern.Config{
+	mined := seqpattern.MineWith(seqs, seqpattern.Config{
 		MinSupport: params.Sigma,
 		MinLen:     params.MinLen,
 		MaxLen:     params.MaxLen,
-	})
+	}, opt)
 	var out []coarsePattern
 	for _, m := range mined {
 		if hasEmptyItem(m.Items) {

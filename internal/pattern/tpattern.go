@@ -142,11 +142,11 @@ func (t *TPattern) Extract(env stage.Env, db []trajectory.SemanticTrajectory, pa
 		}
 		seqs[i] = seq
 	}
-	mined := seqpattern.Mine(seqs, seqpattern.Config{
+	mined := seqpattern.MineWith(seqs, seqpattern.Config{
 		MinSupport: params.Sigma,
 		MinLen:     params.MinLen,
 		MaxLen:     params.MaxLen,
-	})
+	}, opt)
 
 	pfx := "extract." + t.Name()
 	tr.Add(pfx+".coarse", int64(len(mined)))

@@ -1,0 +1,36 @@
+// compat.go quarantines the package's deprecated pre-engine wrappers:
+// everything here only repacks parameters into a stage.Env and will be
+// deleted once no caller threads them by hand (see DESIGN.md §5d). New
+// code must use the Env-based entry points directly.
+package recognize
+
+import (
+	"context"
+
+	"csdm/internal/exec"
+	"csdm/internal/geo"
+	"csdm/internal/obs"
+	"csdm/internal/poi"
+	"csdm/internal/stage"
+	"csdm/internal/trajectory"
+)
+
+// AnnotateJourneysCtx is the pre-engine full-control form.
+//
+// Deprecated: use AnnotateJourneysEnv with a stage.Env; this wrapper
+// only repacks its parameters and will be removed once no caller
+// threads them by hand (see DESIGN.md §5d).
+func AnnotateJourneysCtx(ctx context.Context, js []trajectory.Journey, chain trajectory.ChainParams, r Recognizer, tr *obs.Trace, opt exec.Options) ([]trajectory.SemanticTrajectory, error) {
+	return AnnotateJourneysEnv(stage.Env{Ctx: ctx, Run: ctx, Trace: tr, Opt: opt}, js, chain, r)
+}
+
+// NewROIRecognizerWith is the pre-engine full-control constructor.
+//
+// Deprecated: use NewROIRecognizerEnv with a stage.Env; this wrapper
+// only repacks its parameters and will be removed once no caller
+// threads them by hand (see DESIGN.md §5d).
+func NewROIRecognizerWith(stays []geo.Point, pois []poi.POI, params ROIParams, opt exec.Options) *ROIRecognizer {
+	env := stage.Background()
+	env.Opt = opt
+	return NewROIRecognizerEnv(env, stays, pois, params)
+}

@@ -94,15 +94,6 @@ func AnnotateJourneysTraced(js []trajectory.Journey, chain trajectory.ChainParam
 	return db
 }
 
-// AnnotateJourneysCtx is the pre-engine full-control form.
-//
-// Deprecated: use AnnotateJourneysEnv with a stage.Env; this wrapper
-// only repacks its parameters and will be removed once no caller
-// threads them by hand (see DESIGN.md §5d).
-func AnnotateJourneysCtx(ctx context.Context, js []trajectory.Journey, chain trajectory.ChainParams, r Recognizer, tr *obs.Trace, opt exec.Options) ([]trajectory.SemanticTrajectory, error) {
-	return AnnotateJourneysEnv(stage.Env{Ctx: ctx, Run: ctx, Trace: tr, Opt: opt}, js, chain, r)
-}
-
 // AnnotateJourneysEnv is the full-control form: a "recognize.<name>"
 // span with chain and annotate children, plus counters for the stays
 // the recognizer annotated versus left unknown (the empty property).

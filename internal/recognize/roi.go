@@ -2,7 +2,6 @@ package recognize
 
 import (
 	"csdm/internal/cluster"
-	"csdm/internal/exec"
 	"csdm/internal/geo"
 	"csdm/internal/index"
 	"csdm/internal/poi"
@@ -60,17 +59,6 @@ type ROIRecognizer struct {
 // locations and the POI dataset.
 func NewROIRecognizer(stays []geo.Point, pois []poi.POI, params ROIParams) *ROIRecognizer {
 	return NewROIRecognizerEnv(stage.Background(), stays, pois, params)
-}
-
-// NewROIRecognizerWith is the pre-engine full-control constructor.
-//
-// Deprecated: use NewROIRecognizerEnv with a stage.Env; this wrapper
-// only repacks its parameters and will be removed once no caller
-// threads them by hand (see DESIGN.md §5d).
-func NewROIRecognizerWith(stays []geo.Point, pois []poi.POI, params ROIParams, opt exec.Options) *ROIRecognizer {
-	env := stage.Background()
-	env.Opt = opt
-	return NewROIRecognizerEnv(env, stays, pois, params)
 }
 
 // NewROIRecognizerEnv is NewROIRecognizer under a stage environment:

@@ -6,7 +6,12 @@
 // Items are opaque uint16 values; csdm feeds poi.Semantics bitsets.
 package seqpattern
 
-import "sort"
+import (
+	"context"
+	"sort"
+
+	"csdm/internal/exec"
+)
 
 // Item is one element of a sequence (csdm uses poi.Semantics values).
 type Item = uint16
@@ -54,8 +59,19 @@ type projection struct {
 // Mine runs PrefixSpan over db and returns every frequent pattern within
 // the configured length bounds, ordered by descending support then by
 // items. Support is counted per sequence (multiple occurrences in one
-// sequence count once).
+// sequence count once). It is MineWith on a single inline worker.
 func Mine(db []Sequence, cfg Config) []Pattern {
+	return MineWith(db, cfg, exec.Options{Workers: 1})
+}
+
+// MineWith is Mine with execution-layer options: the search tree is
+// partitioned by first item and the per-item subtrees are mined on
+// opt's worker pool. Each subtree is an independent DFS over its own
+// projected database, and the final ordering (support descending, then
+// items) is a total order over the unique pattern set, so the result is
+// identical — element for element — for any worker budget; a budget of
+// one reproduces the sequential DFS exactly.
+func MineWith(db []Sequence, cfg Config, opt exec.Options) []Pattern {
 	if cfg.MinSupport < 1 {
 		cfg.MinSupport = 1
 	}
@@ -68,8 +84,62 @@ func Mine(db []Sequence, cfg Config) []Pattern {
 			projs = append(projs, projection{seq: i, pos: 0})
 		}
 	}
+	// Level-1 frequency count, identical to the per-node count inside
+	// mine: the frequent first items become the parallel work units.
+	counts := make(map[Item]int)
+	for _, pr := range projs {
+		seen := make(map[Item]bool)
+		for _, it := range db[pr.seq][pr.pos:] {
+			if !seen[it] {
+				seen[it] = true
+				counts[it]++
+			}
+		}
+	}
+	items := make([]Item, 0, len(counts))
+	for it, c := range counts {
+		if c >= cfg.MinSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+
+	// Per-slot scratch holds the first-level projected database; it is
+	// only read during the subtree's DFS (emit copies IDs out, deeper
+	// levels project into their own slices), so reusing it across items
+	// on the same slot is safe and keeps the steady state at one
+	// projection buffer per worker.
+	results := make([][]Pattern, len(items))
+	scratch := make([][]projection, exec.Slots(opt.Workers, len(items)))
+	_ = exec.ParallelForSlots(context.Background(), opt.Workers, len(items), func(slot, i int) error {
+		it := items[i]
+		buf := scratch[slot][:0]
+		for _, pr := range projs {
+			s := db[pr.seq]
+			for k := pr.pos; k < len(s); k++ {
+				if s[k] == it {
+					buf = append(buf, projection{seq: pr.seq, pos: k + 1})
+					break
+				}
+			}
+		}
+		scratch[slot] = buf
+		prefix := []Item{it}
+		var sub []Pattern
+		if len(prefix) >= cfg.MinLen {
+			sub = append(sub, emit(db, prefix, buf))
+		}
+		if len(prefix) < cfg.MaxLen {
+			mine(db, cfg, prefix, buf, &sub)
+		}
+		results[i] = sub
+		return nil
+	})
+
 	var out []Pattern
-	mine(db, cfg, nil, projs, &out)
+	for _, sub := range results {
+		out = append(out, sub...)
+	}
 	sort.Slice(out, func(a, b int) bool {
 		if len(out[a].SeqIDs) != len(out[b].SeqIDs) {
 			return len(out[a].SeqIDs) > len(out[b].SeqIDs)

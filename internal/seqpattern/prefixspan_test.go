@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+
+	"csdm/internal/exec"
 )
 
 // findPattern locates a mined pattern by items.
@@ -239,5 +241,35 @@ func BenchmarkMine1000x8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Mine(db, cfg)
+	}
+}
+
+// TestMineWorkerDeterminism pins the parallel-mining invariant: MineWith
+// must return the identical pattern list — same order, same items, same
+// supporting IDs and embeddings — for any worker budget, because the
+// pipeline's mined-pattern count is gated on exact equality across
+// worker counts.
+func TestMineWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	db := make([]Sequence, 400)
+	for i := range db {
+		db[i] = make(Sequence, 3+rng.Intn(8))
+		for k := range db[i] {
+			db[i][k] = Item(rng.Intn(12))
+		}
+	}
+	cfg := Config{MinSupport: 20, MinLen: 1, MaxLen: 5}
+	ref := MineWith(db, cfg, exec.Options{Workers: 1})
+	if len(ref) == 0 {
+		t.Fatal("degenerate fixture: no patterns mined")
+	}
+	if !reflect.DeepEqual(ref, Mine(db, cfg)) {
+		t.Fatal("Mine != MineWith(workers=1)")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got := MineWith(db, cfg, exec.Options{Workers: workers})
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: pattern list diverged from sequential mining", workers)
+		}
 	}
 }
