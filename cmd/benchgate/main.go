@@ -76,13 +76,19 @@ func (r report) nsPerOp(workers int) int64 {
 func main() {
 	baseline := flag.String("baseline", "", "committed baseline JSON")
 	candidate := flag.String("candidate", "", "freshly measured JSON")
-	tolerance := flag.Float64("tolerance", 0.10, "allowed ns_per_op slowdown (0.10 = 10%)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed ns_per_op slowdown (0.10 = 10%); in -serve mode, allowed QPS loss")
 	allocTolerance := flag.Float64("alloc-tolerance", 0.10, "allowed allocs_per_op growth (0.10 = 10%)")
 	minEfficiency := flag.Float64("min-efficiency", 0, "minimum speedup of multi-worker lines over the candidate's workers-1 line (0 disables)")
+	serveMode := flag.Bool("serve", false, "compare BENCH_SERVE.json serving reports (QPS floor, p99 ceiling) instead of mining reports")
+	p99Tolerance := flag.Float64("p99-tolerance", 1.0, "with -serve, allowed p99 latency growth (1.0 = 2x the baseline)")
 	flag.Parse()
 	if *baseline == "" || *candidate == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline a.json -candidate b.json [-tolerance 0.10] [-alloc-tolerance 0.10] [-min-efficiency 2.0]")
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline a.json -candidate b.json [-tolerance 0.10] [-alloc-tolerance 0.10] [-min-efficiency 2.0] [-serve [-p99-tolerance 1.0]]")
 		os.Exit(2)
+	}
+	if *serveMode {
+		gateServe(*baseline, *candidate, *tolerance, *p99Tolerance)
+		return
 	}
 	base, err := readReport(*baseline)
 	if err != nil {
@@ -184,6 +190,91 @@ func main() {
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: no comparable worker counts between reports")
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// serveResult is one concurrency line of a BENCH_SERVE.json report
+// (written by cmd/loadgen -bench or TestEmitBenchServeJSON).
+type serveResult struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int64   `json:"requests"`
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed"`
+	Errors      int64   `json:"errors"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+type serveReport struct {
+	Benchmark string        `json:"benchmark"`
+	NumCPU    int           `json:"num_cpu"`
+	Results   []serveResult `json:"results"`
+}
+
+// gateServe compares two serving benchmarks line-by-line on
+// concurrency: the candidate fails on a QPS drop beyond qpsTol, a p99
+// growth beyond p99Tol, or any errored requests (a robustness
+// benchmark with errors measures the wrong thing). Like the mining
+// gate, a candidate line with no baseline line is a hard failure —
+// a silently skipped line is a gate that never gates.
+func gateServe(baselinePath, candidatePath string, qpsTol, p99Tol float64) {
+	readServe := func(path string) serveReport {
+		var r serveReport
+		b, err := os.ReadFile(path)
+		if err == nil {
+			err = json.Unmarshal(b, &r)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return r
+	}
+	base := readServe(baselinePath)
+	cand := readServe(candidatePath)
+	byConc := make(map[int]serveResult, len(base.Results))
+	for _, r := range base.Results {
+		byConc[r.Concurrency] = r
+	}
+	failed := false
+	compared := 0
+	fmt.Printf("%-16s  %-24s  %-24s  %s\n", "line", "qps (base -> cand)", "p99 ms (base -> cand)", "status")
+	for _, c := range cand.Results {
+		b, ok := byConc[c.Concurrency]
+		if !ok {
+			fmt.Printf("concurrency-%d: FAIL (no baseline line)\n", c.Concurrency)
+			failed = true
+			continue
+		}
+		compared++
+		status := "ok"
+		switch {
+		case c.Errors > 0:
+			status = fmt.Sprintf("FAIL (%d errored requests)", c.Errors)
+			failed = true
+		case c.OK == 0:
+			status = "FAIL (no served requests)"
+			failed = true
+		case b.QPS > 0 && c.QPS < b.QPS*(1-qpsTol):
+			status = fmt.Sprintf("FAIL (QPS dropped >%.0f%%)", qpsTol*100)
+			failed = true
+		case b.P99Ms > 0 && c.P99Ms > b.P99Ms*(1+p99Tol):
+			status = fmt.Sprintf("FAIL (p99 grew >%.0f%%)", p99Tol*100)
+			failed = true
+		}
+		fmt.Printf("%-16s  %-24s  %-24s  %s\n",
+			fmt.Sprintf("concurrency-%d", c.Concurrency),
+			fmt.Sprintf("%.1f -> %.1f", b.QPS, c.QPS),
+			fmt.Sprintf("%.2f -> %.2f", b.P99Ms, c.P99Ms),
+			status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no comparable concurrency lines between serve reports")
 		os.Exit(2)
 	}
 	if failed {

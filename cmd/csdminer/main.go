@@ -40,8 +40,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"csdm/internal/ckpt"
@@ -92,6 +94,7 @@ func main() {
 		top         = flag.Int("top", 20, "patterns to print (mine)")
 		out         = flag.String("out", "semantic_trajectories.json", "output file (recognize)")
 		saveDiagram = flag.String("save-diagram", "", "write the built City Semantic Diagram to this file")
+		savePattern = flag.String("save-patterns", "", "write the mined pattern set to this file (mine; the format csdserve -patterns serves)")
 		loadDiagram = flag.String("load-diagram", "", "reuse a diagram previously written with -save-diagram")
 		traceFlag   = flag.Bool("trace", false, "print the per-stage telemetry report to stderr")
 		debugAddr   = flag.String("debug-addr", "", "serve pprof, expvar and /debug/trace on this address (e.g. localhost:6060)")
@@ -188,7 +191,7 @@ func main() {
 	pipe.SetTrace(tr)
 	stagesPipe.Store(pipe)
 	if *loadDiagram != "" {
-		d, err := readDiagramFile(*loadDiagram)
+		d, err := csd.ReadFile(*loadDiagram)
 		if err != nil {
 			die(exitInput, err)
 		}
@@ -223,7 +226,7 @@ func main() {
 		if err := prepare(pipe, mgr, chosen.Recognizer == core.RecCSD, chosen.Recognizer); err != nil {
 			die(exitPipeline, err)
 		}
-		if err := runMine(pipe, chosen, params, *top); err != nil {
+		if err := runMine(pipe, chosen, params, *top, *savePattern); err != nil {
 			die(exitPipeline, err)
 		}
 	default:
@@ -241,8 +244,18 @@ func main() {
 		progress("metrics written to %s", *metricsOut)
 	}
 	if *debugAddr != "" && *linger > 0 {
-		progress("run complete; debug server lingering for %s", *linger)
-		time.Sleep(*linger)
+		progress("run complete; debug server lingering for %s (SIGINT/SIGTERM exits now)", *linger)
+		// Signal-aware wait: a plain time.Sleep would make the process
+		// uninterruptible for the whole linger window — Ctrl-C or a
+		// supervisor's SIGTERM must exit promptly once the run's work
+		// (including -metrics-out) is already on disk.
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		select {
+		case <-time.After(*linger):
+		case sig := <-sigs:
+			progress("%s received during linger; exiting", sig)
+		}
 	}
 }
 
@@ -290,20 +303,6 @@ func prepare(pipe *core.Pipeline, m *ckpt.Manager, needDiagram bool, kinds ...co
 		}
 	}
 	return nil
-}
-
-// readDiagramFile loads a diagram written with -save-diagram.
-func readDiagramFile(path string) (*csd.Diagram, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("load diagram: %w", err)
-	}
-	defer f.Close()
-	d, err := csd.Read(f)
-	if err != nil {
-		return nil, fmt.Errorf("load diagram %s: %w", path, err)
-	}
-	return d, nil
 }
 
 // loadInputs reads both input files under the given failure policy,
@@ -397,7 +396,7 @@ func runRecognize(pipe *core.Pipeline, out string) error {
 	return nil
 }
 
-func runMine(pipe *core.Pipeline, a core.Approach, params pattern.Params, top int) error {
+func runMine(pipe *core.Pipeline, a core.Approach, params pattern.Params, top int, savePatterns string) error {
 	t0 := time.Now()
 	ps, err := pipe.MineCtx(context.Background(), a, params)
 	if err != nil {
@@ -408,6 +407,14 @@ func runMine(pipe *core.Pipeline, a core.Approach, params pattern.Params, top in
 		a, len(ps), time.Since(t0).Seconds(), params.Sigma, params.Rho, params.DeltaT)
 	fmt.Printf("approach=%s patterns=%d coverage=%d sparsity=%.1f consistency=%.3f\n",
 		a, len(ps), s.Coverage, s.MeanSparsity, s.MeanConsistency)
+	if savePatterns != "" {
+		if err := ckpt.WriteAtomic(savePatterns, func(w io.Writer) error {
+			return pattern.WriteJSON(w, ps)
+		}); err != nil {
+			return fmt.Errorf("save patterns %s: %w", savePatterns, err)
+		}
+		progress("patterns written to %s", savePatterns)
+	}
 
 	sort.Slice(ps, func(x, y int) bool { return ps[x].Support > ps[y].Support })
 	if top > len(ps) {

@@ -112,6 +112,14 @@ type Diagram struct {
 // — the FindSemanticUnit(p, CSD) of Algorithm 3.
 func (d *Diagram) UnitOf(i int) int { return d.unitOf[i] }
 
+// Extent returns the bounding rectangle of the diagram's POI dataset
+// (the zero Rect for an empty diagram). The serving layer uses it to
+// sanity-check a replacement snapshot before hot-swapping: a diagram
+// for a different city has a disjoint extent.
+func (d *Diagram) Extent() geo.Rect {
+	return geo.BoundingRect(poi.Locations(d.POIs))
+}
+
 // Kernel returns the Gaussian kernel the diagram was built with.
 func (d *Diagram) Kernel() geo.GaussianKernel { return d.kernel }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 
 	"csdm/internal/index"
 	"csdm/internal/poi"
@@ -140,6 +141,25 @@ func Read(r io.Reader) (*Diagram, error) {
 		return nil, fmt.Errorf("csd: payload checksum mismatch: got %08x, want %08x", cr.crc, wantCRC)
 	}
 	return diagramFromFile(f)
+}
+
+// ReadFile loads a diagram from a file written with Write (via
+// ckpt.WriteAtomic or -save-diagram), wrapping every error with the
+// path it came from. It is the one loader every binary that consumes a
+// .csdf snapshot — csdminer -load-diagram, csdserve's startup and
+// hot-reload path — goes through, so the framed CRC validation is
+// never bypassed.
+func ReadFile(path string) (*Diagram, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("csd: open snapshot: %w", err)
+	}
+	defer f.Close()
+	d, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("csd: snapshot %s: %w", path, err)
+	}
+	return d, nil
 }
 
 // diagramFromFile validates a decoded payload and materializes the

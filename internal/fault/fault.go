@@ -23,6 +23,15 @@
 //	exec.task:panic:3             panic on the third pool task
 //	csd.merging:delay:*:200ms     every merge pass sleeps 200ms
 //	load.poi.row:error:p0.01      ~1% of POI rows fail, seeded
+//
+// Sites currently wired: the diagram builder's stage boundaries
+// (csd.popularity, csd.clustering, csd.purification, csd.merging), the
+// worker pool (exec.task), and the recognition service's two hardened
+// paths — serve.request fires inside every contained request handler
+// (so an injected panic exercises per-request isolation, never the
+// process) and serve.reload fires at the top of the snapshot hot-swap
+// (so an injected error proves a failed reload rolls back to the live
+// diagram). Both serve sites are reachable via csdserve's -fault flag.
 package fault
 
 import (

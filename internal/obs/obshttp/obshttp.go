@@ -80,6 +80,16 @@ const ContentTypeMetrics = "text/plain; version=0.0.4; charset=utf-8"
 // in one process (the expvar surface, a package-global by design, is
 // first-registration-wins per name).
 func NewMux(o Options) *http.ServeMux {
+	mux := http.NewServeMux()
+	Register(mux, o)
+	return mux
+}
+
+// Register mounts the debug endpoints on an existing mux, so a binary
+// with its own application routes — csdserve's recognition API — adds
+// the uniform observability surface next to them instead of running a
+// second listener.
+func Register(mux *http.ServeMux, o Options) {
 	name := o.ExpvarName
 	if name == "" {
 		name = "csdm"
@@ -92,7 +102,6 @@ func NewMux(o Options) *http.ServeMux {
 		}
 	}))
 
-	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -142,7 +151,6 @@ func NewMux(o Options) *http.ServeMux {
 			o.logf("metrics write: %v", err)
 		}
 	})
-	return mux
 }
 
 // Serve starts the debug server in the background and returns

@@ -1,0 +1,105 @@
+package pattern
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"csdm/internal/geo"
+	"csdm/internal/poi"
+	"csdm/internal/trajectory"
+)
+
+func samplePatterns() []Pattern {
+	t0 := time.Date(2024, 3, 1, 8, 30, 0, 0, time.UTC)
+	sem := poi.SemanticsOf(poi.ShopMarket)
+	return []Pattern{
+		{
+			Stays: []trajectory.StayPoint{
+				{P: geo.Point{Lon: 121.47, Lat: 31.23}, T: t0, S: sem},
+				{P: geo.Point{Lon: 121.48, Lat: 31.24}, T: t0.Add(time.Hour), S: sem},
+			},
+			Items:   []poi.Semantics{sem, sem},
+			Support: 7,
+		},
+		{
+			Stays:   []trajectory.StayPoint{{P: geo.Point{Lon: 121.50, Lat: 31.20}, T: t0}},
+			Items:   []poi.Semantics{sem},
+			Support: 3,
+		},
+	}
+}
+
+func TestPatternJSONRoundTrip(t *testing.T) {
+	want := samplePatterns()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d patterns, wrote %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Support != want[i].Support {
+			t.Errorf("pattern %d support = %d, want %d", i, got[i].Support, want[i].Support)
+		}
+		if len(got[i].Stays) != len(want[i].Stays) {
+			t.Fatalf("pattern %d stays = %d, want %d", i, len(got[i].Stays), len(want[i].Stays))
+		}
+		for k := range want[i].Stays {
+			if got[i].Stays[k].P != want[i].Stays[k].P {
+				t.Errorf("pattern %d stay %d point = %v, want %v", i, k, got[i].Stays[k].P, want[i].Stays[k].P)
+			}
+			if !got[i].Stays[k].T.Equal(want[i].Stays[k].T) {
+				t.Errorf("pattern %d stay %d time = %v, want %v", i, k, got[i].Stays[k].T, want[i].Stays[k].T)
+			}
+			if got[i].Stays[k].S != want[i].Stays[k].S {
+				t.Errorf("pattern %d stay %d semantics = %v, want %v", i, k, got[i].Stays[k].S, want[i].Stays[k].S)
+			}
+		}
+		if len(got[i].Items) != len(want[i].Items) {
+			t.Errorf("pattern %d items = %d, want %d", i, len(got[i].Items), len(want[i].Items))
+		}
+		// Groups are deliberately not persisted.
+		if got[i].Groups != nil {
+			t.Errorf("pattern %d Groups survived serialization", i)
+		}
+	}
+}
+
+func TestPatternJSONEmptySet(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("read %d patterns from an empty set", len(got))
+	}
+}
+
+func TestPatternJSONRejectsCorrupt(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", `{{{`},
+		{"wrong version", `{"version":99,"patterns":[]}`},
+		{"no stays", `{"version":1,"patterns":[{"stays":[],"support":1}]}`},
+		{"negative support", `{"version":1,"patterns":[{"stays":[{"p":{"lon":121.47,"lat":31.23}}],"support":-1}]}`},
+		{"nan-free but out of range", `{"version":1,"patterns":[{"stays":[{"p":{"lon":999,"lat":31.23}}],"support":1}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ReadJSON(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: ReadJSON accepted corrupt input", tc.name)
+		}
+	}
+}

@@ -78,6 +78,31 @@ func AnnotateCtx(ctx context.Context, db []trajectory.SemanticTrajectory, r Reco
 	})
 }
 
+// RecognizeStays annotates stays in place with r, checking ctx between
+// stays so a per-request deadline propagates into the recognition loop
+// rather than only bounding the HTTP write. sc is optional per-caller
+// scratch (nil allocates a fresh one); the serving layer threads one
+// Scratch per request from a sync.Pool so steady-state recognition
+// allocates nothing. Returns ctx.Err() on cancellation, leaving the
+// remaining stays unannotated.
+func RecognizeStays(ctx context.Context, stays []trajectory.StayPoint, r Recognizer, sc *Scratch) error {
+	br, buffered := r.(BufferedRecognizer)
+	if buffered && sc == nil {
+		sc = new(Scratch)
+	}
+	for i := range stays {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if buffered {
+			stays[i].S = br.RecognizeBuf(stays[i].P, sc)
+		} else {
+			stays[i].S = r.Recognize(stays[i].P)
+		}
+	}
+	return nil
+}
+
 // AnnotateJourneys converts raw journeys into annotated semantic
 // trajectories: chain card-linked journeys (§5), then recognize every
 // stay point.

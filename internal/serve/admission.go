@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errShed is returned by acquire when both the service slots and the
+// wait queue are full — the request must be shed, not queued.
+var errShed = errors.New("serve: admission queue full")
+
+// admission is the server's bounded admission gate: a semaphore of
+// `limit` service slots fronted by a waiting room of `limit+slack`
+// total occupancy. A request first claims a waiting-room token — a
+// non-blocking attempt, so a full system sheds in nanoseconds with no
+// goroutine parked — then blocks (cancellably) for a service slot. The
+// two channels bound everything: at most `limit` requests in service,
+// at most `slack` waiting, zero unbounded queues anywhere.
+type admission struct {
+	sem   chan struct{} // service slots
+	queue chan struct{} // waiting room: service + waiters
+
+	// inflight counts requests holding a service slot, for the
+	// csdm_serve_inflight gauge.
+	inflight atomic.Int64
+}
+
+func newAdmission(limit, slack int) *admission {
+	return &admission{
+		sem:   make(chan struct{}, limit),
+		queue: make(chan struct{}, limit+slack),
+	}
+}
+
+// acquire admits the request or rejects it: errShed when the system is
+// full, ctx.Err() when the caller gave up (deadline or disconnect)
+// while waiting for a slot. On nil the caller holds a service slot and
+// must release it.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return errShed
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		<-a.queue
+		return ctx.Err()
+	}
+}
+
+// release frees the service slot and the waiting-room token.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.sem
+	<-a.queue
+}
+
+// timeoutContext returns a context bounded by d when d > 0, otherwise
+// a plain cancellable context.
+func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.WithCancel(context.Background())
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"csdm/internal/ckpt"
+)
+
+// benchServeDuration is the measurement window per concurrency line,
+// overridable with $BENCH_SERVE_DURATION for quick CI smoke runs.
+func benchServeDuration(t *testing.T) time.Duration {
+	if env := os.Getenv("BENCH_SERVE_DURATION"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil || d <= 0 {
+			t.Fatalf("BENCH_SERVE_DURATION: bad duration %q", env)
+		}
+		return d
+	}
+	return 3 * time.Second
+}
+
+// TestEmitBenchServeJSON measures the serving path end to end — real
+// listener, real HTTP round trips, the same loadgen engine cmd/loadgen
+// uses — and writes a BENCH_SERVE.json document to the path in
+// $BENCH_SERVE_JSON for cmd/benchgate -serve and for refreshing the
+// committed baseline. Unset, the test skips, so normal `go test` runs
+// pay nothing.
+//
+// The measured lines are pinned, not machine-derived: an admission
+// limit of 4 with one line at the limit (pure throughput, no shedding)
+// and one at 4× the limit (overload: QPS should hold while the excess
+// sheds). Pinning keeps baselines comparable across refreshes.
+func TestEmitBenchServeJSON(t *testing.T) {
+	path := os.Getenv("BENCH_SERVE_JSON")
+	if path == "" {
+		t.Skip("BENCH_SERVE_JSON not set")
+	}
+	const admissionLimit = 4
+
+	s := New(Config{AdmissionLimit: admissionLimit, RequestTimeout: 2 * time.Second})
+	s.UseDiagram(testDiagram(t))
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(5 * time.Second)
+	base := "http://" + addr
+
+	doc := BenchServeReport{
+		Benchmark:      "LoadgenRecognize",
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		AdmissionLimit: admissionLimit,
+	}
+	dur := benchServeDuration(t)
+	for _, concurrency := range []int{admissionLimit, 4 * admissionLimit} {
+		rep, err := RunLoad(context.Background(), base, LoadOptions{
+			Concurrency: concurrency,
+			Duration:    dur,
+			Seed:        1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OK == 0 {
+			t.Fatalf("concurrency %d: no requests served", concurrency)
+		}
+		if rep.Errors > 0 {
+			t.Fatalf("concurrency %d: %d errored requests", concurrency, rep.Errors)
+		}
+		if rep.Shed > 0 && rep.ShedWithRetryAfter != rep.Shed {
+			t.Fatalf("concurrency %d: %d shed responses missing Retry-After", concurrency, rep.Shed-rep.ShedWithRetryAfter)
+		}
+		t.Logf("concurrency %d: qps=%.1f p50=%.2fms p99=%.2fms ok=%d shed=%d",
+			concurrency, rep.QPS, rep.P50Ms, rep.P99Ms, rep.OK, rep.Shed)
+		doc.Results = append(doc.Results, rep.BenchResult())
+	}
+
+	if err := ckpt.WriteAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"csdm/internal/fault"
+	"csdm/internal/obs"
+)
+
+// TestFaultInjectedRequestPanicIsContained fires a panic inside the
+// first request via the serve.request site: the caller gets a 500, the
+// panic counter bumps, and the very next request serves normally — the
+// process-stays-up contract.
+func TestFaultInjectedRequestPanicIsContained(t *testing.T) {
+	in, err := fault.Parse("serve.request:panic:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Activate(in)
+	t.Cleanup(func() { fault.Activate(nil) })
+
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Registry: reg})
+
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/recognize", recognizeBody(t, origin)))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking request = %d, want 500", w.Code)
+	}
+
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/recognize", recognizeBody(t, origin)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("request after contained panic = %d: %s", w.Code, w.Body.String())
+	}
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "csdm_serve_panics_total 1") {
+		t.Fatalf("csdm_serve_panics_total not bumped:\n%s", buf.String())
+	}
+}
+
+// TestFaultInjectedRequestError maps an injected error onto the plain
+// 5xx path and its counter, leaving later requests untouched.
+func TestFaultInjectedRequestError(t *testing.T) {
+	in, err := fault.Parse("serve.request:error:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Activate(in)
+	t.Cleanup(func() { fault.Activate(nil) })
+
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Registry: reg})
+
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/recognize", recognizeBody(t, origin)))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("errored request = %d, want 500", w.Code)
+	}
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/recognize", recognizeBody(t, origin)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("request after injected error = %d", w.Code)
+	}
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "csdm_serve_errors_total 1") {
+		t.Fatalf("csdm_serve_errors_total not bumped:\n%s", buf.String())
+	}
+}
+
+// TestFaultInjectedReloadFailureRollsBack fails the first reload via
+// the serve.reload site: the failure counter bumps, the prior snapshot
+// keeps serving, and the next (uninjected) reload succeeds.
+func TestFaultInjectedReloadFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, testDiagram(t))
+
+	reg := obs.NewRegistry()
+	s := New(Config{Registry: reg})
+	if err := s.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	live := s.Snapshot()
+
+	in, err := fault.Parse("serve.reload:error:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Activate(in)
+	t.Cleanup(func() { fault.Activate(nil) })
+
+	if _, err := s.Reload(); err == nil {
+		t.Fatal("injected reload error did not surface")
+	}
+	if got := s.Snapshot(); got != live {
+		t.Fatal("failed reload swapped the snapshot")
+	}
+	// Recognition still serves from the old generation.
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/recognize", recognizeBody(t, origin)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("recognize after failed reload = %d: %s", w.Code, w.Body.String())
+	}
+
+	// The trigger was one-shot: the next reload goes through.
+	snap, err := s.Reload()
+	if err != nil {
+		t.Fatalf("reload after injected failure: %v", err)
+	}
+	if snap.Generation != 2 {
+		t.Fatalf("generation = %d, want 2", snap.Generation)
+	}
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "csdm_serve_reload_failures_total 1") {
+		t.Fatalf("csdm_serve_reload_failures_total not bumped:\n%s", out)
+	}
+	if !strings.Contains(out, "csdm_serve_reloads_total 1") {
+		t.Fatalf("csdm_serve_reloads_total not bumped:\n%s", out)
+	}
+}

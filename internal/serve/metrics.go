@@ -1,0 +1,83 @@
+package serve
+
+import "csdm/internal/obs"
+
+// The serve metric families. Every one is pre-declared at zero when
+// the server is constructed, so a scrape taken before the first
+// request (or the first shed, panic, or reload failure) already
+// exposes the full family set — cmd/promlint -require enforces this
+// in CI.
+const (
+	mRequests       = "csdm_serve_requests_total"
+	mShed           = "csdm_serve_shed_total"
+	mPanics         = "csdm_serve_panics_total"
+	mErrors         = "csdm_serve_errors_total"
+	mTimeouts       = "csdm_serve_timeouts_total"
+	mReloads        = "csdm_serve_reloads_total"
+	mReloadFailures = "csdm_serve_reload_failures_total"
+	mInflight       = "csdm_serve_inflight"
+	mGeneration     = "csdm_serve_snapshot_generation"
+	mUnits          = "csdm_serve_snapshot_units"
+	famReqSeconds   = "csdm_serve_request_seconds"
+)
+
+// routeNames lists every instrumented route, so the per-route request
+// histograms exist (at zero observations) from process start.
+var routeNames = []string{"recognize", "units", "patterns", "info", "reload"}
+
+// metricsSet is the server's pre-resolved metrics: counters by name
+// (the registry's atomic fast path) and one latency histogram per
+// route so the per-request cost is two time reads and a few atomic
+// bumps, never a map lookup on the histogram. All of it is nil-safe —
+// with no registry the histograms are nil (no-op Observe) and the
+// counter adds return immediately.
+type metricsSet struct {
+	reg     *obs.Registry
+	reqHist map[string]*obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metricsSet {
+	m := &metricsSet{reg: reg, reqHist: make(map[string]*obs.Histogram, len(routeNames))}
+	reg.Describe(mRequests, "Requests received by the recognition service, by route.")
+	reg.Describe(mShed, "Requests shed by admission control with 503 + Retry-After.")
+	reg.Describe(mPanics, "Handler panics contained per-request (500 to the caller, server stays up).")
+	reg.Describe(mErrors, "Requests that failed with a 5xx other than shedding.")
+	reg.Describe(mTimeouts, "Requests that exceeded the per-request deadline.")
+	reg.Describe(mReloads, "Snapshot hot-swaps that passed validation and went live.")
+	reg.Describe(mReloadFailures, "Snapshot reloads rejected (corrupt file or failed validation); the prior diagram stayed live.")
+	reg.Describe(mInflight, "Requests currently holding an admission slot.")
+	reg.Describe(mGeneration, "Generation of the live snapshot (increments on every successful swap).")
+	reg.Describe(mUnits, "Semantic units in the live snapshot.")
+	reg.Describe(famReqSeconds, "Latency of recognition-service requests, by route.")
+	// Seed every family at zero so /metrics is complete before the
+	// first event of each kind.
+	for _, name := range []string{mShed, mPanics, mErrors, mTimeouts, mReloads, mReloadFailures} {
+		reg.Add(name, 0)
+	}
+	reg.SetGauge(mInflight, 0)
+	reg.SetGauge(mGeneration, 0)
+	reg.SetGauge(mUnits, 0)
+	for _, route := range routeNames {
+		reg.Add(obs.Label(mRequests, "route", route), 0)
+		m.reqHist[route] = reg.Histogram(obs.Label(famReqSeconds, "route", route), obs.DefBuckets)
+	}
+	return m
+}
+
+func (m *metricsSet) request(route string)  { m.reg.Add(obs.Label(mRequests, "route", route), 1) }
+func (m *metricsSet) shed()                 { m.reg.Add(mShed, 1) }
+func (m *metricsSet) panicked()             { m.reg.Add(mPanics, 1) }
+func (m *metricsSet) errored()              { m.reg.Add(mErrors, 1) }
+func (m *metricsSet) timedOut()             { m.reg.Add(mTimeouts, 1) }
+func (m *metricsSet) reloaded()             { m.reg.Add(mReloads, 1) }
+func (m *metricsSet) reloadFailed()         { m.reg.Add(mReloadFailures, 1) }
+func (m *metricsSet) inflight(n int64)      { m.reg.SetGauge(mInflight, float64(n)) }
+func (m *metricsSet) observe(route string, seconds float64) {
+	if h := m.reqHist[route]; h != nil {
+		h.Observe(seconds)
+	}
+}
+func (m *metricsSet) setGeneration(gen int64, units int) {
+	m.reg.SetGauge(mGeneration, float64(gen))
+	m.reg.SetGauge(mUnits, float64(units))
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+
+	"csdm/internal/csd"
+	"csdm/internal/fault"
+)
+
+// validateDiagram is the snapshot sanity check shared by the initial
+// load and every reload: a diagram that decodes cleanly (the framed
+// CRC already vouches for the bytes) must also be non-degenerate
+// before it may serve traffic.
+func validateDiagram(d *csd.Diagram) error {
+	if len(d.POIs) == 0 {
+		return fmt.Errorf("serve: snapshot has no POIs")
+	}
+	if len(d.Units) == 0 {
+		return fmt.Errorf("serve: snapshot has no semantic units")
+	}
+	return nil
+}
+
+// Reload re-reads the snapshot path through the framed CRC loader,
+// validates the replacement — non-empty units, and an extent
+// overlapping the live diagram's (a snapshot for a different city is a
+// deploy mistake, not an update) — and atomically swaps it in. On any
+// failure the old diagram keeps serving, csdm_serve_reload_failures_total
+// is bumped, and the error is returned; in-flight and subsequent
+// requests never notice. Concurrent Reloads serialize; request paths
+// never block on one.
+func (s *Server) Reload() (*Snapshot, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	snap, err := s.reloadLocked()
+	if err != nil {
+		s.met.reloadFailed()
+		s.cfg.logf("reload failed (keeping generation %d): %v", s.generation(), err)
+		return nil, err
+	}
+	s.met.reloaded()
+	s.cfg.logf("reload: snapshot generation %d live (%d units, %d POIs)",
+		snap.Generation, len(snap.Diagram.Units), len(snap.Diagram.POIs))
+	return snap, nil
+}
+
+func (s *Server) reloadLocked() (*Snapshot, error) {
+	if s.snapshotPath == "" {
+		return nil, fmt.Errorf("serve: no snapshot path to reload (diagram was installed directly)")
+	}
+	if err := fault.Hit("serve.reload"); err != nil {
+		return nil, err
+	}
+	d, err := csd.ReadFile(s.snapshotPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateDiagram(d); err != nil {
+		return nil, err
+	}
+	if old := s.snap.Load(); old != nil {
+		if ext := d.Extent(); !ext.Intersects(old.Extent) {
+			return nil, fmt.Errorf("serve: snapshot extent %v does not overlap live extent %v: refusing swap", ext, old.Extent)
+		}
+	}
+	return s.install(d), nil
+}
+
+// generation returns the live snapshot's generation (0 before the
+// first load).
+func (s *Server) generation() int64 {
+	if snap := s.snap.Load(); snap != nil {
+		return snap.Generation
+	}
+	return 0
+}

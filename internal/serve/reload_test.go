@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"csdm/internal/geo"
+	"csdm/internal/obs"
+)
+
+func TestLoadSnapshotAndReload(t *testing.T) {
+	dir := t.TempDir()
+	d := testDiagram(t)
+	path := writeSnapshot(t, dir, d)
+
+	reg := obs.NewRegistry()
+	s := New(Config{Registry: reg})
+	if err := s.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if snap := s.Snapshot(); snap == nil || snap.Generation != 1 {
+		t.Fatalf("initial snapshot = %+v, want generation 1", snap)
+	}
+
+	// A reload of the same file bumps the generation.
+	snap, err := s.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Generation != 2 {
+		t.Fatalf("generation after reload = %d, want 2", snap.Generation)
+	}
+
+	// /admin/reload does the same through HTTP.
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("/admin/reload = %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Generation int64 `json:"generation"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 3 {
+		t.Fatalf("generation after HTTP reload = %d, want 3", resp.Generation)
+	}
+}
+
+func TestReloadRejectsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	d := testDiagram(t)
+	path := writeSnapshot(t, dir, d)
+
+	reg := obs.NewRegistry()
+	s := New(Config{Registry: reg})
+	if err := s.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	live := s.Snapshot()
+
+	// Corrupt the file in place (flip bytes inside the payload so the
+	// CRC check fires) and reload: the swap must be refused and the old
+	// snapshot must keep serving.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Reload(); err == nil {
+		t.Fatal("Reload accepted a corrupt snapshot")
+	}
+	if got := s.Snapshot(); got != live {
+		t.Fatalf("corrupt reload swapped the snapshot: %p -> %p", live, got)
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("/admin/reload with corrupt file = %d, want 500", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "previous snapshot still live") {
+		t.Fatalf("reload failure body = %q, want rollback notice", w.Body.String())
+	}
+
+	// Requests still serve from the old generation.
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/recognize", recognizeBody(t, origin)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("recognize after corrupt reload = %d: %s", w.Code, w.Body.String())
+	}
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "csdm_serve_reload_failures_total 2") {
+		t.Fatalf("csdm_serve_reload_failures_total != 2 after two failed reloads:\n%s", buf.String())
+	}
+}
+
+// TestReloadRefusesDisjointExtent overwrites the snapshot with a
+// structurally valid diagram for a different city: validation must
+// refuse the swap (a wrong-city snapshot is a deploy mistake, not an
+// update) and keep the old diagram live.
+func TestReloadRefusesDisjointExtent(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{})
+	path := writeSnapshot(t, dir, testDiagram(t))
+	if err := s.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	live := s.Snapshot()
+
+	other := testDiagramAt(t, geo.Point{Lon: 116.40, Lat: 39.90}) // ~1000 km away
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Reload(); err == nil || !strings.Contains(err.Error(), "does not overlap") {
+		t.Fatalf("Reload of a disjoint-extent snapshot: err = %v, want extent refusal", err)
+	}
+	if got := s.Snapshot(); got != live {
+		t.Fatal("disjoint-extent reload swapped the snapshot")
+	}
+}
+
+// TestConcurrentHotSwap hammers recognition requests from N goroutines
+// while a reloader loop alternates valid and corrupt snapshots. Under
+// -race this proves the swap is tear-free: every request sees a
+// complete diagram (200 with a generation, never a 5xx other than the
+// deliberate corrupt-reload 500s), and a corrupt reload always leaves
+// the previous generation serving.
+func TestConcurrentHotSwap(t *testing.T) {
+	dir := t.TempDir()
+	d := testDiagram(t)
+	path := writeSnapshot(t, dir, d)
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+
+	s := New(Config{AdmissionLimit: 16, QueueSlack: 16})
+	if err := s.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		hammers          = 8
+		requestsPerRound = 40
+		rounds           = 12
+	)
+	var stop atomic.Bool
+	var served, failed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < hammers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				w := httptest.NewRecorder()
+				s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/recognize", recognizeBody(t, origin)))
+				switch w.Code {
+				case http.StatusOK:
+					var resp struct {
+						Generation int64 `json:"generation"`
+					}
+					if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp.Generation < 1 {
+						t.Errorf("torn response (gen %d, err %v): %s", resp.Generation, err, w.Body.String())
+						stop.Store(true)
+						return
+					}
+					served.Add(1)
+				default:
+					failed.Add(1)
+					t.Errorf("request failed with %d during hot-swap: %s", w.Code, w.Body.String())
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+
+	// The reloader alternates: valid swap (generation++), corrupt swap
+	// (refused, old stays). Every corrupt round must leave Snapshot()
+	// non-nil and identical to the pre-round snapshot.
+	for round := 0; round < rounds && !stop.Load(); round++ {
+		if round%2 == 0 {
+			if err := os.WriteFile(path, valid, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Reload(); err != nil {
+				t.Fatalf("round %d: valid reload failed: %v", round, err)
+			}
+		} else {
+			before := s.Snapshot()
+			if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Reload(); err == nil {
+				t.Fatalf("round %d: corrupt reload succeeded", round)
+			}
+			if after := s.Snapshot(); after != before {
+				t.Fatalf("round %d: corrupt reload changed the snapshot", round)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Fatal("no requests served during the hot-swap hammer")
+	}
+	if failed.Load() != 0 {
+		t.Fatalf("%d requests failed during hot-swap (want 0)", failed.Load())
+	}
+	// Six valid swaps on top of the initial load.
+	if gen := s.Snapshot().Generation; gen != 1+int64((rounds+1)/2) {
+		t.Fatalf("final generation = %d, want %d", gen, 1+(rounds+1)/2)
+	}
+}
