@@ -1,0 +1,142 @@
+package csdm
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"csdm/internal/core"
+	"csdm/internal/csd"
+	"csdm/internal/stage"
+)
+
+// BenchDeltaResult is one new-stay-fraction line of BENCH_DELTA.json:
+// the wall time of a full rebuild on the union versus one
+// Maintainer.ApplyDelta of the same new stays, in the machine format
+// cmd/benchgate -delta consumes.
+type BenchDeltaResult struct {
+	// Fraction is the share of the bench city's stay points arriving as
+	// the delta batch (the rest seed the maintainer).
+	Fraction float64 `json:"fraction"`
+	// BatchStays is the delta batch size in stay points.
+	BatchStays int `json:"batch_stays"`
+	// FullNsPerOp is one full csd.Build over the union.
+	FullNsPerOp int64 `json:"full_ns_per_op"`
+	// DeltaNsPerOp is one ApplyDelta of the batch on a maintainer
+	// seeded with the remaining stays.
+	DeltaNsPerOp int64 `json:"delta_ns_per_op"`
+	// Speedup is FullNsPerOp/DeltaNsPerOp — informational; the gate
+	// recomputes it from the candidate's own ns lines.
+	Speedup float64 `json:"speedup"`
+	// Units is the unit count of the delta-built diagram, identical to
+	// the full rebuild's by the maintainer's equivalence property, so
+	// the gate compares it exactly.
+	Units int `json:"units"`
+}
+
+// BenchDeltaReport is the top-level BENCH_DELTA.json document.
+type BenchDeltaReport struct {
+	Benchmark  string             `json:"benchmark"`
+	GoMaxProcs int                `json:"go_max_procs"`
+	NumCPU     int                `json:"num_cpu"`
+	Results    []BenchDeltaResult `json:"results"`
+}
+
+// benchDeltaFractions is the new-stay-fraction curve BENCH_DELTA.json
+// records; the 1% line is the one benchgate -delta holds to its
+// speedup floor.
+var benchDeltaFractions = []float64{0.01, 0.05, 0.20}
+
+// TestEmitBenchDeltaJSON measures full-rebuild vs delta-apply on the
+// bench city and writes BENCH_DELTA.json-format measurements to the
+// path in $BENCH_DELTA_JSON, for the CI incrementality gate
+// (cmd/benchgate -delta) and for refreshing the committed baseline.
+// Unset, the test skips, so normal `go test` runs pay nothing.
+//
+// Timing is manual (best of a few repetitions) rather than
+// testing.Benchmark: each delta repetition needs a freshly seeded
+// maintainer, and b.N-scaling would multiply that ~full-build-sized
+// setup into the measurement loop.
+func TestEmitBenchDeltaJSON(t *testing.T) {
+	path := os.Getenv("BENCH_DELTA_JSON")
+	if path == "" {
+		t.Skip("BENCH_DELTA_JSON not set")
+	}
+	const reps = 3
+	env := sharedEnv()
+	stays := env.Pipeline.StayPoints()
+	params := core.DefaultConfig().CSD
+
+	report := BenchDeltaReport{
+		Benchmark:  "BenchmarkDelta",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	// The full-rebuild reference: the union is the same workload for
+	// every fraction, so one measurement serves all lines.
+	var fullNs int64
+	var fullUnits int
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		d := csd.Build(env.City.POIs, stays, params)
+		ns := time.Since(start).Nanoseconds()
+		if fullNs == 0 || ns < fullNs {
+			fullNs = ns
+		}
+		fullUnits = len(d.Units)
+	}
+
+	for _, frac := range benchDeltaFractions {
+		batch := int(float64(len(stays)) * frac)
+		if batch < 1 {
+			batch = 1
+		}
+		base := stays[:len(stays)-batch]
+		delta := stays[len(stays)-batch:]
+
+		var deltaNs int64
+		var units int
+		for r := 0; r < reps; r++ {
+			m, err := csd.NewMaintainerEnv(stage.Background(), env.City.POIs, base, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			d, _, err := m.ApplyDelta(stage.Background(), delta)
+			ns := time.Since(start).Nanoseconds()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if deltaNs == 0 || ns < deltaNs {
+				deltaNs = ns
+			}
+			units = len(d.Units)
+		}
+		if units != fullUnits {
+			t.Fatalf("fraction %.2f: delta diagram has %d units, full rebuild %d — equivalence broken", frac, units, fullUnits)
+		}
+		report.Results = append(report.Results, BenchDeltaResult{
+			Fraction:     frac,
+			BatchStays:   batch,
+			FullNsPerOp:  fullNs,
+			DeltaNsPerOp: deltaNs,
+			Speedup:      float64(fullNs) / float64(deltaNs),
+			Units:        units,
+		})
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %+v", path, report.Results)
+}

@@ -26,6 +26,15 @@
 // 2× speedup from a 1-core container would gate on physics, not code.
 // A baseline written before allocs_per_op existed carries zero there,
 // which disables the allocation comparison for that line.
+//
+// With -delta, the inputs are BENCH_DELTA.json incrementality reports
+// (written by TestEmitBenchDeltaJSON with BENCH_DELTA_JSON set):
+// per-fraction full-rebuild vs delta-apply timings. The candidate fails
+// when its smallest-fraction speedup — recomputed from its own ns
+// lines, never read from the file — falls below -min-speedup, when any
+// line's speedup regresses beyond the tolerance against the baseline's,
+// or when the deterministic unit count changes. As everywhere else, a
+// candidate fraction with no baseline line is a hard failure.
 package main
 
 import (
@@ -81,13 +90,23 @@ func main() {
 	minEfficiency := flag.Float64("min-efficiency", 0, "minimum speedup of multi-worker lines over the candidate's workers-1 line (0 disables)")
 	serveMode := flag.Bool("serve", false, "compare BENCH_SERVE.json serving reports (QPS floor, p99 ceiling) instead of mining reports")
 	p99Tolerance := flag.Float64("p99-tolerance", 1.0, "with -serve, allowed p99 latency growth (1.0 = 2x the baseline)")
+	deltaMode := flag.Bool("delta", false, "compare BENCH_DELTA.json incrementality reports (delta-apply speedup floor) instead of mining reports")
+	minSpeedup := flag.Float64("min-speedup", 5.0, "with -delta, minimum full-rebuild/delta-apply speedup at the smallest fraction")
 	flag.Parse()
 	if *baseline == "" || *candidate == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline a.json -candidate b.json [-tolerance 0.10] [-alloc-tolerance 0.10] [-min-efficiency 2.0] [-serve [-p99-tolerance 1.0]]")
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline a.json -candidate b.json [-tolerance 0.10] [-alloc-tolerance 0.10] [-min-efficiency 2.0] [-serve [-p99-tolerance 1.0]] [-delta [-min-speedup 5.0]]")
+		os.Exit(2)
+	}
+	if *serveMode && *deltaMode {
+		fmt.Fprintln(os.Stderr, "benchgate: -serve and -delta are mutually exclusive")
 		os.Exit(2)
 	}
 	if *serveMode {
 		gateServe(*baseline, *candidate, *tolerance, *p99Tolerance)
+		return
+	}
+	if *deltaMode {
+		gateDelta(*baseline, *candidate, *tolerance, *minSpeedup)
 		return
 	}
 	base, err := readReport(*baseline)
@@ -275,6 +294,107 @@ func gateServe(baselinePath, candidatePath string, qpsTol, p99Tol float64) {
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: no comparable concurrency lines between serve reports")
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// deltaResult is one new-stay-fraction line of a BENCH_DELTA.json
+// report (written by TestEmitBenchDeltaJSON).
+type deltaResult struct {
+	Fraction     float64 `json:"fraction"`
+	BatchStays   int     `json:"batch_stays"`
+	FullNsPerOp  int64   `json:"full_ns_per_op"`
+	DeltaNsPerOp int64   `json:"delta_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	Units        int     `json:"units"`
+}
+
+type deltaReport struct {
+	Benchmark  string        `json:"benchmark"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	NumCPU     int           `json:"num_cpu"`
+	Results    []deltaResult `json:"results"`
+}
+
+// gateDelta compares two incrementality reports line-by-line on the
+// new-stay fraction. Speedups are recomputed from each report's own
+// full/delta ns — within one report they come from the same machine
+// and build, so the ratio is pure incrementality and stays comparable
+// across machines of different absolute speed. The candidate fails
+// when the smallest fraction's speedup is below minSpeedup (the
+// whole-feature floor: a "delta" apply that rebuilds the world scores
+// ~1×), when any line's speedup falls more than tol below the
+// baseline's, or when the deterministic unit count changes. A
+// candidate fraction with no baseline line is a hard failure.
+func gateDelta(baselinePath, candidatePath string, tol, minSpeedup float64) {
+	readDelta := func(path string) deltaReport {
+		var r deltaReport
+		b, err := os.ReadFile(path)
+		if err == nil {
+			err = json.Unmarshal(b, &r)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return r
+	}
+	speedup := func(r deltaResult) float64 {
+		if r.DeltaNsPerOp <= 0 {
+			return 0
+		}
+		return float64(r.FullNsPerOp) / float64(r.DeltaNsPerOp)
+	}
+	base := readDelta(baselinePath)
+	cand := readDelta(candidatePath)
+	byFraction := make(map[float64]deltaResult, len(base.Results))
+	for _, r := range base.Results {
+		byFraction[r.Fraction] = r
+	}
+	smallest := 0.0
+	for _, c := range cand.Results {
+		if smallest == 0 || c.Fraction < smallest {
+			smallest = c.Fraction
+		}
+	}
+	failed := false
+	compared := 0
+	fmt.Printf("%-14s  %-30s  %-22s  %s\n", "line", "delta ns/op (base -> cand)", "speedup (base -> cand)", "status")
+	for _, c := range cand.Results {
+		b, ok := byFraction[c.Fraction]
+		if !ok {
+			fmt.Printf("fraction-%g: FAIL (no baseline line; refresh BENCH_DELTA.json)\n", c.Fraction)
+			failed = true
+			continue
+		}
+		compared++
+		candSp, baseSp := speedup(c), speedup(b)
+		status := "ok"
+		switch {
+		case c.Units != b.Units:
+			status = fmt.Sprintf("FAIL (units %d -> %d: diagram output is no longer identical)", b.Units, c.Units)
+			failed = true
+		case candSp <= 0:
+			status = "FAIL (no measurable delta-apply time)"
+			failed = true
+		case c.Fraction == smallest && candSp < minSpeedup:
+			status = fmt.Sprintf("FAIL (speedup %.1fx < %.1fx floor at the smallest fraction)", candSp, minSpeedup)
+			failed = true
+		case baseSp > 0 && candSp < baseSp*(1-tol):
+			status = fmt.Sprintf("FAIL (speedup regressed >%.0f%% vs baseline)", tol*100)
+			failed = true
+		}
+		fmt.Printf("%-14s  %-30s  %-22s  %s\n",
+			fmt.Sprintf("fraction-%g", c.Fraction),
+			fmt.Sprintf("%d -> %d", b.DeltaNsPerOp, c.DeltaNsPerOp),
+			fmt.Sprintf("%.1fx -> %.1fx", baseSp, candSp),
+			status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no comparable fraction lines between delta reports")
 		os.Exit(2)
 	}
 	if failed {

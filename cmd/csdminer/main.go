@@ -10,6 +10,17 @@
 //	diagram    build the City Semantic Diagram and report its units
 //	recognize  annotate the journeys and write semantic trajectories
 //	mine       extract fine-grained patterns and report them
+//	ingest     stream a journey file into the diagram as delta batches
+//
+// ingest is the streaming path: the base diagram is seeded from
+// -journeys, then -ingest's journey file is applied in -delta-batch
+// sized batches through the incremental maintainer. Every applied batch
+// is bit-identical to a full rebuild over the union, persisted as its
+// own generation snapshot (diagram.<gen>.csdf) in the -checkpoint
+// directory (required), and published by atomically flipping the
+// CURRENT pointer — which a live csdserve -watch follows. Old
+// generations beyond -keep-generations are pruned. stdout carries one
+// machine-parseable line per applied batch.
 //
 // Progress and timing messages go to stderr; stdout carries only the
 // machine-parseable results. -workers bounds the parallelism of every
@@ -109,10 +120,13 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection rules (testing only)")
 		metricsOut  = flag.String("metrics-out", "", "write the final Prometheus-format metrics dump to this file")
 		linger      = flag.Duration("linger", 0, "with -debug-addr, keep the process (and its debug server) alive this long after the run")
+		ingestPath  = flag.String("ingest", "", "journey CSV to stream into the diagram as deltas (ingest)")
+		deltaBatch  = flag.Int("delta-batch", 500, "journeys per delta batch (ingest)")
+		keepGens    = flag.Int("keep-generations", 0, "prune generation snapshots beyond the newest N (0 = keep all; ingest)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: csdminer [flags] diagram|recognize|mine")
+		fmt.Fprintln(os.Stderr, "usage: csdminer [flags] diagram|recognize|mine|ingest")
 		os.Exit(exitUsage)
 	}
 
@@ -227,6 +241,19 @@ func main() {
 			die(exitPipeline, err)
 		}
 		if err := runMine(pipe, chosen, params, *top, *savePattern); err != nil {
+			die(exitPipeline, err)
+		}
+	case "ingest":
+		if *ingestPath == "" {
+			die(exitUsage, fmt.Errorf("ingest requires -ingest <stream.csv>"))
+		}
+		if mgr == nil {
+			die(exitUsage, fmt.Errorf("ingest requires -checkpoint (generation snapshots live there)"))
+		}
+		if *deltaBatch < 1 {
+			die(exitUsage, fmt.Errorf("-delta-batch must be at least 1, got %d", *deltaBatch))
+		}
+		if err := runIngest(pipe, mgr, *ingestPath, *deltaBatch, *keepGens, opts); err != nil {
 			die(exitPipeline, err)
 		}
 	default:

@@ -45,7 +45,6 @@ import (
 	"csdm/internal/fault"
 	"csdm/internal/obs"
 	"csdm/internal/obs/obshttp"
-	"csdm/internal/pattern"
 	"csdm/internal/serve"
 )
 
@@ -70,7 +69,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("csdserve: ")
 	var (
-		snapshot   = flag.String("snapshot", "", "framed .csdf diagram snapshot to serve (required)")
+		snapshot   = flag.String("snapshot", "", "framed .csdf diagram snapshot to serve (or -current)")
+		current    = flag.String("current", "", "serve the snapshot published by a checkpoint directory's CURRENT pointer (streaming ingestion)")
+		watch      = flag.Duration("watch", 0, "with -current, poll CURRENT at this interval and hot-swap newly published generations (0 = SIGHUP only)")
 		patterns   = flag.String("patterns", "", "mined pattern set (csdminer mine -save-patterns) for /v1/patterns")
 		addr       = flag.String("addr", ":7070", "listen address")
 		admLimit   = flag.Int("admission-limit", runtime.NumCPU(), "max requests in service concurrently")
@@ -82,8 +83,12 @@ func main() {
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection rules (testing only)")
 	)
 	flag.Parse()
-	if *snapshot == "" || flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: csdserve -snapshot diagram.csdf [flags]")
+	if (*snapshot == "") == (*current == "") || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: csdserve -snapshot diagram.csdf | -current ckptdir [flags]")
+		os.Exit(exitUsage)
+	}
+	if *watch != 0 && *current == "" {
+		fmt.Fprintln(os.Stderr, "csdserve: -watch requires -current")
 		os.Exit(exitUsage)
 	}
 	if in, err := fault.Parse(*faultSpec, *faultSeed); err != nil {
@@ -112,16 +117,24 @@ func main() {
 	})
 	obshttp.Register(srv.Mux(), obshttp.Options{Registry: reg, ExpvarName: "csdserve", Logf: progress})
 
-	if err := srv.LoadSnapshot(*snapshot); err != nil {
+	if *current != "" {
+		if err := srv.LoadCurrent(*current); err != nil {
+			die(exitInput, err)
+		}
+	} else if err := srv.LoadSnapshot(*snapshot); err != nil {
 		die(exitInput, err)
 	}
 	if *patterns != "" {
-		ps, err := readPatterns(*patterns)
-		if err != nil {
+		// LoadPatterns remembers the path: every reload (SIGHUP, watch)
+		// re-reads it inside the same validated swap.
+		if err := srv.LoadPatterns(*patterns); err != nil {
 			die(exitInput, err)
 		}
-		srv.SetPatterns(ps)
-		progress("serving %d mined patterns from %s", len(ps), *patterns)
+	}
+	if *watch > 0 {
+		stopWatch := srv.StartWatch(*watch)
+		defer stopWatch()
+		progress("watching CURRENT in %s every %s", *current, *watch)
 	}
 
 	bound, err := srv.Start(*addr)
@@ -150,17 +163,4 @@ func main() {
 		progress("drained cleanly")
 		return
 	}
-}
-
-func readPatterns(path string) ([]pattern.Pattern, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("load patterns: %w", err)
-	}
-	defer f.Close()
-	ps, err := pattern.ReadJSON(f)
-	if err != nil {
-		return nil, fmt.Errorf("load patterns %s: %w", path, err)
-	}
-	return ps, nil
 }

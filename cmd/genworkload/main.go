@@ -6,6 +6,16 @@
 //
 //	genworkload [-pois N] [-passengers N] [-days N] [-seed N]
 //	            [-poi-out pois.csv] [-journeys-out journeys.csv]
+//	            [-scenario batch|stream] [-base-fraction 0.8]
+//	            [-stream-out stream.csv]
+//
+// The default "batch" scenario writes the whole journey log to one
+// file. The "stream" scenario models streaming ingestion: the journeys
+// are sorted by pickup time and split at -base-fraction — the early
+// portion goes to -journeys-out (the batch log that mines the base
+// snapshot) and the late portion to -stream-out (the time-ordered
+// stream `csdminer ingest` applies as delta batches), so the ingestion
+// path has a reproducible synthetic workload.
 package main
 
 import (
@@ -13,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"csdm/internal/poi"
 	"csdm/internal/synth"
@@ -28,7 +39,10 @@ func main() {
 		days        = flag.Int("days", 14, "simulated days (starting on a Monday)")
 		seed        = flag.Int64("seed", 1, "generator seed")
 		poiOut      = flag.String("poi-out", "pois.csv", "POI output file")
-		journeyOut  = flag.String("journeys-out", "journeys.csv", "journey output file")
+		journeyOut  = flag.String("journeys-out", "journeys.csv", "journey output file (stream scenario: the base portion)")
+		scenario    = flag.String("scenario", "batch", "workload shape: batch (one journey log) or stream (time-split base + delta stream)")
+		baseFrac    = flag.Float64("base-fraction", 0.8, "stream scenario: share of the time-ordered journeys in the base file")
+		streamOut   = flag.String("stream-out", "stream.csv", "stream scenario: delta stream output file")
 	)
 	flag.Parse()
 
@@ -44,12 +58,36 @@ func main() {
 	if err := writePOIs(*poiOut, city.POIs); err != nil {
 		log.Fatal(err)
 	}
-	if err := writeJourneys(*journeyOut, w.Journeys); err != nil {
-		log.Fatal(err)
+	switch *scenario {
+	case "batch":
+		if err := writeJourneys(*journeyOut, w.Journeys); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d POIs to %s and %d journeys to %s (mean trip %.1f min)\n",
+			len(city.POIs), *poiOut, len(w.Journeys), *journeyOut,
+			synth.MeanTripMinutes(w.Journeys))
+	case "stream":
+		if *baseFrac <= 0 || *baseFrac >= 1 {
+			log.Fatalf("-base-fraction must be in (0,1), got %g", *baseFrac)
+		}
+		js := append([]trajectory.Journey(nil), w.Journeys...)
+		sort.SliceStable(js, func(i, k int) bool { return js[i].PickupTime.Before(js[k].PickupTime) })
+		split := int(float64(len(js)) * *baseFrac)
+		if split < 1 || split >= len(js) {
+			log.Fatalf("-base-fraction %g leaves an empty base or stream (%d journeys)", *baseFrac, len(js))
+		}
+		if err := writeJourneys(*journeyOut, js[:split]); err != nil {
+			log.Fatal(err)
+		}
+		if err := writeJourneys(*streamOut, js[split:]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d POIs to %s, %d base journeys to %s, %d stream journeys to %s (split at %s)\n",
+			len(city.POIs), *poiOut, split, *journeyOut, len(js)-split, *streamOut,
+			js[split].PickupTime.Format("2006-01-02 15:04"))
+	default:
+		log.Fatalf("unknown -scenario %q (want batch or stream)", *scenario)
 	}
-	fmt.Printf("wrote %d POIs to %s and %d journeys to %s (mean trip %.1f min)\n",
-		len(city.POIs), *poiOut, len(w.Journeys), *journeyOut,
-		synth.MeanTripMinutes(w.Journeys))
 }
 
 func writePOIs(path string, ps []poi.POI) error {

@@ -1,0 +1,135 @@
+package csdm
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"csdm/internal/core"
+	"csdm/internal/csd"
+	"csdm/internal/geo"
+	"csdm/internal/synth"
+	"csdm/internal/trajectory"
+)
+
+// staysOf expands journeys into stay points in the pipeline's stays
+// order (per journey: pickup, then dropoff) — the order the maintainer
+// and the batch pipeline both consume.
+func staysOf(js []trajectory.Journey) []geo.Point {
+	out := make([]geo.Point, 0, 2*len(js))
+	for _, j := range js {
+		out = append(out, j.Pickup, j.Dropoff)
+	}
+	return out
+}
+
+// TestDeltaIngestDeterminism is the incremental ≡ full-rebuild property
+// test on the bench city (the same workload whose committed mining
+// baseline is exactly 129 CSD-PM patterns): the bench city's journeys
+// are split into a base log plus k randomly-sized contiguous delta
+// batches, the base seeds a csd.Maintainer, each batch is applied via
+// core.IngestBatch, and the final generation must carry bit-identical
+// popularity and semantic units — and mine the same 129 patterns in the
+// same order — as a one-shot Build over the union. Runs at workers 1
+// and NumCPU; CI's scaling job adds -race on top.
+func TestDeltaIngestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full bench-city comparison")
+	}
+	scale := benchScale()
+	scfg := synth.DefaultConfig()
+	scfg.Seed = scale.Seed
+	scfg.NumPOIs = scale.NumPOIs
+	scfg.NumPassengers = scale.NumPassengers
+	scfg.Days = scale.Days
+	city := synth.NewCity(scfg)
+	w := city.GenerateWorkload()
+	params := benchParams()
+	ctx := context.Background()
+
+	// One-shot reference over the union, at the default worker budget
+	// (full builds are already worker-count-deterministic, pinned by
+	// TestWorkerCountDeterminism).
+	ref := core.NewPipeline(city.POIs, w.Journeys, core.DefaultConfig())
+	refD, err := ref.DiagramCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPatterns, err := ref.MineCtx(ctx, core.CSDPM, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refPatterns) != 129 {
+		t.Fatalf("reference CSD-PM patterns = %d, want the committed baseline's 129", len(refPatterns))
+	}
+
+	set := map[int]bool{1: true, runtime.NumCPU(): true}
+	counts := make([]int, 0, len(set))
+	for n := range set {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+
+	// Randomized (but seeded) batch boundaries: each worker count gets
+	// its own base/batch split, so the equivalence is exercised across
+	// batch geometries, not just one.
+	rng := rand.New(rand.NewSource(9))
+	for _, workers := range counts {
+		base := len(w.Journeys) * (60 + rng.Intn(21)) / 100 // 60–80% seed the maintainer
+		k := 2 + rng.Intn(3)                                // 2–4 delta batches over the rest
+
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+		p := core.NewPipeline(city.POIs, w.Journeys[:base], cfg)
+
+		rest := w.Journeys[base:]
+		var d *csd.Diagram
+		lo := 0
+		for b := 0; b < k; b++ {
+			hi := lo + (len(rest)-lo)/(k-b)
+			if b == k-1 {
+				hi = len(rest)
+			}
+			var st csd.DeltaStats
+			d, st, err = p.IngestBatch(ctx, staysOf(rest[lo:hi]))
+			if err != nil {
+				t.Fatalf("workers=%d batch %d: %v", workers, b, err)
+			}
+			if st.Generation != int64(b+2) {
+				t.Fatalf("workers=%d batch %d: generation = %d, want %d", workers, b, st.Generation, b+2)
+			}
+			lo = hi
+		}
+
+		if len(d.Pop) != len(refD.Pop) {
+			t.Fatalf("workers=%d: pop length %d vs %d", workers, len(d.Pop), len(refD.Pop))
+		}
+		for i := range d.Pop {
+			if d.Pop[i] != refD.Pop[i] {
+				t.Fatalf("workers=%d: pop[%d] = %v, want %v (not bit-identical)", workers, i, d.Pop[i], refD.Pop[i])
+			}
+		}
+		if !reflect.DeepEqual(d.Units, refD.Units) {
+			t.Fatalf("workers=%d: semantic units differ from one-shot Build after %d delta batches", workers, k)
+		}
+
+		// Mine through a pipeline over the union with the ingested
+		// diagram installed: annotation + extraction must reproduce the
+		// reference pattern list exactly.
+		mp := core.NewPipeline(city.POIs, w.Journeys, cfg)
+		mp.UseDiagram(d)
+		ps, err := mp.MineCtx(ctx, core.CSDPM, params)
+		if err != nil {
+			t.Fatalf("workers=%d: mine on ingested diagram: %v", workers, err)
+		}
+		if len(ps) != 129 {
+			t.Fatalf("workers=%d: CSD-PM patterns on ingested diagram = %d, want 129", workers, len(ps))
+		}
+		if !reflect.DeepEqual(ps, refPatterns) {
+			t.Fatalf("workers=%d: mined patterns differ from the one-shot reference", workers)
+		}
+	}
+}

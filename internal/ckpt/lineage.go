@@ -1,0 +1,164 @@
+package ckpt
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"csdm/internal/csd"
+)
+
+// Generation lineage: streaming ingestion persists each applied delta
+// as its own immutable snapshot, diagram.<gen>.csdf, and publishes the
+// active one by atomically rewriting a one-line CURRENT pointer file.
+// Readers (csdserve's watcher, a resuming csdminer) resolve CURRENT and
+// open exactly one complete, CRC-framed snapshot; because the pointer
+// flip is a rename, a reader never observes a half-published
+// generation. Old generations stay on disk for rollback until Prune
+// trims the lineage.
+const (
+	// CurrentFile is the pointer file naming the active generation
+	// snapshot (a bare filename, no path separators).
+	CurrentFile = "CURRENT"
+)
+
+// GenerationFile names generation gen's snapshot file.
+func GenerationFile(gen int64) string {
+	return fmt.Sprintf("diagram.%d.csdf", gen)
+}
+
+// generationOf parses a GenerationFile name, reporting ok=false for
+// anything else (including DiagramFile and temp files).
+func generationOf(name string) (int64, bool) {
+	rest, found := strings.CutPrefix(name, "diagram.")
+	if !found {
+		return 0, false
+	}
+	num, found := strings.CutSuffix(rest, ".csdf")
+	if !found || num == "" {
+		return 0, false
+	}
+	gen, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || gen < 0 {
+		return 0, false
+	}
+	return gen, true
+}
+
+// SaveGenerationDiagram persists d as diagram.<d.Generation>.csdf and
+// atomically republishes CURRENT to point at it. The snapshot lands
+// (atomically, fsynced) before the pointer flips, so a crash between
+// the two steps leaves CURRENT on the previous complete generation.
+func (m *Manager) SaveGenerationDiagram(d *csd.Diagram) error {
+	if m == nil {
+		return nil
+	}
+	file := GenerationFile(d.Generation)
+	if err := m.Save("diagram-gen", file, d.Write); err != nil {
+		return err
+	}
+	return m.PublishCurrent(file)
+}
+
+// PublishCurrent atomically points CURRENT at the named snapshot file,
+// which must already exist in the directory (publishing a dangling
+// pointer would make every reader fail until the next delta).
+func (m *Manager) PublishCurrent(file string) error {
+	if m == nil {
+		return nil
+	}
+	if strings.ContainsRune(file, os.PathSeparator) {
+		return fmt.Errorf("ckpt: CURRENT must name a file in the checkpoint dir, got %q", file)
+	}
+	if _, err := os.Stat(filepath.Join(m.dir, file)); err != nil {
+		return fmt.Errorf("ckpt: refusing to publish dangling CURRENT: %w", err)
+	}
+	err := WriteAtomic(filepath.Join(m.dir, CurrentFile), func(w io.Writer) error {
+		_, werr := io.WriteString(w, file+"\n")
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	m.tr.Add("ckpt.current_published", 1)
+	return nil
+}
+
+// ResolveCurrent reads the CURRENT pointer and returns the full path of
+// the active generation snapshot. It validates that the pointer names a
+// plain file inside the directory and that the file exists, so a
+// corrupt or hand-edited pointer surfaces as a descriptive error rather
+// than a confusing open failure downstream.
+func ResolveCurrent(dir string) (string, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, CurrentFile))
+	if err != nil {
+		return "", fmt.Errorf("ckpt: read CURRENT: %w", err)
+	}
+	name := strings.TrimSpace(string(raw))
+	if name == "" || strings.ContainsAny(name, "/\\\n") {
+		return "", fmt.Errorf("ckpt: malformed CURRENT pointer %q", name)
+	}
+	path := filepath.Join(dir, name)
+	if _, err := os.Stat(path); err != nil {
+		return "", fmt.Errorf("ckpt: CURRENT points at missing snapshot: %w", err)
+	}
+	return path, nil
+}
+
+// Generations lists the generation numbers with snapshots on disk,
+// ascending.
+func Generations(dir string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: list generations: %w", err)
+	}
+	var gens []int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if gen, ok := generationOf(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// PruneGenerations removes generation snapshots beyond the newest keep,
+// never touching the one CURRENT points at (a lineage pruned down to
+// its active snapshot must stay servable). It returns the number of
+// snapshots removed. keep < 1 is treated as 1.
+func (m *Manager) PruneGenerations(keep int) (int, error) {
+	if m == nil {
+		return 0, nil
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	gens, err := Generations(m.dir)
+	if err != nil {
+		return 0, err
+	}
+	var current string
+	if path, err := ResolveCurrent(m.dir); err == nil {
+		current = filepath.Base(path)
+	}
+	removed := 0
+	for i := 0; i < len(gens)-keep; i++ {
+		name := GenerationFile(gens[i])
+		if name == current {
+			continue
+		}
+		if err := os.Remove(filepath.Join(m.dir, name)); err != nil {
+			return removed, fmt.Errorf("ckpt: prune generation %d: %w", gens[i], err)
+		}
+		removed++
+	}
+	m.tr.Add("ckpt.generations_pruned", int64(removed))
+	return removed, nil
+}

@@ -1,0 +1,150 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"csdm/internal/csd"
+	"csdm/internal/obs"
+)
+
+func lineageManager(t *testing.T) (*Manager, string) {
+	t.Helper()
+	dir := t.TempDir()
+	m, err := New(dir, obs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dir
+}
+
+func TestSaveGenerationAndResolveCurrent(t *testing.T) {
+	m, dir := lineageManager(t)
+	d := testDiagram(t)
+	for gen := int64(1); gen <= 3; gen++ {
+		d.Generation = gen
+		d.ParentGeneration = gen - 1
+		if err := m.SaveGenerationDiagram(d); err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		path, err := ResolveCurrent(dir)
+		if err != nil {
+			t.Fatalf("gen %d resolve: %v", gen, err)
+		}
+		if filepath.Base(path) != GenerationFile(gen) {
+			t.Fatalf("CURRENT: got %s, want %s", filepath.Base(path), GenerationFile(gen))
+		}
+		got, err := csd.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Generation != gen || got.ParentGeneration != gen-1 {
+			t.Fatalf("lineage: got %d/%d, want %d/%d",
+				got.Generation, got.ParentGeneration, gen, gen-1)
+		}
+	}
+	gens, err := Generations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gens, []int64{1, 2, 3}) {
+		t.Fatalf("generations: %v", gens)
+	}
+}
+
+func TestResolveCurrentRejectsMalformed(t *testing.T) {
+	_, dir := lineageManager(t)
+	if _, err := ResolveCurrent(dir); err == nil {
+		t.Fatal("missing CURRENT resolved")
+	}
+	for name, content := range map[string]string{
+		"empty":     "\n",
+		"traversal": "../etc/passwd\n",
+		"dangling":  "diagram.99.csdf\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, CurrentFile), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ResolveCurrent(dir); err == nil {
+			t.Errorf("%s CURRENT resolved", name)
+		}
+	}
+}
+
+func TestPublishCurrentRefusesDangling(t *testing.T) {
+	m, _ := lineageManager(t)
+	if err := m.PublishCurrent("diagram.7.csdf"); err == nil {
+		t.Fatal("dangling publish accepted")
+	}
+	if err := m.PublishCurrent("sub/dir.csdf"); err == nil {
+		t.Fatal("path-separator publish accepted")
+	}
+}
+
+func TestPruneGenerationsKeepsNewestAndCurrent(t *testing.T) {
+	m, dir := lineageManager(t)
+	d := testDiagram(t)
+	for gen := int64(1); gen <= 5; gen++ {
+		d.Generation = gen
+		if err := m.SaveGenerationDiagram(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Point CURRENT back at an old generation; prune must spare it.
+	if err := m.PublishCurrent(GenerationFile(2)); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := m.PruneGenerations(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 { // 1 and 3 go; 2 (current), 4, 5 stay
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	gens, err := Generations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gens, []int64{2, 4, 5}) {
+		t.Fatalf("surviving generations: %v", gens)
+	}
+	if path, err := ResolveCurrent(dir); err != nil || filepath.Base(path) != GenerationFile(2) {
+		t.Fatalf("CURRENT after prune: %v, %v", path, err)
+	}
+}
+
+func TestLineageNilManager(t *testing.T) {
+	var m *Manager
+	if err := m.SaveGenerationDiagram(testDiagram(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PublishCurrent("x"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.PruneGenerations(1); n != 0 || err != nil {
+		t.Fatal(n, err)
+	}
+}
+
+func TestGenerationFileParsing(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  int64
+		ok   bool
+	}{
+		{"diagram.1.csdf", 1, true},
+		{"diagram.42.csdf", 42, true},
+		{"diagram.csdf", 0, false},
+		{"diagram..csdf", 0, false},
+		{"diagram.-3.csdf", 0, false},
+		{"diagram.1.csdf.tmp-x", 0, false},
+		{"db-csd.json", 0, false},
+	} {
+		gen, ok := generationOf(tc.name)
+		if ok != tc.ok || (ok && gen != tc.gen) {
+			t.Errorf("%s: got (%d,%v), want (%d,%v)", tc.name, gen, ok, tc.gen, tc.ok)
+		}
+	}
+}

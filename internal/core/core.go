@@ -182,12 +182,13 @@ type Pipeline struct {
 	// store is the optional checkpoint store (nil disables resume/save).
 	store stage.Store
 
-	graph   *stage.Graph
-	stays   *stage.Cell[[]geo.Point]
-	diagram *stage.Cell[*csd.Diagram]
-	roi     *stage.Cell[*recognize.ROIRecognizer]
-	dbCSD   *stage.Cell[[]trajectory.SemanticTrajectory]
-	dbROI   *stage.Cell[[]trajectory.SemanticTrajectory]
+	graph      *stage.Graph
+	stays      *stage.Cell[[]geo.Point]
+	diagram    *stage.Cell[*csd.Diagram]
+	maintainer *stage.Cell[*csd.Maintainer]
+	roi        *stage.Cell[*recognize.ROIRecognizer]
+	dbCSD      *stage.Cell[[]trajectory.SemanticTrajectory]
+	dbROI      *stage.Cell[[]trajectory.SemanticTrajectory]
 
 	// lastErr keeps the most recent error a no-error convenience
 	// wrapper swallowed, for LastErr.
@@ -256,6 +257,17 @@ func NewPipeline(pois []poi.POI, journeys []trajectory.Journey, cfg Config) *Pip
 	}).Checkpoint(stage.Codec[*csd.Diagram]{
 		Encode: func(w io.Writer, d *csd.Diagram) error { return d.Write(w) },
 		Decode: csd.Read,
+	})
+
+	p.maintainer = stage.Add(p.graph, stage.Decl{
+		Name: "csd.maintain",
+		Deps: []string{"stays"},
+	}, func(env stage.Env) (*csd.Maintainer, error) {
+		stays, err := p.stays.Get(env.Run)
+		if err != nil {
+			return nil, err
+		}
+		return csd.NewMaintainerEnv(env, p.pois, stays, p.cfg.CSD)
 	})
 
 	p.roi = stage.Add(p.graph, stage.Decl{

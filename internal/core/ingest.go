@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"csdm/internal/csd"
+	"csdm/internal/geo"
+	"csdm/internal/stage"
+)
+
+// Streaming ingestion: the pipeline's incremental face. Where the
+// batch pipeline builds the diagram once from the full journey log,
+// ingestion seeds a csd.Maintainer from the initial log (the
+// "csd.maintain" stage, sharing the stays cell and every engine
+// middleware — spans, stage deadlines, checkpoint-era telemetry) and
+// then applies stay-point delta batches one at a time. Each applied
+// batch runs as its own one-shot engine stage guarded by the
+// "csd.ingest" fault site, so an injected error or deadline hits one
+// batch, leaves the maintainer on its previous generation, and the
+// stream can retry — the same containment story the serving layer gives
+// requests.
+
+// MaintainerCtx returns the pipeline's diagram maintainer, seeding it
+// from the journey log's stay points on first use. The maintainer's
+// initial diagram (generation 1) is bit-identical to DiagramCtx's
+// one-shot build on the same inputs.
+func (p *Pipeline) MaintainerCtx(ctx context.Context) (*csd.Maintainer, error) {
+	return p.maintainer.Get(ctx)
+}
+
+// IngestBatch applies one delta batch of stay points through the
+// maintainer as a one-shot "csd.ingest" stage (own span, own
+// Config.StageTimeout deadline, "csd.ingest" fault site) and returns
+// the new generation's diagram. On error the maintainer's retained
+// state is unchanged: a timed-out or fault-injected batch may simply be
+// retried.
+//
+// Telemetry (when a trace is attached): csdm_ingest_batches_total,
+// csdm_ingest_stays_total, csdm_ingest_dirty_units_total and
+// csdm_ingest_reused_units_total counters, and the
+// csdm_ingest_delta_build_seconds histogram.
+func (p *Pipeline) IngestBatch(ctx context.Context, batch []geo.Point) (*csd.Diagram, csd.DeltaStats, error) {
+	m, err := p.MaintainerCtx(ctx)
+	if err != nil {
+		return nil, csd.DeltaStats{}, err
+	}
+	type applied struct {
+		d  *csd.Diagram
+		st csd.DeltaStats
+	}
+	start := time.Now()
+	res, err := stage.Run(p.graph, ctx,
+		stage.Decl{Name: "csd.ingest", Site: "csd.ingest"},
+		func(env stage.Env) (applied, error) {
+			d, st, aerr := m.ApplyDelta(env, batch)
+			return applied{d, st}, aerr
+		})
+	if err != nil {
+		p.trace.Add("csdm_ingest_failures_total", 1)
+		return nil, csd.DeltaStats{}, err
+	}
+	p.trace.Add("csdm_ingest_batches_total", 1)
+	p.trace.Add("csdm_ingest_stays_total", int64(res.st.BatchStays))
+	p.trace.Add("csdm_ingest_dirty_units_total", int64(res.st.DirtyUnits))
+	p.trace.Add("csdm_ingest_reused_units_total", int64(res.st.ReusedUnits))
+	p.trace.Observe("csdm_ingest_delta_build_seconds", time.Since(start).Seconds())
+	p.trace.SetGauge("csdm_ingest_generation", float64(res.st.Generation))
+	return res.d, res.st, nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"csdm/internal/csd"
+	"csdm/internal/fault"
+	"csdm/internal/geo"
+	"csdm/internal/obs"
+	"csdm/internal/synth"
+)
+
+// ingestFixture builds a pipeline over the first half of a journey
+// stream and returns the remaining stay points as contiguous delta
+// batches, plus the full union for the bit-identity reference.
+func ingestFixture(t *testing.T, nBatches int) (*Pipeline, [][]geo.Point, []geo.Point) {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Seed = 11
+	cfg.NumPOIs = 500
+	cfg.NumPassengers = 90
+	cfg.Days = 4
+	city := synth.NewCity(cfg)
+	w := city.GenerateWorkload()
+	cut := len(w.Journeys) / 2
+	base, rest := w.Journeys[:cut], w.Journeys[cut:]
+
+	all := make([]geo.Point, 0, 2*len(w.Journeys))
+	for _, j := range w.Journeys {
+		all = append(all, j.Pickup, j.Dropoff)
+	}
+	stream := make([]geo.Point, 0, 2*len(rest))
+	for _, j := range rest {
+		stream = append(stream, j.Pickup, j.Dropoff)
+	}
+	batches := make([][]geo.Point, 0, nBatches)
+	for b := 0; b < nBatches; b++ {
+		lo, hi := len(stream)*b/nBatches, len(stream)*(b+1)/nBatches
+		batches = append(batches, stream[lo:hi])
+	}
+	return NewPipeline(city.POIs, base, DefaultConfig()), batches, all
+}
+
+// TestIngestBatchMatchesFullPipeline: ingesting the stream through the
+// engine stage reproduces, bit for bit, a one-shot build over the full
+// union of stay points.
+func TestIngestBatchMatchesFullPipeline(t *testing.T) {
+	p, batches, all := ingestFixture(t, 3)
+	tr := obs.New()
+	p.SetTrace(tr)
+	ctx := context.Background()
+	var got *csd.Diagram
+	for bi, batch := range batches {
+		d, st, err := p.IngestBatch(ctx, batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		if st.Generation != int64(bi+2) {
+			t.Fatalf("batch %d: generation %d, want %d", bi, st.Generation, bi+2)
+		}
+		got = d
+	}
+	m, err := p.MaintainerCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation() != got.Generation {
+		t.Fatalf("maintainer generation %d, diagram %d", m.Generation(), got.Generation)
+	}
+	if m.StayCount() != len(all) {
+		t.Fatalf("stay count %d, want %d", m.StayCount(), len(all))
+	}
+
+	want := csd.Build(p.POIs(), all, p.cfg.CSD)
+	if len(got.Units) != len(want.Units) {
+		t.Fatalf("unit count: got %d, want %d", len(got.Units), len(want.Units))
+	}
+	for i := range want.Pop {
+		if got.Pop[i] != want.Pop[i] {
+			t.Fatalf("Pop[%d] bits differ", i)
+		}
+	}
+	for u := range want.Units {
+		if len(got.Units[u].Members) != len(want.Units[u].Members) {
+			t.Fatalf("unit %d size differs", u)
+		}
+		for k, mbr := range want.Units[u].Members {
+			if got.Units[u].Members[k] != mbr {
+				t.Fatalf("unit %d member %d differs", u, k)
+			}
+		}
+	}
+	if n := tr.Counter("csdm_ingest_batches_total"); n != int64(len(batches)) {
+		t.Fatalf("ingest batches counter: %d, want %d", n, len(batches))
+	}
+}
+
+// TestIngestBatchFaultLeavesMaintainerIntact: an injected csd.ingest
+// fault fails the batch, the maintainer stays on its previous
+// generation, and a retry succeeds.
+func TestIngestBatchFaultLeavesMaintainerIntact(t *testing.T) {
+	p, batches, _ := ingestFixture(t, 2)
+	ctx := context.Background()
+	if _, _, err := p.IngestBatch(ctx, batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.MaintainerCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genBefore, staysBefore := m.Generation(), m.StayCount()
+
+	in, err := fault.Parse("csd.ingest:error:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Activate(in)
+	t.Cleanup(func() { fault.Activate(nil) })
+	if _, _, err := p.IngestBatch(ctx, batches[1]); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if m.Generation() != genBefore || m.StayCount() != staysBefore {
+		t.Fatal("failed batch mutated the maintainer")
+	}
+	// Retry: the one-shot rule has fired, the batch must now apply.
+	d, st, err := p.IngestBatch(ctx, batches[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation != genBefore+1 || st.Generation != genBefore+1 {
+		t.Fatalf("retry generation: %d, want %d", d.Generation, genBefore+1)
+	}
+}

@@ -118,15 +118,34 @@ func newKernelFor(params Params) geo.GaussianKernel {
 // popularityClusters implements Algorithm 1 (Popularity Based
 // Clustering). It returns the coarse clusters (each a slice of POI
 // indices) and the leftover POIs that were consumed into sub-MinPts
-// clusters or never reached. Cluster growth is inherently sequential
-// (each removal changes the candidate set), so the loop stays on one
-// goroutine and only polls ctx between seeds.
+// clusters or never reached.
 func (d *Diagram) popularityClusters(ctx context.Context, kind index.Kind) (clusters [][]int, leftover []int, err error) {
 	n := len(d.POIs)
 	locIdx := index.New(kind, poi.Locations(d.POIs), d.Params.EpsP)
-	removed := make([]bool, n) // "P ← P − {p}" bookkeeping
-	inCluster := make([]bool, n)
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	return d.growClusters(ctx, locIdx, seeds, make([]bool, n), make([]bool, n))
+}
 
+// growClusters is the growth loop of Algorithm 1 over an explicit seed
+// order: each not-yet-removed seed grows a cluster by flood-fill over
+// the ε_p range structure, keeping clusters of MinPts or more; seeds
+// that end up in no kept cluster come back as leftover, in seed order.
+// removed ("P ← P − {p}") and inCluster are the caller's bookkeeping
+// and must be false for every POI reachable from seeds.
+//
+// The full build passes every POI in ascending order. The incremental
+// maintainer passes one ε_p-connected component's members (ascending)
+// at a time, against the same location index: cluster growth only ever
+// follows ≤ ε_p edges, so a component run touches exactly the POIs and
+// produces exactly the clusters the full run produced within that
+// component — the factorization the dirty-region rebuild rests on.
+// Growth is inherently sequential (each removal changes the candidate
+// set), so the loop stays on one goroutine and only polls ctx between
+// seeds.
+func (d *Diagram) growClusters(ctx context.Context, locIdx index.Index, seeds []int, removed, inCluster []bool) (clusters [][]int, leftover []int, err error) {
 	// Scratch reused across seeds: the growth queue, the raw range-query
 	// buffer and the candidate cluster. A kept cluster is copied out of
 	// clBuf, so the reuse never aliases a result — and the (common)
@@ -142,7 +161,7 @@ func (d *Diagram) popularityClusters(ctx context.Context, kind index.Kind) (clus
 			}
 		}
 	}
-	for seed := 0; seed < n; seed++ {
+	for _, seed := range seeds {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
@@ -178,7 +197,7 @@ func (d *Diagram) popularityClusters(ctx context.Context, kind index.Kind) (clus
 			}
 		}
 	}
-	for i := 0; i < n; i++ {
+	for _, i := range seeds {
 		if !inCluster[i] {
 			leftover = append(leftover, i)
 		}

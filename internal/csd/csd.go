@@ -18,6 +18,7 @@ package csd
 import (
 	"context"
 	"math"
+	"sort"
 
 	"csdm/internal/exec"
 	"csdm/internal/geo"
@@ -98,6 +99,15 @@ type Diagram struct {
 	Pop []float64
 	// Units are the fine-grained semantic units.
 	Units []Unit
+	// Generation is the diagram's lineage number under incremental
+	// maintenance: 0 for a one-shot Build, 1 for a Maintainer's initial
+	// construction, +1 per applied delta batch. It is carried in the
+	// framed snapshot header (framing v2), not the JSON payload, so two
+	// generations with identical content have byte-identical payloads.
+	Generation int64
+	// ParentGeneration is the generation this diagram was derived from
+	// (0 when it has no parent).
+	ParentGeneration int64
 	// unitOf maps each POI index to its unit ID, or -1 when the POI
 	// belongs to no unit.
 	unitOf []int
@@ -192,12 +202,16 @@ func Popularity(pois []poi.POI, stays []geo.Point, kernel geo.GaussianKernel) []
 
 // popularity is the execution-layer core of Popularity: each POI's
 // kernel sum is independent, so the loop fans out over the worker pool.
-// pop[i] is accumulated in the index's result order regardless of the
-// worker count, so the sums are bit-identical across budgets. Each
-// worker slot borrows one range-query buffer from the cross-stage arena
-// pool — the sums depend only on the query results, never on leftover
-// buffer contents, so reuse within and across stage invocations cannot
-// perturb determinism.
+// pop[i] is accumulated in ascending stay-id order regardless of the
+// worker count or the index backend's result order, so the sums are
+// bit-identical across budgets AND across spatial backends — and, since
+// stay points are only ever appended, a later delta batch continues
+// each POI's float-addition chain exactly where the full build left it
+// (the Maintainer's incremental update depends on this canonical
+// order). Each worker slot borrows one range-query buffer from the
+// cross-stage arena pool — the sums depend only on the query results,
+// never on leftover buffer contents, so reuse within and across stage
+// invocations cannot perturb determinism.
 func popularity(ctx context.Context, pois []poi.POI, stays []geo.Point, kernel geo.GaussianKernel, opt exec.Options) ([]float64, error) {
 	pop := make([]float64, len(pois))
 	if len(stays) == 0 {
@@ -209,6 +223,7 @@ func popularity(ctx context.Context, pois []poi.POI, stays []geo.Point, kernel g
 		loc := pois[i].Location
 		buf := stayIdx.WithinAppend(loc, kernel.Radius(), arenas[slot].Ints[:0])
 		arenas[slot].Ints = buf
+		sort.Ints(buf)
 		var sum float64
 		for _, s := range buf {
 			sum += kernel.Weight(loc, stays[s])

@@ -2,6 +2,8 @@ package csd
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 
@@ -36,7 +38,7 @@ func FuzzReadDiagram(f *testing.F) {
 	f.Add([]byte("CSDFgarbagegarbagegarbage"))
 	// Hostile length field: header claims 2^60 payload bytes.
 	hostile := append([]byte(nil), valid[:headerSize]...)
-	for i := 5; i < 13; i++ {
+	for i := lenOffset; i < lenOffset+8; i++ {
 		hostile[i] = 0xff
 	}
 	f.Add(append(hostile, valid[headerSize:]...))
@@ -44,6 +46,13 @@ func FuzzReadDiagram(f *testing.F) {
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/2] ^= 0x40
 	f.Add(flipped)
+	// A v1-framed file (no lineage fields) around the same payload.
+	payload := valid[headerSize:]
+	v1 := append([]byte(diagramMagic), framingVersionV1)
+	v1 = binary.LittleEndian.AppendUint64(v1, uint64(len(payload)))
+	v1 = binary.LittleEndian.AppendUint32(v1, crc32.Checksum(payload, crcTable))
+	f.Add(append(v1, payload...))
+	f.Add(v1[:headerSizeV1-2]) // truncated v1 header
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := Read(bytes.NewReader(data))
@@ -107,7 +116,7 @@ func TestReadLegacyFormat(t *testing.T) {
 func TestReadHostileLengthDoesNotAllocate(t *testing.T) {
 	valid := fuzzSeedDiagram()
 	hostile := append([]byte(nil), valid...)
-	for i := 5; i < 13; i++ {
+	for i := lenOffset; i < lenOffset+8; i++ {
 		hostile[i] = 0xff
 	}
 	if _, err := Read(bytes.NewReader(hostile)); err == nil {

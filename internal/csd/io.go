@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 
 	"csdm/internal/index"
@@ -30,25 +31,38 @@ type diagramFile struct {
 const diagramFileVersion = 1
 
 // The framed container around the JSON payload: a fixed header of
-// magic, format version, payload length and payload CRC. The header
-// lets Read reject truncated or bit-flipped files before trusting any
-// content — checkpoint resume depends on never loading a half-written
-// diagram — and the length is only ever used to bound reading, never to
-// size an allocation, so a hostile length cannot drive memory use.
+// magic, format version, lineage (framing v2), payload length and
+// payload CRC. The header lets Read reject truncated or bit-flipped
+// files before trusting any content — checkpoint resume depends on
+// never loading a half-written diagram — and the length is only ever
+// used to bound reading, never to size an allocation, so a hostile
+// length cannot drive memory use.
+//
+// Framing v2 adds the diagram's generation and parent generation to
+// the header rather than the JSON payload, so two generations with
+// identical content have byte-identical payloads (the streaming e2e
+// check compares an incremental generation against a full rebuild by
+// payload bytes). v1 files and pre-framing bare-JSON files both remain
+// readable; their lineage loads as zero.
 const (
-	diagramMagic   = "CSDF"
-	framingVersion = 1
-	headerSize     = 4 + 1 + 8 + 4 // magic + version byte + length + CRC32
+	diagramMagic     = "CSDF"
+	framingVersionV1 = 1
+	framingVersion   = 2
+	prefixSize       = 4 + 1                      // magic + version byte
+	headerSizeV1     = prefixSize + 8 + 4         // + length + CRC32
+	headerSize       = prefixSize + 8 + 8 + 8 + 4 // + generation + parent + length + CRC32
+	lenOffset        = prefixSize + 8 + 8         // v2 length field offset (tests corrupt it)
 )
 
 // crcTable is the Castagnoli polynomial table shared by Write and Read.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Write serializes the diagram: a fixed header (magic "CSDF", framing
-// version, payload length, CRC-32C of the payload) followed by the JSON
-// payload. A diagram built once from a large POI corpus can be reused
-// across sessions without re-running construction, and the header lets
-// a reader detect truncation or corruption instead of trusting it.
+// version, generation lineage, payload length, CRC-32C of the payload)
+// followed by the JSON payload. A diagram built once from a large POI
+// corpus can be reused across sessions without re-running construction,
+// and the header lets a reader detect truncation or corruption instead
+// of trusting it.
 func (d *Diagram) Write(w io.Writer) error {
 	f := diagramFile{
 		Version: diagramFileVersion,
@@ -67,8 +81,10 @@ func (d *Diagram) Write(w io.Writer) error {
 	var hdr [headerSize]byte
 	copy(hdr[0:4], diagramMagic)
 	hdr[4] = framingVersion
-	binary.LittleEndian.PutUint64(hdr[5:13], uint64(payload.Len()))
-	binary.LittleEndian.PutUint32(hdr[13:17], crc32.Checksum(payload.Bytes(), crcTable))
+	binary.LittleEndian.PutUint64(hdr[5:13], uint64(d.Generation))
+	binary.LittleEndian.PutUint64(hdr[13:21], uint64(d.ParentGeneration))
+	binary.LittleEndian.PutUint64(hdr[21:29], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[29:33], crc32.Checksum(payload.Bytes(), crcTable))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("csd: write header: %w", err)
 	}
@@ -94,37 +110,55 @@ func (c *crcReader) Read(p []byte) (int, error) {
 
 // Read loads a diagram written by Write, verifying the header frame
 // (magic, version, exact payload length, CRC) before rebuilding the
-// derived state (unit semantics, centers, the member index). Legacy
-// headerless files (bare JSON from before the framed format) are still
-// accepted. Any truncated, corrupt or adversarial input yields a
+// derived state (unit semantics, centers, the member index). Framing
+// v1 (no lineage fields) and legacy headerless files (bare JSON from
+// before the framed format) are still accepted; both load with zero
+// generation. Any truncated, corrupt or adversarial input yields a
 // descriptive error — never a panic, and never an allocation sized by
 // an untrusted field: the payload is streamed through the decoder under
 // an io.LimitReader, so a hostile length bounds reading, not memory.
 func Read(r io.Reader) (*Diagram, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var pre [prefixSize]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return nil, fmt.Errorf("csd: truncated diagram header: %w", err)
 		}
 		return nil, fmt.Errorf("csd: read diagram header: %w", err)
 	}
 	var f diagramFile
-	if string(hdr[0:4]) != diagramMagic {
+	if string(pre[0:4]) != diagramMagic {
 		// Legacy format: bare JSON, no integrity frame. The first byte of
 		// a JSON object is '{'; anything else is garbage.
-		if hdr[0] != '{' {
-			return nil, fmt.Errorf("csd: bad magic %q: not a diagram file", hdr[0:4])
+		if pre[0] != '{' {
+			return nil, fmt.Errorf("csd: bad magic %q: not a diagram file", pre[0:4])
 		}
-		if err := json.NewDecoder(io.MultiReader(bytes.NewReader(hdr[:]), r)).Decode(&f); err != nil {
+		if err := json.NewDecoder(io.MultiReader(bytes.NewReader(pre[:]), r)).Decode(&f); err != nil {
 			return nil, fmt.Errorf("csd: decode legacy diagram: %w", err)
 		}
 		return diagramFromFile(f)
 	}
-	if v := hdr[4]; v != framingVersion {
-		return nil, fmt.Errorf("csd: unsupported framing version %d", v)
+	var gen, parent, length uint64
+	var wantCRC uint32
+	switch pre[4] {
+	case framingVersionV1:
+		var tail [headerSizeV1 - prefixSize]byte
+		if _, err := io.ReadFull(r, tail[:]); err != nil {
+			return nil, fmt.Errorf("csd: truncated v1 diagram header: %w", err)
+		}
+		length = binary.LittleEndian.Uint64(tail[0:8])
+		wantCRC = binary.LittleEndian.Uint32(tail[8:12])
+	case framingVersion:
+		var tail [headerSize - prefixSize]byte
+		if _, err := io.ReadFull(r, tail[:]); err != nil {
+			return nil, fmt.Errorf("csd: truncated v2 diagram header: %w", err)
+		}
+		gen = binary.LittleEndian.Uint64(tail[0:8])
+		parent = binary.LittleEndian.Uint64(tail[8:16])
+		length = binary.LittleEndian.Uint64(tail[16:24])
+		wantCRC = binary.LittleEndian.Uint32(tail[24:28])
+	default:
+		return nil, fmt.Errorf("csd: unsupported framing version %d", pre[4])
 	}
-	length := binary.LittleEndian.Uint64(hdr[5:13])
-	wantCRC := binary.LittleEndian.Uint32(hdr[13:17])
 	cr := &crcReader{r: io.LimitReader(r, int64(length))}
 	if err := json.NewDecoder(cr).Decode(&f); err != nil {
 		return nil, fmt.Errorf("csd: decode diagram: %w", err)
@@ -140,7 +174,16 @@ func Read(r io.Reader) (*Diagram, error) {
 	if cr.crc != wantCRC {
 		return nil, fmt.Errorf("csd: payload checksum mismatch: got %08x, want %08x", cr.crc, wantCRC)
 	}
-	return diagramFromFile(f)
+	if gen > math.MaxInt64 || parent > math.MaxInt64 {
+		return nil, fmt.Errorf("csd: implausible generation lineage %d/%d", gen, parent)
+	}
+	d, err := diagramFromFile(f)
+	if err != nil {
+		return nil, err
+	}
+	d.Generation = int64(gen)
+	d.ParentGeneration = int64(parent)
+	return d, nil
 }
 
 // ReadFile loads a diagram from a file written with Write (via

@@ -2,6 +2,8 @@ package csd
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"regexp"
 	"strings"
@@ -95,5 +97,72 @@ func TestDiagramReadRejectsOutOfRangeMember(t *testing.T) {
 	data := strings.Replace(buf.String(), `"units":[[`, `"units":[[99999,`, 1)
 	if _, err := Read(strings.NewReader(data)); err == nil {
 		t.Error("out-of-range member accepted")
+	}
+}
+
+// TestLineageRoundTrip: generation and parent live in the v2 header and
+// must survive write/read; the JSON payload must NOT change with them,
+// so identical content at different generations is payload-byte-equal.
+func TestLineageRoundTrip(t *testing.T) {
+	d := buildSample(t)
+	d.Generation, d.ParentGeneration = 7, 6
+	var a bytes.Buffer
+	if err := d.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 7 || got.ParentGeneration != 6 {
+		t.Fatalf("lineage: got %d/%d, want 7/6", got.Generation, got.ParentGeneration)
+	}
+	d.Generation, d.ParentGeneration = 12, 7
+	var b bytes.Buffer
+	if err := d.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes()[headerSize:], b.Bytes()[headerSize:]) {
+		t.Fatal("payload bytes changed with generation; lineage leaked into the payload")
+	}
+	if bytes.Equal(a.Bytes()[:headerSize], b.Bytes()[:headerSize]) {
+		t.Fatal("header did not change with generation")
+	}
+}
+
+// TestReadFramingV1 keeps pre-lineage framed files loadable: a v1 header
+// (no generation fields) around the same payload reads back with zero
+// lineage.
+func TestReadFramingV1(t *testing.T) {
+	d := buildSample(t)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()[headerSize:]
+	v1 := make([]byte, 0, headerSizeV1+len(payload))
+	v1 = append(v1, diagramMagic...)
+	v1 = append(v1, framingVersionV1)
+	var lenb [8]byte
+	binary.LittleEndian.PutUint64(lenb[:], uint64(len(payload)))
+	v1 = append(v1, lenb[:]...)
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.Checksum(payload, crcTable))
+	v1 = append(v1, crcb[:]...)
+	v1 = append(v1, payload...)
+
+	got, err := Read(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 read: %v", err)
+	}
+	if got.Generation != 0 || got.ParentGeneration != 0 {
+		t.Fatalf("v1 lineage: got %d/%d, want 0/0", got.Generation, got.ParentGeneration)
+	}
+	if len(got.Units) != len(d.Units) {
+		t.Fatalf("v1 units: got %d, want %d", len(got.Units), len(d.Units))
+	}
+	// Truncated v1 header must be rejected, not misparsed.
+	if _, err := Read(bytes.NewReader(v1[:headerSizeV1-3])); err == nil {
+		t.Fatal("truncated v1 header accepted")
 	}
 }

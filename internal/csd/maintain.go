@@ -1,0 +1,546 @@
+package csd
+
+import (
+	"context"
+	"sort"
+
+	"csdm/internal/exec"
+	"csdm/internal/geo"
+	"csdm/internal/index"
+	"csdm/internal/obs"
+	"csdm/internal/poi"
+	"csdm/internal/stage"
+)
+
+// Maintainer is the re-entrant, delta-capable counterpart of Build: it
+// owns a City Semantic Diagram plus the intermediate construction state
+// a one-shot Build discards — the per-POI popularity sums, the
+// Algorithm 1 cluster membership per ε_p-connected component, and the
+// per-cluster purification results — so that a batch of new stay
+// points updates the diagram in time proportional to the dirty region
+// instead of the city.
+//
+// The incremental result is bit-identical to a full Build on the union
+// of all stay points, by construction rather than approximation:
+//
+//   - Popularity (Eq. 2–3) is a kernel sum accumulated in canonical
+//     ascending stay-id order; new stays only ever append ids, so a
+//     delta batch continues each POI's float-addition chain exactly
+//     where the full build's loop would have (geo.WeightSumInto).
+//   - Algorithm 1 factorizes exactly over the ε_p-connected components
+//     of the static POI graph: cluster growth only follows ≤ ε_p edges,
+//     so re-running growClusters on one component reproduces the full
+//     run's clusters within it. A component is dirty only when some
+//     member pair's α popularity-ratio predicate flipped; clean
+//     components reuse their retained clusters outright.
+//   - Algorithm 2 (purification) reads locations and categories, never
+//     popularity, so a cluster whose membership survived the delta
+//     reuses its retained purified units.
+//   - Merging (Eq. 6–8) reads the popularity-weighted distributions of
+//     every unit, and its union-find outcome is global — so it is
+//     recomputed globally each delta. It is O(#units), orders of
+//     magnitude cheaper than the phases above, and rerunning it is what
+//     keeps the guarantee exact instead of halo-approximate (the one
+//     deliberate divergence from a purely local re-merge; see
+//     DESIGN.md §5h).
+//
+// A Maintainer is not safe for concurrent use; each ApplyDelta must
+// complete before the next begins. The diagrams it returns are
+// immutable and safe to serve concurrently, like Build's.
+type Maintainer struct {
+	params Params
+	kind   index.Kind
+	pois   []poi.POI
+	kernel geo.GaussianKernel
+
+	// stays is the append-only union stay-point store. No index is ever
+	// built over it (delta batches index only themselves), so growth is
+	// always safe.
+	stays *geo.PackedPoints
+	// pop is the current canonical-order popularity. Diagrams share its
+	// backing array: the maintainer never mutates it in place (every
+	// delta copies first), so served generations stay immutable.
+	pop []float64
+
+	// locIdx is the static ε_p range structure over POI locations —
+	// Algorithm 1's candidate queries and the component decomposition
+	// both run against it, so a component re-run sees exactly the query
+	// results the full build saw.
+	locIdx index.Index
+	comp   []int // POI id → component id
+	comps  []compState
+
+	// removed/inCluster are the growth bookkeeping, reset per dirty
+	// component before reuse (components are disjoint, so stale marks
+	// from another component are never read).
+	removed, inCluster []bool
+
+	gen     int64
+	diagram *Diagram
+}
+
+// compState is the retained Algorithm 1–2 state of one ε_p-connected
+// component.
+type compState struct {
+	// pois are the component's members, ascending.
+	pois []int
+	// clusters are the kept Algorithm 1 clusters grown within the
+	// component, in seed order (each cluster's first element is its
+	// seed, the minimum member id).
+	clusters [][]int
+	// leftover are members in no kept cluster, ascending.
+	leftover []int
+	// purified[i] are the Algorithm 2 unit member lists of clusters[i]
+	// (nil when purification is skipped).
+	purified [][][]int
+}
+
+// DeltaStats reports what one ApplyDelta did.
+type DeltaStats struct {
+	// Generation is the produced diagram's generation.
+	Generation int64
+	// BatchStays is the number of stay points in the applied batch.
+	BatchStays int
+	// AffectedPOIs is how many POIs had popularity updated (within R3σ
+	// of some batch stay).
+	AffectedPOIs int
+	// DirtyComponents counts the ε_p components whose α-ratio predicate
+	// flipped somewhere, forcing a clustering + purification re-run.
+	DirtyComponents int
+	// DirtyUnits counts the purified units recomputed in dirty
+	// components; ReusedUnits counts the units carried over from the
+	// retained state.
+	DirtyUnits  int
+	ReusedUnits int
+}
+
+// NewMaintainer constructs the maintainer and its initial diagram
+// (generation 1) with default execution options.
+func NewMaintainer(pois []poi.POI, stays []geo.Point, params Params) (*Maintainer, error) {
+	return NewMaintainerEnv(stage.Background(), pois, stays, params)
+}
+
+// NewMaintainerEnv is the full-control constructor: it runs the same
+// construction stages as BuildEnv — on env's worker pool and index
+// backend, recording spans under "csd.maintain" — but retains the
+// intermediate state ApplyDelta needs. The initial diagram is
+// bit-identical to BuildEnv's on the same inputs, with Generation 1.
+func NewMaintainerEnv(env stage.Env, pois []poi.POI, stays []geo.Point, params Params) (*Maintainer, error) {
+	ctx, tr, opt := env.Ctx, env.Trace, env.Opt
+	root := env.StartSpan("csd.maintain")
+	defer root.End()
+
+	m := &Maintainer{
+		params: params,
+		kind:   opt.Index,
+		pois:   pois,
+		kernel: newKernelFor(params),
+		stays:  geo.Pack(stays),
+	}
+
+	sp := root.Start("popularity")
+	pop, err := popularity(ctx, pois, stays, m.kernel, opt)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	m.pop = pop
+
+	n := len(pois)
+	m.locIdx = index.New(opt.Index, poi.Locations(pois), params.EpsP)
+	m.removed = make([]bool, n)
+	m.inCluster = make([]bool, n)
+
+	sp = root.Start("components")
+	m.buildComponents()
+	sp.End()
+	tr.Add("csd.maintain.components", int64(len(m.comps)))
+
+	// One global Algorithm 1 pass (identical to Build's), scattered into
+	// the per-component retained state afterwards: clusters arrive in
+	// ascending seed order and leftovers ascending, so per-component
+	// order falls out of the append.
+	sp = root.Start("clustering")
+	scratch := m.scratchDiagram(pop)
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	clusters, leftover, err := scratch.growClusters(ctx, m.locIdx, seeds, make([]bool, n), make([]bool, n))
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	for _, cl := range clusters {
+		c := m.comp[cl[0]]
+		m.comps[c].clusters = append(m.comps[c].clusters, cl)
+	}
+	for _, i := range leftover {
+		c := m.comp[i]
+		m.comps[c].leftover = append(m.comps[c].leftover, i)
+	}
+
+	if !params.SkipPurification {
+		sp = root.Start("purification")
+		all := make([]int, len(m.comps))
+		for c := range all {
+			all[c] = c
+		}
+		err = m.purifyComponents(ctx, tr, opt, scratch, all)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m.gen = 1
+	sp = root.Start("assemble")
+	d, err := m.assemble(ctx, pop, m.comps, 0)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	m.diagram = d
+	tr.Add("csd.units.final", int64(len(d.Units)))
+	return m, nil
+}
+
+// Diagram returns the current generation's diagram.
+func (m *Maintainer) Diagram() *Diagram { return m.diagram }
+
+// Generation returns the current generation number (1 after
+// construction, +1 per applied delta).
+func (m *Maintainer) Generation() int64 { return m.gen }
+
+// SetGeneration renumbers the current generation (and the diagram's
+// lineage header) without touching any retained state — the hook a
+// restarted ingester uses to continue a checkpoint directory's
+// generation sequence instead of restarting at 1. The parent
+// generation is left untouched: renumbering changes the label, not the
+// derivation.
+func (m *Maintainer) SetGeneration(gen int64) {
+	m.gen = gen
+	m.diagram.Generation = gen
+}
+
+// StayCount returns the number of stay points accumulated so far.
+func (m *Maintainer) StayCount() int { return m.stays.Len() }
+
+// scratchDiagram wraps the maintainer's inputs and a popularity slice
+// in a Diagram so the Build-phase methods (growClusters, purifyCluster,
+// merge, finalize) run unchanged against it.
+func (m *Maintainer) scratchDiagram(pop []float64) *Diagram {
+	return &Diagram{Params: m.params, POIs: m.pois, Pop: pop, kernel: m.kernel}
+}
+
+// buildComponents decomposes the POI set into ε_p-connected components
+// by flood fill over locIdx.
+func (m *Maintainer) buildComponents() {
+	n := len(m.pois)
+	m.comp = make([]int, n)
+	for i := range m.comp {
+		m.comp[i] = -1
+	}
+	var queue, nbr []int
+	for i := 0; i < n; i++ {
+		if m.comp[i] >= 0 {
+			continue
+		}
+		c := len(m.comps)
+		m.comps = append(m.comps, compState{})
+		m.comp[i] = c
+		queue = append(queue[:0], i)
+		members := []int{i}
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			nbr = m.locIdx.WithinAppend(m.pois[j].Location, m.params.EpsP, nbr[:0])
+			for _, k := range nbr {
+				if m.comp[k] < 0 {
+					m.comp[k] = c
+					queue = append(queue, k)
+					members = append(members, k)
+				}
+			}
+		}
+		sort.Ints(members)
+		m.comps[c].pois = members
+	}
+}
+
+// purifyComponents re-runs Algorithm 2 for every cluster of the listed
+// components, fanning the clusters out over the worker pool exactly
+// like Build's purify (results are deterministic per cluster, so the
+// worker count never shows in the output).
+func (m *Maintainer) purifyComponents(ctx context.Context, tr *obs.Trace, opt exec.Options, scratch *Diagram, comps []int) error {
+	type ref struct{ c, i int }
+	var refs []ref
+	for _, c := range comps {
+		cs := &m.comps[c]
+		cs.purified = make([][][]int, len(cs.clusters))
+		for i := range cs.clusters {
+			refs = append(refs, ref{c, i})
+		}
+	}
+	exec.Note(tr, len(refs), exec.Workers(opt.Workers))
+	perCluster, err := exec.ParallelMap(ctx, opt.Workers, len(refs), func(k int) ([][]int, error) {
+		r := refs[k]
+		return scratch.purifyCluster(m.comps[r.c].clusters[r.i], tr), nil
+	})
+	if err != nil {
+		return err
+	}
+	for k, units := range perCluster {
+		r := refs[k]
+		m.comps[r.c].purified[r.i] = units
+	}
+	return nil
+}
+
+// assemble materializes a diagram from per-component retained state:
+// global cluster order is ascending seed id (components interleave
+// exactly as the full build's single pass produced them), units are the
+// reverse-order concatenation Build's purify emits, leftovers merge
+// ascending, and the merge + singleton + finalize phases run globally
+// on the new popularity. Unit member slices are deep-copied out of the
+// retained state so the merge/finalize phases (which append and sort in
+// place) can never corrupt the cache.
+func (m *Maintainer) assemble(ctx context.Context, pop []float64, comps []compState, parent int64) (*Diagram, error) {
+	nd := &Diagram{
+		Params:           m.params,
+		POIs:             m.pois,
+		Pop:              pop,
+		kernel:           m.kernel,
+		Generation:       m.gen,
+		ParentGeneration: parent,
+	}
+	type ref struct{ c, i int }
+	var refs []ref
+	for c := range comps {
+		for i := range comps[c].clusters {
+			refs = append(refs, ref{c, i})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		return comps[refs[a].c].clusters[refs[a].i][0] < comps[refs[b].c].clusters[refs[b].i][0]
+	})
+
+	var units [][]int
+	if m.params.SkipPurification {
+		for _, r := range refs {
+			units = append(units, append([]int(nil), comps[r.c].clusters[r.i]...))
+		}
+	} else {
+		// Build's purify concatenates per-cluster unit lists in reverse
+		// cluster order (the shared-LIFO heritage); reproduce it.
+		for j := len(refs) - 1; j >= 0; j-- {
+			r := refs[j]
+			for _, u := range comps[r.c].purified[r.i] {
+				units = append(units, append([]int(nil), u...))
+			}
+		}
+	}
+	var leftover []int
+	for c := range comps {
+		leftover = append(leftover, comps[c].leftover...)
+	}
+	sort.Ints(leftover)
+
+	if !m.params.SkipMerging {
+		var err error
+		units, leftover, err = nd.merge(ctx, units, leftover, m.kind)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if m.params.KeepSingletons {
+		for _, i := range leftover {
+			units = append(units, []int{i})
+		}
+	}
+	nd.finalize(units, m.kind)
+	return nd, nil
+}
+
+// ApplyDelta applies one batch of new stay points and returns the next
+// generation's diagram: delta popularity over the batch only, α-flip
+// dirty marking per ε_p component, Algorithm 1–2 re-runs restricted to
+// the dirty components, and a global re-merge + finalize. The result is
+// bit-identical to a full Build over the union of every stay point seen
+// so far (same units, same member order, same popularity bits), for any
+// worker count and index backend.
+//
+// On error (cancellation, deadline) the maintainer's retained state is
+// unchanged and the batch is not applied; the caller may retry.
+func (m *Maintainer) ApplyDelta(env stage.Env, batch []geo.Point) (*Diagram, DeltaStats, error) {
+	ctx, tr, opt := env.Ctx, env.Trace, env.Opt
+	root := env.StartSpan("csd.delta")
+	defer root.End()
+	st := DeltaStats{BatchStays: len(batch)}
+
+	// Delta popularity: index the batch alone, and fold each affected
+	// POI's new weights into its running sum in ascending id order —
+	// batch-local ascending equals global ascending, because the batch's
+	// ids all follow every existing stay's.
+	sp := root.Start("delta.popularity")
+	newPop := append([]float64(nil), m.pop...)
+	batchPP := geo.Pack(batch)
+	touched := make([]bool, len(m.pois))
+	if len(batch) > 0 {
+		batchIdx := index.NewPacked(opt.Index, batchPP, m.kernel.Radius())
+		arenas := opt.AcquireArenas(exec.Slots(opt.Workers, len(m.pois)))
+		err := exec.ParallelForSlots(ctx, opt.Workers, len(m.pois), func(slot, i int) error {
+			loc := m.pois[i].Location
+			buf := batchIdx.WithinAppend(loc, m.kernel.Radius(), arenas[slot].Ints[:0])
+			arenas[slot].Ints = buf
+			if len(buf) == 0 {
+				return nil
+			}
+			sort.Ints(buf)
+			newPop[i] = m.kernel.WeightSumInto(newPop[i], loc, batchPP, buf)
+			touched[i] = true
+			return nil
+		})
+		opt.ReleaseArenas(arenas)
+		if err != nil {
+			sp.End()
+			return nil, st, err
+		}
+	}
+	var affected []int
+	for i, t := range touched {
+		if t {
+			affected = append(affected, i)
+		}
+	}
+	sp.End()
+	st.AffectedPOIs = len(affected)
+
+	// Dirty marking: a component must re-cluster only when the α
+	// popularity-ratio predicate flipped for some member pair — the one
+	// input of Algorithm 1 that popularity feeds (locations, categories
+	// and d_v are static). Checking affected×members pairs is
+	// conservative and sound: growth examines a subset of those pairs,
+	// so "no pair flipped" implies an identical re-run.
+	sp = root.Start("delta.dirty")
+	dirtySet := make(map[int]bool)
+	for _, a := range affected {
+		c := m.comp[a]
+		if dirtySet[c] {
+			continue
+		}
+		for _, b := range m.comps[c].pois {
+			if popRatioOK(m.pop[a], m.pop[b], m.params.Alpha) !=
+				popRatioOK(newPop[a], newPop[b], m.params.Alpha) {
+				dirtySet[c] = true
+				break
+			}
+		}
+	}
+	dirty := make([]int, 0, len(dirtySet))
+	for c := range dirtySet {
+		dirty = append(dirty, c)
+	}
+	sort.Ints(dirty)
+	sp.End()
+	st.DirtyComponents = len(dirty)
+	tr.Add("csd.delta.dirty_components", int64(len(dirty)))
+
+	// Re-run Algorithms 1–2 on the dirty components against the static
+	// location index and the new popularity. Results go to a working
+	// view first; the maintainer commits only after everything (merge
+	// included) succeeded.
+	scratch := m.scratchDiagram(newPop)
+	view := make([]compState, len(m.comps))
+	copy(view, m.comps)
+	sp = root.Start("delta.clustering")
+	for _, c := range dirty {
+		members := m.comps[c].pois
+		for _, i := range members {
+			m.removed[i] = false
+			m.inCluster[i] = false
+		}
+		clusters, leftover, err := scratch.growClusters(ctx, m.locIdx, members, m.removed, m.inCluster)
+		if err != nil {
+			sp.End()
+			return nil, st, err
+		}
+		view[c] = compState{pois: members, clusters: clusters, leftover: leftover}
+	}
+	sp.End()
+
+	if !m.params.SkipPurification {
+		sp = root.Start("delta.purification")
+		err := (&maintView{m: m, comps: view}).purify(ctx, tr, opt, scratch, dirty)
+		sp.End()
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	for c := range view {
+		n := 0
+		if !m.params.SkipPurification {
+			for _, us := range view[c].purified {
+				n += len(us)
+			}
+		} else {
+			n = len(view[c].clusters)
+		}
+		if dirtySet[c] {
+			st.DirtyUnits += n
+		} else {
+			st.ReusedUnits += n
+		}
+	}
+	tr.Add("csd.delta.dirty_units", int64(st.DirtyUnits))
+
+	// Assemble the next generation, then commit.
+	gen := m.gen + 1
+	parent := m.gen
+	m.gen = gen
+	sp = root.Start("delta.assemble")
+	d, err := m.assemble(ctx, newPop, view, parent)
+	sp.End()
+	if err != nil {
+		m.gen = parent
+		return nil, st, err
+	}
+	m.stays.Append(batch)
+	m.pop = newPop
+	m.comps = view
+	m.diagram = d
+	st.Generation = gen
+	tr.Add("csd.delta.applied", 1)
+	return d, st, nil
+}
+
+// maintView adapts purifyComponents to a working copy of the component
+// state (ApplyDelta must not touch the retained state before commit).
+type maintView struct {
+	m     *Maintainer
+	comps []compState
+}
+
+func (v *maintView) purify(ctx context.Context, tr *obs.Trace, opt exec.Options, scratch *Diagram, comps []int) error {
+	type ref struct{ c, i int }
+	var refs []ref
+	for _, c := range comps {
+		cs := &v.comps[c]
+		cs.purified = make([][][]int, len(cs.clusters))
+		for i := range cs.clusters {
+			refs = append(refs, ref{c, i})
+		}
+	}
+	exec.Note(tr, len(refs), exec.Workers(opt.Workers))
+	perCluster, err := exec.ParallelMap(ctx, opt.Workers, len(refs), func(k int) ([][]int, error) {
+		r := refs[k]
+		return scratch.purifyCluster(v.comps[r.c].clusters[r.i], tr), nil
+	})
+	if err != nil {
+		return err
+	}
+	for k, units := range perCluster {
+		r := refs[k]
+		v.comps[r.c].purified[r.i] = units
+	}
+	return nil
+}

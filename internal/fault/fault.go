@@ -26,6 +26,9 @@
 //
 // Sites currently wired: the diagram builder's stage boundaries
 // (csd.popularity, csd.clustering, csd.purification, csd.merging), the
+// streaming delta-apply boundary (csd.ingest — fires at the top of each
+// ingested batch, so an injected error proves a failed batch leaves the
+// maintainer on its previous generation and is retryable), the
 // worker pool (exec.task), and the recognition service's two hardened
 // paths — serve.request fires inside every contained request handler
 // (so an injected panic exercises per-request isolation, never the

@@ -45,3 +45,18 @@ func (k GaussianKernel) WeightDist(d float64) float64 {
 func (k GaussianKernel) Weight(a, b Point) float64 {
 	return k.WeightDist(Haversine(a, b))
 }
+
+// WeightSumInto folds the kernel weights between center and the
+// identified packed points into acc, one addition per id in the ids'
+// order, and returns the new accumulator. The incremental popularity
+// update is bit-identical to a full rebuild only because of this shape:
+// float addition is non-associative, so each new stay's weight must
+// join the POI's running sum exactly where a full rebuild's canonical
+// ascending-id loop would have added it — pre-summing the batch and
+// adding once would round differently.
+func (k GaussianKernel) WeightSumInto(acc float64, center Point, pp *PackedPoints, ids []int) float64 {
+	for _, id := range ids {
+		acc += k.WeightDist(Haversine(center, pp.At(id)))
+	}
+	return acc
+}

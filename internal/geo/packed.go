@@ -46,6 +46,31 @@ func Pack(pts []Point) *PackedPoints {
 // Len returns the number of packed points.
 func (pp *PackedPoints) Len() int { return len(pp.Lon) }
 
+// Append grows the store with pts, assigning them the next ids in
+// order. If the store is already projected, the new tail is projected
+// under the existing projection (same origin — ProjectAll is
+// per-element, so the old points' planar bits are untouched and the
+// tail's bits equal a from-scratch projection of the grown set at the
+// same origin). Growth never disturbs an index built earlier over the
+// store: the index aliases slice headers whose length predates the
+// append, so it keeps answering over exactly the first Len-at-build
+// points. The incremental CSD maintainer leans on both properties —
+// stay points only ever gain ids, never move or reorder.
+func (pp *PackedPoints) Append(pts []Point) {
+	for _, p := range pts {
+		pp.Lon = append(pp.Lon, p.Lon)
+		pp.Lat = append(pp.Lat, p.Lat)
+	}
+	if pp.projected {
+		lo := len(pp.X)
+		for len(pp.X) < len(pp.Lon) {
+			pp.X = append(pp.X, 0)
+			pp.Y = append(pp.Y, 0)
+		}
+		pp.proj.ProjectAll(pp.X[lo:], pp.Y[lo:], pp.Lon[lo:], pp.Lat[lo:])
+	}
+}
+
 // At returns point i as a Point value (exact coordinate bits, no
 // rounding — At(i) equals the Point that was packed).
 func (pp *PackedPoints) At(i int) Point {

@@ -115,3 +115,96 @@ func TestPackedProjectMatchesProjection(t *testing.T) {
 		t.Fatalf("empty store origin %v", got)
 	}
 }
+
+// TestPackedAppend pins the append-growth contract the incremental CSD
+// maintainer depends on: appended points get the next ids, an already-
+// projected store projects the tail under the unchanged origin with
+// bit-identical planar coordinates to a from-scratch projection of the
+// grown set, and the old points' bits never move.
+func TestPackedAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	mk := func(n int) []Point {
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Lon: 121.3 + rng.Float64()*0.4, Lat: 31.0 + rng.Float64()*0.3}
+		}
+		return pts
+	}
+	base, tail := mk(100), mk(37)
+
+	pp := Pack(base)
+	origin := pp.Centroid()
+	pr := pp.Project(origin)
+	oldX := append([]float64(nil), pp.X...)
+	pp.Append(tail)
+
+	if pp.Len() != len(base)+len(tail) {
+		t.Fatalf("Len = %d, want %d", pp.Len(), len(base)+len(tail))
+	}
+	for i, p := range tail {
+		if pp.At(len(base)+i) != p {
+			t.Fatalf("appended point %d misplaced", i)
+		}
+	}
+	if !pp.Projected() || pp.Proj() != pr {
+		t.Fatal("Append changed the store's projection")
+	}
+	for i := range oldX {
+		if math.Float64bits(pp.X[i]) != math.Float64bits(oldX[i]) {
+			t.Fatalf("old planar bits moved at %d", i)
+		}
+	}
+	// The grown store equals a fresh projection of the union at the
+	// same origin, bit for bit.
+	union := Pack(append(append([]Point(nil), base...), tail...))
+	union.Project(origin)
+	for i := 0; i < pp.Len(); i++ {
+		if math.Float64bits(pp.X[i]) != math.Float64bits(union.X[i]) ||
+			math.Float64bits(pp.Y[i]) != math.Float64bits(union.Y[i]) {
+			t.Fatalf("planar mismatch at %d after append", i)
+		}
+	}
+	// Appending to an unprojected store leaves it unprojected.
+	lazy := Pack(base)
+	lazy.Append(tail)
+	if lazy.Projected() {
+		t.Fatal("Append projected an unprojected store")
+	}
+	if lazy.Len() != pp.Len() {
+		t.Fatalf("lazy Len = %d, want %d", lazy.Len(), pp.Len())
+	}
+}
+
+// TestWeightSumInto pins the chain-exactness of the incremental kernel
+// sum: folding a tail of weights into a running sum one at a time must
+// reproduce the single full-order loop bit for bit, for any split point.
+func TestWeightSumInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	center := Point{Lon: 121.5, Lat: 31.2}
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Point{Lon: 121.5 + (rng.Float64()-0.5)*0.002, Lat: 31.2 + (rng.Float64()-0.5)*0.002}
+	}
+	pp := Pack(pts)
+	k := NewGaussianKernel(100)
+	all := make([]int, len(pts))
+	for i := range all {
+		all[i] = i
+	}
+	full := k.WeightSumInto(0, center, pp, all)
+	for _, cut := range []int{0, 1, 17, 63, 64} {
+		head := k.WeightSumInto(0, center, pp, all[:cut])
+		sum := k.WeightSumInto(head, center, pp, all[cut:])
+		if math.Float64bits(sum) != math.Float64bits(full) {
+			t.Fatalf("cut %d: incremental sum %v != full %v", cut, sum, full)
+		}
+	}
+	// And it agrees with the Weight loop popularity() runs.
+	var loop float64
+	for _, p := range pts {
+		loop += k.Weight(center, p)
+	}
+	if math.Float64bits(loop) != math.Float64bits(full) {
+		t.Fatalf("WeightSumInto %v != Weight loop %v", full, loop)
+	}
+}

@@ -56,12 +56,12 @@ func TestHistogramNilNoOp(t *testing.T) {
 // in the +Inf overflow bucket.
 func TestBucketBoundaries(t *testing.T) {
 	h := NewHistogram([]float64{1, 2, 4})
-	h.Observe(1)   // bucket 0 (le=1)
-	h.Observe(1.5) // bucket 1 (le=2)
-	h.Observe(2)   // bucket 1 (le=2)
-	h.Observe(4)   // bucket 2 (le=4)
-	h.Observe(4.1) // overflow
-	h.Observe(0)   // bucket 0
+	h.Observe(1)          // bucket 0 (le=1)
+	h.Observe(1.5)        // bucket 1 (le=2)
+	h.Observe(2)          // bucket 1 (le=2)
+	h.Observe(4)          // bucket 2 (le=4)
+	h.Observe(4.1)        // overflow
+	h.Observe(0)          // bucket 0
 	h.Observe(math.NaN()) // dropped
 	s := h.Snapshot()
 	wantCounts := []int64{2, 2, 1, 1}

@@ -197,11 +197,13 @@ func (s *Server) handleInfo(_ context.Context, w http.ResponseWriter, _ *http.Re
 		return &httpError{code: http.StatusServiceUnavailable, msg: "no snapshot loaded"}
 	}
 	return writeJSON(w, map[string]any{
-		"generation": snap.Generation,
-		"loaded_at":  snap.LoadedAt.UTC().Format(time.RFC3339),
-		"units":      len(snap.Diagram.Units),
-		"pois":       len(snap.Diagram.POIs),
-		"patterns":   len(s.Patterns()),
+		"generation":                snap.Generation,
+		"diagram_generation":        snap.DiagramGeneration,
+		"diagram_parent_generation": snap.DiagramParent,
+		"loaded_at":                 snap.LoadedAt.UTC().Format(time.RFC3339),
+		"units":                     len(snap.Diagram.Units),
+		"pois":                      len(snap.Diagram.POIs),
+		"patterns":                  len(s.Patterns()),
 		"extent": map[string]pointJSON{
 			"min": {Lon: snap.Extent.Min.Lon, Lat: snap.Extent.Min.Lat},
 			"max": {Lon: snap.Extent.Max.Lon, Lat: snap.Extent.Max.Lat},

@@ -17,6 +17,7 @@ const (
 	mReloadFailures = "csdm_serve_reload_failures_total"
 	mInflight       = "csdm_serve_inflight"
 	mGeneration     = "csdm_serve_snapshot_generation"
+	mDiagramGen     = "csdm_serve_diagram_generation"
 	mUnits          = "csdm_serve_snapshot_units"
 	famReqSeconds   = "csdm_serve_request_seconds"
 )
@@ -47,6 +48,7 @@ func newMetrics(reg *obs.Registry) *metricsSet {
 	reg.Describe(mReloadFailures, "Snapshot reloads rejected (corrupt file or failed validation); the prior diagram stayed live.")
 	reg.Describe(mInflight, "Requests currently holding an admission slot.")
 	reg.Describe(mGeneration, "Generation of the live snapshot (increments on every successful swap).")
+	reg.Describe(mDiagramGen, "Diagram lineage generation of the live snapshot, from the .csdf framing header (0 for one-shot builds).")
 	reg.Describe(mUnits, "Semantic units in the live snapshot.")
 	reg.Describe(famReqSeconds, "Latency of recognition-service requests, by route.")
 	// Seed every family at zero so /metrics is complete before the
@@ -56,6 +58,7 @@ func newMetrics(reg *obs.Registry) *metricsSet {
 	}
 	reg.SetGauge(mInflight, 0)
 	reg.SetGauge(mGeneration, 0)
+	reg.SetGauge(mDiagramGen, 0)
 	reg.SetGauge(mUnits, 0)
 	for _, route := range routeNames {
 		reg.Add(obs.Label(mRequests, "route", route), 0)
@@ -64,20 +67,21 @@ func newMetrics(reg *obs.Registry) *metricsSet {
 	return m
 }
 
-func (m *metricsSet) request(route string)  { m.reg.Add(obs.Label(mRequests, "route", route), 1) }
-func (m *metricsSet) shed()                 { m.reg.Add(mShed, 1) }
-func (m *metricsSet) panicked()             { m.reg.Add(mPanics, 1) }
-func (m *metricsSet) errored()              { m.reg.Add(mErrors, 1) }
-func (m *metricsSet) timedOut()             { m.reg.Add(mTimeouts, 1) }
-func (m *metricsSet) reloaded()             { m.reg.Add(mReloads, 1) }
-func (m *metricsSet) reloadFailed()         { m.reg.Add(mReloadFailures, 1) }
-func (m *metricsSet) inflight(n int64)      { m.reg.SetGauge(mInflight, float64(n)) }
+func (m *metricsSet) request(route string) { m.reg.Add(obs.Label(mRequests, "route", route), 1) }
+func (m *metricsSet) shed()                { m.reg.Add(mShed, 1) }
+func (m *metricsSet) panicked()            { m.reg.Add(mPanics, 1) }
+func (m *metricsSet) errored()             { m.reg.Add(mErrors, 1) }
+func (m *metricsSet) timedOut()            { m.reg.Add(mTimeouts, 1) }
+func (m *metricsSet) reloaded()            { m.reg.Add(mReloads, 1) }
+func (m *metricsSet) reloadFailed()        { m.reg.Add(mReloadFailures, 1) }
+func (m *metricsSet) inflight(n int64)     { m.reg.SetGauge(mInflight, float64(n)) }
 func (m *metricsSet) observe(route string, seconds float64) {
 	if h := m.reqHist[route]; h != nil {
 		h.Observe(seconds)
 	}
 }
-func (m *metricsSet) setGeneration(gen int64, units int) {
+func (m *metricsSet) setGeneration(gen, diagramGen int64, units int) {
 	m.reg.SetGauge(mGeneration, float64(gen))
+	m.reg.SetGauge(mDiagramGen, float64(diagramGen))
 	m.reg.SetGauge(mUnits, float64(units))
 }

@@ -2,10 +2,28 @@ package serve
 
 import (
 	"fmt"
+	"os"
 
+	"csdm/internal/ckpt"
 	"csdm/internal/csd"
 	"csdm/internal/fault"
+	"csdm/internal/pattern"
 )
+
+// readPatternsFile loads a mined pattern set (the csdminer
+// -save-patterns format), wrapping errors with the path.
+func readPatternsFile(path string) ([]pattern.Pattern, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load patterns: %w", err)
+	}
+	defer f.Close()
+	ps, err := pattern.ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load patterns %s: %w", path, err)
+	}
+	return ps, nil
+}
 
 // validateDiagram is the snapshot sanity check shared by the initial
 // load and every reload: a diagram that decodes cleanly (the framed
@@ -24,11 +42,16 @@ func validateDiagram(d *csd.Diagram) error {
 // Reload re-reads the snapshot path through the framed CRC loader,
 // validates the replacement — non-empty units, and an extent
 // overlapping the live diagram's (a snapshot for a different city is a
-// deploy mistake, not an update) — and atomically swaps it in. On any
-// failure the old diagram keeps serving, csdm_serve_reload_failures_total
-// is bumped, and the error is returned; in-flight and subsequent
-// requests never notice. Concurrent Reloads serialize; request paths
-// never block on one.
+// deploy mistake, not an update) — and atomically swaps it in. When
+// the server was pointed at a checkpoint directory (LoadCurrent), the
+// CURRENT pointer is re-resolved first, so the reload follows a
+// streaming ingester's lineage; when a patterns file was installed
+// (LoadPatterns), it is re-read inside the same swap, so the pattern
+// set can never skew against the diagram. On any failure — including a
+// corrupt patterns file — the old diagram AND old patterns keep
+// serving, csdm_serve_reload_failures_total is bumped, and the error
+// is returned; in-flight and subsequent requests never notice.
+// Concurrent Reloads serialize; request paths never block on one.
 func (s *Server) Reload() (*Snapshot, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
@@ -45,6 +68,13 @@ func (s *Server) Reload() (*Snapshot, error) {
 }
 
 func (s *Server) reloadLocked() (*Snapshot, error) {
+	if s.currentDir != "" {
+		path, err := ckpt.ResolveCurrent(s.currentDir)
+		if err != nil {
+			return nil, err
+		}
+		s.snapshotPath = path
+	}
 	if s.snapshotPath == "" {
 		return nil, fmt.Errorf("serve: no snapshot path to reload (diagram was installed directly)")
 	}
@@ -63,7 +93,21 @@ func (s *Server) reloadLocked() (*Snapshot, error) {
 			return nil, fmt.Errorf("serve: snapshot extent %v does not overlap live extent %v: refusing swap", ext, old.Extent)
 		}
 	}
-	return s.install(d), nil
+	// Everything the swap needs is validated before anything goes live:
+	// a corrupt patterns file aborts here, before the diagram swaps, so
+	// the service never serves a new diagram with stale patterns or
+	// vice versa.
+	var ps []pattern.Pattern
+	if s.patternsPath != "" {
+		if ps, err = readPatternsFile(s.patternsPath); err != nil {
+			return nil, err
+		}
+	}
+	snap := s.install(d)
+	if s.patternsPath != "" {
+		s.SetPatterns(ps)
+	}
+	return snap, nil
 }
 
 // generation returns the live snapshot's generation (0 before the

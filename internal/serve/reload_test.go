@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"csdm/internal/geo"
 	"csdm/internal/obs"
@@ -222,6 +223,13 @@ func TestConcurrentHotSwap(t *testing.T) {
 				t.Fatalf("round %d: corrupt reload changed the snapshot", round)
 			}
 		}
+	}
+	// On a single-CPU box (especially under -race) the reloader loop can
+	// finish before any hammer goroutine gets scheduled; give them time
+	// to serve at least one request so the overlap assertion below means
+	// something.
+	for deadline := time.Now().Add(5 * time.Second); served.Load() == 0 && failed.Load() == 0 && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
 	}
 	stop.Store(true)
 	wg.Wait()

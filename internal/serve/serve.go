@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"csdm/internal/ckpt"
 	"csdm/internal/csd"
 	"csdm/internal/exec"
 	"csdm/internal/fault"
@@ -116,8 +117,18 @@ type Snapshot struct {
 	Rec *recognize.CSDRecognizer
 	// Extent is Diagram.Extent(), cached at swap time.
 	Extent geo.Rect
-	// Generation counts swaps, starting at 1 for the initial load.
+	// Generation counts swaps, starting at 1 for the initial load. It
+	// is the server's own counter — distinct from the diagram's lineage
+	// generation below, which can stay constant across swaps (reloading
+	// the same file) or jump (catching up on a stream).
 	Generation int64
+	// DiagramGeneration is the diagram's lineage generation from the
+	// .csdf framing header (0 for one-shot builds and legacy files);
+	// DiagramParent is the generation it was derived from. A watcher
+	// following a streaming ingester sees these advance with each
+	// published delta.
+	DiagramGeneration int64
+	DiagramParent     int64
 	// LoadedAt is when this snapshot went live.
 	LoadedAt time.Time
 }
@@ -136,9 +147,15 @@ type Server struct {
 	draining atomic.Bool
 
 	// reloadMu serializes LoadSnapshot/Reload; request paths never
-	// take it.
+	// take it. snapshotPath is the last loaded snapshot file;
+	// patternsPath, when set, is re-read inside every reload so the
+	// pattern set swaps with the diagram; currentDir, when set, makes
+	// every reload re-resolve the checkpoint directory's CURRENT
+	// pointer first (the streaming-ingestion publish protocol).
 	reloadMu     sync.Mutex
 	snapshotPath string
+	patternsPath string
+	currentDir   string
 
 	scratch sync.Pool // *recognize.Scratch
 
@@ -184,14 +201,16 @@ func (s *Server) install(d *csd.Diagram) *Snapshot {
 		gen = old.Generation + 1
 	}
 	snap := &Snapshot{
-		Diagram:    d,
-		Rec:        recognize.NewCSDRecognizer(d),
-		Extent:     d.Extent(),
-		Generation: gen,
-		LoadedAt:   time.Now(),
+		Diagram:           d,
+		Rec:               recognize.NewCSDRecognizer(d),
+		Extent:            d.Extent(),
+		Generation:        gen,
+		DiagramGeneration: d.Generation,
+		DiagramParent:     d.ParentGeneration,
+		LoadedAt:          time.Now(),
 	}
 	s.snap.Store(snap)
-	s.met.setGeneration(gen, len(d.Units))
+	s.met.setGeneration(gen, d.Generation, len(d.Units))
 	return snap
 }
 
@@ -222,6 +241,43 @@ func (s *Server) LoadSnapshot(path string) error {
 
 // SetPatterns installs the mined pattern set served by /v1/patterns.
 func (s *Server) SetPatterns(ps []pattern.Pattern) { s.patterns.Store(&ps) }
+
+// LoadPatterns reads the pattern file, installs it, and remembers the
+// path: every subsequent Reload re-reads it inside the same validated
+// swap, so the diagram and its patterns change together — and a reload
+// whose pattern file is corrupt rolls the whole swap back, keeping
+// both the old diagram and the old patterns live.
+func (s *Server) LoadPatterns(path string) error {
+	ps, err := readPatternsFile(path)
+	if err != nil {
+		return err
+	}
+	s.reloadMu.Lock()
+	s.patternsPath = path
+	s.reloadMu.Unlock()
+	s.SetPatterns(ps)
+	s.cfg.logf("serving %d mined patterns from %s", len(ps), path)
+	return nil
+}
+
+// LoadCurrent resolves the checkpoint directory's CURRENT pointer
+// (the streaming ingester's atomic publish) and loads the snapshot it
+// names. The directory is remembered: every Reload re-resolves
+// CURRENT first, so a SIGHUP — or StartWatch — follows the lineage to
+// whatever generation is published now.
+func (s *Server) LoadCurrent(dir string) error {
+	path, err := ckpt.ResolveCurrent(dir)
+	if err != nil {
+		return err
+	}
+	if err := s.LoadSnapshot(path); err != nil {
+		return err
+	}
+	s.reloadMu.Lock()
+	s.currentDir = dir
+	s.reloadMu.Unlock()
+	return nil
+}
 
 // Patterns returns the installed pattern set (nil when none).
 func (s *Server) Patterns() []pattern.Pattern {

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"time"
+
+	"csdm/internal/ckpt"
+)
+
+// StartWatch polls the checkpoint directory's CURRENT pointer (set by
+// LoadCurrent) every interval and runs a full validated Reload whenever
+// the pointer names a different snapshot than the one serving — the
+// pull half of the streaming-ingestion publish protocol. A failed
+// reload is logged and counted (csdm_serve_reload_failures_total) and
+// the watcher keeps polling; the old generation keeps serving, exactly
+// as with SIGHUP. Polling (rather than inotify) keeps the watcher
+// portable and is cheap at ingestion cadence: one ReadFile of a
+// one-line pointer per tick.
+//
+// The returned stop function terminates the watcher and waits for a
+// poll in flight to finish; it is safe to call once.
+func (s *Server) StartWatch(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			s.reloadMu.Lock()
+			dir, loaded := s.currentDir, s.snapshotPath
+			s.reloadMu.Unlock()
+			if dir == "" {
+				continue
+			}
+			path, err := ckpt.ResolveCurrent(dir)
+			if err != nil {
+				s.cfg.logf("watch: %v", err)
+				continue
+			}
+			if path == loaded {
+				continue
+			}
+			if _, err := s.Reload(); err != nil {
+				// Reload already counted and logged the failure; the
+				// next tick retries.
+				continue
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
