@@ -1,0 +1,178 @@
+package csdm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"csdm/internal/core"
+	"csdm/internal/csd"
+	"csdm/internal/exec"
+	"csdm/internal/geo"
+	"csdm/internal/index"
+	"csdm/internal/poi"
+	"csdm/internal/shard"
+	"csdm/internal/stage"
+)
+
+// BenchShardResult is one tiling line of BENCH_SHARD.json: the wall
+// time of a geo-sharded out-of-core build versus the monolithic one,
+// plus the residency counters the out-of-core bound is gated on, in
+// the machine format cmd/benchgate -shard consumes.
+type BenchShardResult struct {
+	// Tiling is the RxC shard grid ("2x2").
+	Tiling string `json:"tiling"`
+	// NsPerOp is one sharded build over the on-disk stay store.
+	NsPerOp int64 `json:"ns_per_op"`
+	// MonoNsPerOp is one monolithic in-memory build of the same
+	// diagram — informational; the gate reports the overhead ratio but
+	// does not gate on it.
+	MonoNsPerOp int64 `json:"mono_ns_per_op"`
+	// Units is the sharded diagram's unit count, identical to the
+	// monolithic build's by the halo-merge equivalence property, so
+	// the gate compares it exactly.
+	Units int `json:"units"`
+	// TotalStays is the stay corpus size.
+	TotalStays int `json:"total_stays"`
+	// MaxShardStays is the largest per-shard resident stay count — the
+	// bytes-resident proxy: peak stay memory is bounded by the largest
+	// shard's halo rectangle, not the corpus.
+	MaxShardStays int `json:"max_shard_stays"`
+	// LoadedStays counts stays loaded across all shards (halo overlap
+	// makes it exceed TotalStays).
+	LoadedStays int64 `json:"loaded_stays"`
+	// ResidentFraction is MaxShardStays/TotalStays — informational;
+	// the gate recomputes it from the counters above.
+	ResidentFraction float64 `json:"resident_fraction"`
+}
+
+// BenchShardReport is the top-level BENCH_SHARD.json document.
+type BenchShardReport struct {
+	Benchmark  string             `json:"benchmark"`
+	GoMaxProcs int                `json:"go_max_procs"`
+	NumCPU     int                `json:"num_cpu"`
+	Results    []BenchShardResult `json:"results"`
+}
+
+// benchShardTilings is the tiling curve BENCH_SHARD.json records.
+var benchShardTilings = [][2]int{{2, 2}, {3, 3}, {4, 4}}
+
+// TestEmitBenchShardJSON measures sharded out-of-core builds against
+// the monolithic build on the bench city and writes BENCH_SHARD.json-
+// format measurements to the path in $BENCH_SHARD_JSON, for the CI
+// sharding gate (cmd/benchgate -shard) and for refreshing the
+// committed baseline. Unset, the test skips, so normal `go test` runs
+// pay nothing.
+//
+// The sharded side reads stays from an on-disk columnar store — the
+// deployment shape the feature exists for — so the measured time
+// includes LoadRect I/O, not just compute.
+func TestEmitBenchShardJSON(t *testing.T) {
+	path := os.Getenv("BENCH_SHARD_JSON")
+	if path == "" {
+		t.Skip("BENCH_SHARD_JSON not set")
+	}
+	const reps = 3
+	env := sharedEnv()
+	pois := env.City.POIs
+	stays := env.Pipeline.StayPoints()
+	params := core.DefaultConfig().CSD
+	extent := geo.BoundingRect(poi.Locations(pois))
+
+	report := BenchShardReport{
+		Benchmark:  "BenchmarkShard",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	senv := stage.Background()
+	senv.Opt = exec.Options{Workers: runtime.GOMAXPROCS(0), Index: index.KindGrid}
+
+	// The monolithic reference: one workload, one measurement for every
+	// tiling line.
+	var monoNs int64
+	var monoUnits int
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		d, err := csd.BuildEnv(senv, pois, stays, params)
+		ns := time.Since(start).Nanoseconds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if monoNs == 0 || ns < monoNs {
+			monoNs = ns
+		}
+		monoUnits = len(d.Units)
+	}
+
+	storePath := filepath.Join(t.TempDir(), "stays.csdstay")
+	w, err := shard.CreateStayStore(storePath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(stays); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store, err := shard.OpenStayStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	for _, tiling := range benchShardTilings {
+		plan, err := shard.NewPlan(extent, tiling[0], tiling[1], params.R3Sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shardNs int64
+		var units int
+		var st shard.Stats
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			d, stats, err := shard.Build(senv, pois, store, shard.Config{
+				Plan: plan, Params: params, ShardWorkers: runtime.GOMAXPROCS(0),
+			})
+			ns := time.Since(start).Nanoseconds()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shardNs == 0 || ns < shardNs {
+				shardNs = ns
+			}
+			units = len(d.Units)
+			st = stats
+		}
+		if units != monoUnits {
+			t.Fatalf("tiling %dx%d: sharded diagram has %d units, monolithic %d — equivalence broken", tiling[0], tiling[1], units, monoUnits)
+		}
+		report.Results = append(report.Results, BenchShardResult{
+			Tiling:           fmt.Sprintf("%dx%d", tiling[0], tiling[1]),
+			NsPerOp:          shardNs,
+			MonoNsPerOp:      monoNs,
+			Units:            units,
+			TotalStays:       st.TotalStays,
+			MaxShardStays:    st.MaxShardStays,
+			LoadedStays:      int64(st.LoadedStays),
+			ResidentFraction: float64(st.MaxShardStays) / float64(st.TotalStays),
+		})
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %+v", path, report.Results)
+}

@@ -35,6 +35,18 @@
 // line's speedup regresses beyond the tolerance against the baseline's,
 // or when the deterministic unit count changes. As everywhere else, a
 // candidate fraction with no baseline line is a hard failure.
+//
+// With -shard, the inputs are BENCH_SHARD.json geo-sharding reports
+// (written by TestEmitBenchShardJSON with BENCH_SHARD_JSON set):
+// per-tiling sharded-build timings plus residency counters. The
+// candidate fails when any tiling's unit count differs from the
+// baseline's (the sharded build is bit-identical by contract, so a
+// drifting unit count means the halo merge broke), when its
+// max-resident stay fraction — recomputed from the candidate's own
+// max_shard_stays / total_stays, never read from the file — exceeds
+// -max-resident (the out-of-core promise: no shard holds the whole
+// corpus), or when ns_per_op regresses beyond the tolerance. A
+// candidate tiling with no baseline line is a hard failure.
 package main
 
 import (
@@ -92,13 +104,21 @@ func main() {
 	p99Tolerance := flag.Float64("p99-tolerance", 1.0, "with -serve, allowed p99 latency growth (1.0 = 2x the baseline)")
 	deltaMode := flag.Bool("delta", false, "compare BENCH_DELTA.json incrementality reports (delta-apply speedup floor) instead of mining reports")
 	minSpeedup := flag.Float64("min-speedup", 5.0, "with -delta, minimum full-rebuild/delta-apply speedup at the smallest fraction")
+	shardMode := flag.Bool("shard", false, "compare BENCH_SHARD.json geo-sharding reports (residency ceiling, unit identity) instead of mining reports")
+	maxResident := flag.Float64("max-resident", 0.75, "with -shard, ceiling on the candidate's max_shard_stays/total_stays fraction")
 	flag.Parse()
 	if *baseline == "" || *candidate == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline a.json -candidate b.json [-tolerance 0.10] [-alloc-tolerance 0.10] [-min-efficiency 2.0] [-serve [-p99-tolerance 1.0]] [-delta [-min-speedup 5.0]]")
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline a.json -candidate b.json [-tolerance 0.10] [-alloc-tolerance 0.10] [-min-efficiency 2.0] [-serve [-p99-tolerance 1.0]] [-delta [-min-speedup 5.0]] [-shard [-max-resident 0.75]]")
 		os.Exit(2)
 	}
-	if *serveMode && *deltaMode {
-		fmt.Fprintln(os.Stderr, "benchgate: -serve and -delta are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*serveMode, *deltaMode, *shardMode} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "benchgate: -serve, -delta and -shard are mutually exclusive")
 		os.Exit(2)
 	}
 	if *serveMode {
@@ -107,6 +127,10 @@ func main() {
 	}
 	if *deltaMode {
 		gateDelta(*baseline, *candidate, *tolerance, *minSpeedup)
+		return
+	}
+	if *shardMode {
+		gateShard(*baseline, *candidate, *tolerance, *maxResident)
 		return
 	}
 	base, err := readReport(*baseline)
@@ -395,6 +419,113 @@ func gateDelta(baselinePath, candidatePath string, tol, minSpeedup float64) {
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: no comparable fraction lines between delta reports")
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// shardResult is one tiling line of a BENCH_SHARD.json report (written
+// by TestEmitBenchShardJSON).
+type shardResult struct {
+	Tiling           string  `json:"tiling"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	MonoNsPerOp      int64   `json:"mono_ns_per_op"`
+	Units            int     `json:"units"`
+	TotalStays       int     `json:"total_stays"`
+	MaxShardStays    int     `json:"max_shard_stays"`
+	LoadedStays      int64   `json:"loaded_stays"`
+	ResidentFraction float64 `json:"resident_fraction"`
+}
+
+type shardReport struct {
+	Benchmark  string        `json:"benchmark"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	NumCPU     int           `json:"num_cpu"`
+	Results    []shardResult `json:"results"`
+}
+
+// gateShard compares two geo-sharding reports line-by-line on the
+// tiling. The residency fraction — the out-of-core bound: the largest
+// share of the stay corpus any single shard had resident — is
+// recomputed from the candidate's own max_shard_stays / total_stays,
+// never trusted from the file, and must stay at or under maxResident.
+// Unit counts must match the baseline exactly: the sharded build is
+// bit-identical to the monolithic one by contract, so any drift means
+// the halo merge broke, not that the workload changed. ns_per_op is
+// gated with the usual tolerance; mono_ns_per_op is informational (the
+// sharded/monolithic overhead is visible in the table but machines
+// differ too much to gate on it). A candidate tiling with no baseline
+// line is a hard failure.
+func gateShard(baselinePath, candidatePath string, tol, maxResident float64) {
+	readShard := func(path string) shardReport {
+		var r shardReport
+		b, err := os.ReadFile(path)
+		if err == nil {
+			err = json.Unmarshal(b, &r)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return r
+	}
+	resident := func(r shardResult) float64 {
+		if r.TotalStays <= 0 {
+			return 1
+		}
+		return float64(r.MaxShardStays) / float64(r.TotalStays)
+	}
+	base := readShard(baselinePath)
+	cand := readShard(candidatePath)
+	byTiling := make(map[string]shardResult, len(base.Results))
+	for _, r := range base.Results {
+		byTiling[r.Tiling] = r
+	}
+	failed := false
+	compared := 0
+	fmt.Printf("%-8s  %-26s  %-22s  %-16s  %s\n", "line", "ns/op (base -> cand)", "resident (cand)", "vs monolithic", "status")
+	for _, c := range cand.Results {
+		b, ok := byTiling[c.Tiling]
+		if !ok {
+			fmt.Printf("%s: FAIL (no baseline line; refresh BENCH_SHARD.json)\n", c.Tiling)
+			failed = true
+			continue
+		}
+		compared++
+		res := resident(c)
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = float64(c.NsPerOp) / float64(b.NsPerOp)
+		}
+		overhead := "n/a"
+		if c.MonoNsPerOp > 0 && c.NsPerOp > 0 {
+			overhead = fmt.Sprintf("%.2fx mono", float64(c.NsPerOp)/float64(c.MonoNsPerOp))
+		}
+		status := "ok"
+		switch {
+		case c.Units != b.Units:
+			status = fmt.Sprintf("FAIL (units %d -> %d: sharded build is no longer bit-identical)", b.Units, c.Units)
+			failed = true
+		case c.TotalStays <= 0 || c.MaxShardStays <= 0:
+			status = "FAIL (no residency counters; the out-of-core bound was not measured)"
+			failed = true
+		case res > maxResident:
+			status = fmt.Sprintf("FAIL (max shard holds %.0f%% of stays > %.0f%% ceiling)", res*100, maxResident*100)
+			failed = true
+		case b.NsPerOp > 0 && ratio > 1.0+tol:
+			status = fmt.Sprintf("FAIL (>%.0f%% slower)", tol*100)
+			failed = true
+		}
+		fmt.Printf("%-8s  %-26s  %-22s  %-16s  %s\n",
+			c.Tiling,
+			fmt.Sprintf("%d -> %d (%.2fx)", b.NsPerOp, c.NsPerOp, ratio),
+			fmt.Sprintf("%d/%d stays (%.0f%%)", c.MaxShardStays, c.TotalStays, res*100),
+			overhead, status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no comparable tiling lines between shard reports")
 		os.Exit(2)
 	}
 	if failed {

@@ -62,6 +62,7 @@ import (
 	"csdm/internal/csd"
 	"csdm/internal/exec"
 	"csdm/internal/fault"
+	"csdm/internal/geo"
 	"csdm/internal/index"
 	"csdm/internal/load"
 	"csdm/internal/metrics"
@@ -69,6 +70,7 @@ import (
 	"csdm/internal/obs/obshttp"
 	"csdm/internal/pattern"
 	"csdm/internal/poi"
+	"csdm/internal/shard"
 	"csdm/internal/stage"
 	"csdm/internal/trajectory"
 )
@@ -123,12 +125,15 @@ func main() {
 		ingestPath  = flag.String("ingest", "", "journey CSV to stream into the diagram as deltas (ingest)")
 		deltaBatch  = flag.Int("delta-batch", 500, "journeys per delta batch (ingest)")
 		keepGens    = flag.Int("keep-generations", 0, "prune generation snapshots beyond the newest N (0 = keep all; ingest)")
+		shardSpec   = flag.String("shards", "", "build the diagram geo-sharded as RxC tiles (e.g. 3x3): per-tile popularity over halo-loaded stays, bit-identical to the monolithic build")
+		shardWk     = flag.Int("shard-workers", 0, "with -shards, shard fan-out bound (0 = all cores); peak resident stays ≈ shard-workers × largest halo load")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: csdminer [flags] diagram|recognize|mine|ingest")
 		os.Exit(exitUsage)
 	}
+	cmd := flag.Arg(0)
 
 	if in, err := fault.Parse(*faultSpec, *faultSeed); err != nil {
 		die(exitUsage, err)
@@ -196,10 +201,59 @@ func main() {
 		}
 	}
 
+	// Sharded mode: decide up front whether this run builds the diagram
+	// geo-sharded, because the `diagram` subcommand can then stream the
+	// journey file straight into an out-of-core stay store and never
+	// materialize the journeys at all.
+	shardRows, shardCols := 0, 0
+	if *shardSpec != "" {
+		if shardRows, shardCols, err = shard.ParseTiling(*shardSpec); err != nil {
+			die(exitUsage, err)
+		}
+		if cmd == "ingest" {
+			die(exitUsage, fmt.Errorf("-shards does not apply to ingest (the incremental maintainer owns its own build)"))
+		}
+		if *loadDiagram != "" {
+			die(exitUsage, fmt.Errorf("-shards and -load-diagram are mutually exclusive"))
+		}
+	}
+	shardCSD := *shardSpec != ""
+	if cmd == "mine" && shardCSD {
+		chosen, err := core.ApproachByName(*approach)
+		if err != nil {
+			die(exitUsage, err)
+		}
+		// ROI-recognizer approaches never touch the diagram; don't
+		// build one shardedly just to ignore it.
+		shardCSD = chosen.Recognizer == core.RecCSD
+	}
+
 	opts := load.Options{Lenient: *lenient, MaxBadRows: *maxBadRows, Trace: tr}
-	pois, journeys, err := loadInputs(*poiPath, *journeyPath, opts)
-	if err != nil {
-		die(exitInput, err)
+	var pois []poi.POI
+	var journeys []trajectory.Journey
+	var staySrc shard.StaySource
+	if shardCSD && cmd == "diagram" {
+		// Out-of-core path: POIs in memory (they parameterize the
+		// plan), stays spilled to a columnar store that shards load by
+		// halo rectangle.
+		var store *shard.StayStore
+		var cleanup func()
+		pois, store, cleanup, err = loadShardInputs(*poiPath, *journeyPath, opts)
+		if err != nil {
+			die(exitInput, err)
+		}
+		defer cleanup()
+		staySrc = store
+	} else {
+		pois, journeys, err = loadInputs(*poiPath, *journeyPath, opts)
+		if err != nil {
+			die(exitInput, err)
+		}
+		if shardCSD {
+			// recognize/mine need the journeys resident anyway; the
+			// sharded build reads their stays in place.
+			staySrc = shard.MemStays(core.Stays(journeys))
+		}
 	}
 	pipe := core.NewPipeline(pois, journeys, cfg)
 	pipe.SetTrace(tr)
@@ -212,8 +266,15 @@ func main() {
 		pipe.UseDiagram(d)
 		progress("loaded diagram with %d units from %s", len(d.Units), *loadDiagram)
 	}
+	if shardCSD {
+		d, err := buildSharded(tr, cfg, pois, staySrc, shardRows, shardCols, *shardWk, mgr)
+		if err != nil {
+			die(exitPipeline, err)
+		}
+		pipe.UseDiagram(d)
+	}
 
-	switch cmd := flag.Arg(0); cmd {
+	switch cmd {
 	case "diagram":
 		if err := prepare(pipe, mgr, true); err != nil {
 			die(exitPipeline, err)
@@ -364,6 +425,96 @@ func loadInputs(poiPath, journeyPath string, opts load.Options) ([]poi.POI, []tr
 	}
 	progress("loaded %d POIs, %d journeys", len(pois), len(journeys))
 	return pois, journeys, nil
+}
+
+// loadShardInputs is the out-of-core input path for sharded diagram
+// builds: POIs load normally, but the journey file is streamed —
+// never materialized — into a temporary columnar stay store whose
+// chunks shards later load by halo rectangle. The returned cleanup
+// closes and removes the spill file.
+func loadShardInputs(poiPath, journeyPath string, opts load.Options) ([]poi.POI, *shard.StayStore, func(), error) {
+	pf, err := os.Open(poiPath)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("load pois: %w", err)
+	}
+	defer pf.Close()
+	pois, pstats, err := poi.ReadCSVOptions(pf, opts)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("load pois %s: %w", poiPath, err)
+	}
+	if opts.Lenient {
+		if n := pstats.TotalSkipped(); n > 0 {
+			progress("pois: skipped %d bad rows (%s)", n, pstats)
+		}
+	}
+	tmp, err := os.CreateTemp("", "csdm-stays-*.csdstay")
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("spill stays: %w", err)
+	}
+	spill := tmp.Name()
+	tmp.Close()
+	w, err := shard.CreateStayStore(spill, 0)
+	if err != nil {
+		os.Remove(spill)
+		return nil, nil, nil, err
+	}
+	jf, err := os.Open(journeyPath)
+	if err != nil {
+		os.Remove(spill)
+		return nil, nil, nil, fmt.Errorf("load journeys: %w", err)
+	}
+	defer jf.Close()
+	jstats, err := trajectory.StreamJourneysCSV(jf, opts, func(j trajectory.Journey) error {
+		// Pickup then dropoff per journey — core.Stays' canonical
+		// global stay-id order, which the sharded build's exactness
+		// contract depends on.
+		if err := w.Add(j.Pickup); err != nil {
+			return err
+		}
+		return w.Add(j.Dropoff)
+	})
+	if err != nil {
+		os.Remove(spill)
+		return nil, nil, nil, fmt.Errorf("load journeys %s: %w", journeyPath, err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(spill)
+		return nil, nil, nil, fmt.Errorf("spill stays: %w", err)
+	}
+	store, err := shard.OpenStayStore(spill)
+	if err != nil {
+		os.Remove(spill)
+		return nil, nil, nil, err
+	}
+	if opts.Lenient {
+		if n := jstats.TotalSkipped(); n > 0 {
+			progress("journeys: skipped %d bad rows (%s)", n, jstats)
+		}
+	}
+	progress("loaded %d POIs; spilled %d stays (%d journeys) to %s", len(pois), store.Len(), jstats.Rows, spill)
+	return pois, store, func() { store.Close(); os.Remove(spill) }, nil
+}
+
+// buildSharded runs the geo-sharded CSD construction and reports its
+// out-of-core statistics. The diagram is bit-identical to the
+// monolithic build for any tiling, worker count and index backend.
+func buildSharded(tr *obs.Trace, cfg core.Config, pois []poi.POI, src shard.StaySource, rows, cols, workers int, mgr *ckpt.Manager) (*csd.Diagram, error) {
+	t0 := time.Now()
+	plan, err := shard.NewPlan(geo.BoundingRect(poi.Locations(pois)), rows, cols, cfg.CSD.R3Sigma)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	env := stage.Env{Ctx: ctx, Run: ctx, Trace: tr, Opt: cfg.ExecOptions()}
+	d, st, err := shard.Build(env, pois, src, shard.Config{
+		Plan: plan, Params: cfg.CSD, ShardWorkers: workers, Ckpt: mgr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sharded build: %w", err)
+	}
+	progress("sharded diagram: %dx%d tiles (%d active, %d resumed), stays total=%d loaded=%d max-resident=%d, built in %.1fs",
+		rows, cols, st.ActiveShards, st.ResumedShards, st.TotalStays, st.LoadedStays, st.MaxShardStays, time.Since(t0).Seconds())
+	return d, nil
 }
 
 func runDiagram(pipe *core.Pipeline, savePath string) error {

@@ -16,6 +16,14 @@
 // snapshot) and the late portion to -stream-out (the time-ordered
 // stream `csdminer ingest` applies as delta batches), so the ingestion
 // path has a reproducible synthetic workload.
+//
+// The "country" scenario lays -cities independent cities on a grid,
+// -city-spacing degrees apart, each generated with its own seed and
+// the per-city -pois/-passengers/-days sizes, and concatenates their
+// POI and journey files (ids offset per city so they stay unique).
+// The result is the geo-sharded pipeline's natural workload: a corpus
+// whose extent spans many tiles, with dense cities separated by empty
+// countryside.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"os"
 	"sort"
 
+	"csdm/internal/geo"
 	"csdm/internal/poi"
 	"csdm/internal/synth"
 	"csdm/internal/trajectory"
@@ -40,9 +49,11 @@ func main() {
 		seed        = flag.Int64("seed", 1, "generator seed")
 		poiOut      = flag.String("poi-out", "pois.csv", "POI output file")
 		journeyOut  = flag.String("journeys-out", "journeys.csv", "journey output file (stream scenario: the base portion)")
-		scenario    = flag.String("scenario", "batch", "workload shape: batch (one journey log) or stream (time-split base + delta stream)")
+		scenario    = flag.String("scenario", "batch", "workload shape: batch (one journey log), stream (time-split base + delta stream) or country (a grid of cities)")
 		baseFrac    = flag.Float64("base-fraction", 0.8, "stream scenario: share of the time-ordered journeys in the base file")
 		streamOut   = flag.String("stream-out", "stream.csv", "stream scenario: delta stream output file")
+		nCities     = flag.Int("cities", 4, "country scenario: number of cities on the grid (per-city sizes come from -pois/-passengers/-days)")
+		spacing     = flag.Float64("city-spacing", 0.15, "country scenario: degrees between adjacent city centers")
 	)
 	flag.Parse()
 
@@ -51,6 +62,13 @@ func main() {
 	cfg.NumPOIs = *nPOIs
 	cfg.NumPassengers = *nPassengers
 	cfg.Days = *days
+
+	if *scenario == "country" {
+		if err := runCountry(cfg, *nCities, *spacing, *poiOut, *journeyOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	city := synth.NewCity(cfg)
 	w := city.GenerateWorkload()
@@ -86,8 +104,63 @@ func main() {
 			len(city.POIs), *poiOut, split, *journeyOut, len(js)-split, *streamOut,
 			js[split].PickupTime.Format("2006-01-02 15:04"))
 	default:
-		log.Fatalf("unknown -scenario %q (want batch or stream)", *scenario)
+		log.Fatalf("unknown -scenario %q (want batch, stream or country)", *scenario)
 	}
+}
+
+// runCountry generates -cities independent cities on a near-square
+// grid and concatenates their datasets. Each city gets its own seed
+// (base seed + index) and center; POI, passenger and taxi ids are
+// offset per city so the concatenation stays collision-free — pattern
+// mining groups journeys by passenger, and two commuters in different
+// cities must never alias.
+func runCountry(cfg synth.Config, cities int, spacing float64, poiOut, journeyOut string) error {
+	if cities < 1 {
+		return fmt.Errorf("-cities must be at least 1, got %d", cities)
+	}
+	if spacing <= 0 {
+		return fmt.Errorf("-city-spacing must be positive, got %g", spacing)
+	}
+	cols := 1
+	for cols*cols < cities {
+		cols++
+	}
+	base := cfg.Center
+	if base == (geo.Point{}) {
+		base = synth.DefaultConfig().Center
+	}
+	const idStride = 10_000_000
+	var pois []poi.POI
+	var journeys []trajectory.Journey
+	for i := 0; i < cities; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		c.Center = geo.Point{
+			Lon: base.Lon + float64(i%cols)*spacing,
+			Lat: base.Lat + float64(i/cols)*spacing,
+		}
+		city := synth.NewCity(c)
+		w := city.GenerateWorkload()
+		off := int64(i) * idStride
+		for _, p := range city.POIs {
+			p.ID += off
+			pois = append(pois, p)
+		}
+		for _, j := range w.Journeys {
+			j.TaxiID += off
+			j.PassengerID += off
+			journeys = append(journeys, j)
+		}
+	}
+	if err := writePOIs(poiOut, pois); err != nil {
+		return err
+	}
+	if err := writeJourneys(journeyOut, journeys); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d POIs to %s and %d journeys to %s (%d cities on a %d-wide grid, %.2f° apart)\n",
+		len(pois), poiOut, len(journeys), journeyOut, cities, cols, spacing)
+	return nil
 }
 
 func writePOIs(path string, ps []poi.POI) error {

@@ -1,8 +1,10 @@
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -88,14 +90,25 @@ func (m *Manager) PublishCurrent(file string) error {
 	return nil
 }
 
+// ErrNoCurrent reports that a checkpoint directory has no CURRENT
+// pointer at all — the normal state of a fresh ingestion dir before the
+// first generation publishes, as opposed to a corrupt pointer or a
+// dangling one (both real errors). Pollers distinguish it with
+// errors.Is.
+var ErrNoCurrent = errors.New("ckpt: no CURRENT pointer published yet")
+
 // ResolveCurrent reads the CURRENT pointer and returns the full path of
 // the active generation snapshot. It validates that the pointer names a
 // plain file inside the directory and that the file exists, so a
 // corrupt or hand-edited pointer surfaces as a descriptive error rather
-// than a confusing open failure downstream.
+// than a confusing open failure downstream. A missing CURRENT file
+// returns an error wrapping ErrNoCurrent (and fs.ErrNotExist).
 func ResolveCurrent(dir string) (string, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, CurrentFile))
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return "", fmt.Errorf("%w: %w", ErrNoCurrent, err)
+		}
 		return "", fmt.Errorf("ckpt: read CURRENT: %w", err)
 	}
 	name := strings.TrimSpace(string(raw))
@@ -129,11 +142,21 @@ func Generations(dir string) ([]int64, error) {
 	return gens, nil
 }
 
+// removeFile is os.Remove, indirected so the prune tests can make one
+// generation undeletable on platforms (and users) where permission
+// bits can't.
+var removeFile = os.Remove
+
 // PruneGenerations removes generation snapshots beyond the newest keep,
 // never touching the one CURRENT points at (a lineage pruned down to
 // its active snapshot must stay servable). It returns the number of
 // snapshots removed. keep < 1 is treated as 1.
-func (m *Manager) PruneGenerations(keep int) (int, error) {
+//
+// On a mid-loop removal failure the error is returned with the count of
+// snapshots already removed — and that count still lands on the
+// ckpt.generations_pruned counter, so the trace never undercounts a
+// partially successful prune.
+func (m *Manager) PruneGenerations(keep int) (removed int, err error) {
 	if m == nil {
 		return 0, nil
 	}
@@ -148,17 +171,18 @@ func (m *Manager) PruneGenerations(keep int) (int, error) {
 	if path, err := ResolveCurrent(m.dir); err == nil {
 		current = filepath.Base(path)
 	}
-	removed := 0
+	defer func() {
+		m.tr.Add("ckpt.generations_pruned", int64(removed))
+	}()
 	for i := 0; i < len(gens)-keep; i++ {
 		name := GenerationFile(gens[i])
 		if name == current {
 			continue
 		}
-		if err := os.Remove(filepath.Join(m.dir, name)); err != nil {
-			return removed, fmt.Errorf("ckpt: prune generation %d: %w", gens[i], err)
+		if rerr := removeFile(filepath.Join(m.dir, name)); rerr != nil {
+			return removed, fmt.Errorf("ckpt: prune generation %d: %w", gens[i], rerr)
 		}
 		removed++
 	}
-	m.tr.Add("ckpt.generations_pruned", int64(removed))
 	return removed, nil
 }

@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -146,5 +147,66 @@ func TestGenerationFileParsing(t *testing.T) {
 		if ok != tc.ok || (ok && gen != tc.gen) {
 			t.Errorf("%s: got (%d,%v), want (%d,%v)", tc.name, gen, ok, tc.gen, tc.ok)
 		}
+	}
+}
+
+func TestResolveCurrentNoCurrentSentinel(t *testing.T) {
+	_, err := ResolveCurrent(t.TempDir())
+	if err == nil {
+		t.Fatal("empty dir resolved")
+	}
+	if !errors.Is(err, ErrNoCurrent) {
+		t.Fatalf("error %v does not wrap ErrNoCurrent", err)
+	}
+	// A dangling pointer is a real error, not "not yet published".
+	_, dir := lineageManager(t)
+	if werr := os.WriteFile(filepath.Join(dir, CurrentFile), []byte("diagram.99.csdf\n"), 0o644); werr != nil {
+		t.Fatal(werr)
+	}
+	if _, err := ResolveCurrent(dir); err == nil || errors.Is(err, ErrNoCurrent) {
+		t.Fatalf("dangling pointer classified as ErrNoCurrent: %v", err)
+	}
+}
+
+func TestPruneGenerationsCountsPartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	tr := obs.New()
+	m, err := New(dir, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDiagram(t)
+	for gen := int64(1); gen <= 5; gen++ {
+		d.Generation = gen
+		if err := m.SaveGenerationDiagram(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Generation 2 refuses to die; 1 goes first, then the failure.
+	removeFile = func(path string) error {
+		if filepath.Base(path) == GenerationFile(2) {
+			return errors.New("injected: undeletable generation")
+		}
+		return os.Remove(path)
+	}
+	defer func() { removeFile = os.Remove }()
+	removed, err := m.PruneGenerations(1)
+	if err == nil {
+		t.Fatal("prune with an undeletable generation succeeded")
+	}
+	if removed != 1 {
+		t.Fatalf("removed %d before the failure, want 1", removed)
+	}
+	// The counter must record the partial progress even on the error
+	// path — the pre-fix code returned before ever touching it.
+	if got := tr.Counter("ckpt.generations_pruned"); got != int64(removed) {
+		t.Fatalf("ckpt.generations_pruned = %d, want %d", got, removed)
+	}
+	gens, err := Generations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gens, []int64{2, 3, 4, 5}) {
+		t.Fatalf("surviving generations: %v", gens)
 	}
 }

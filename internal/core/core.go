@@ -211,6 +211,20 @@ func (p *Pipeline) Trace() *obs.Trace { return p.trace }
 func (p *Pipeline) SetCheckpoints(s stage.Store) { p.store = s }
 
 // NewPipeline prepares a pipeline over the given POI dataset and taxi
+// Stays derives the stay-point sequence from a journey log: pickup
+// then dropoff per journey, in journey order. This ordering IS the
+// canonical global stay-id assignment every bit-identity argument in
+// the codebase refers to — the monolithic pipeline's stays stage, the
+// incremental maintainer's append contract and the sharded build's
+// out-of-core spill all produce or consume exactly this sequence.
+func Stays(journeys []trajectory.Journey) []geo.Point {
+	out := make([]geo.Point, 0, 2*len(journeys))
+	for _, j := range journeys {
+		out = append(out, j.Pickup, j.Dropoff)
+	}
+	return out
+}
+
 // journey log, declaring the shared-artifact stage graph:
 //
 //	stays → csd.build → recognize.CSD
@@ -236,11 +250,7 @@ func NewPipeline(pois []poi.POI, journeys []trajectory.Journey, cfg Config) *Pip
 
 	p.stays = stage.Add(p.graph, stage.Decl{Name: "stays"},
 		func(stage.Env) ([]geo.Point, error) {
-			out := make([]geo.Point, 0, 2*len(p.journeys))
-			for _, j := range p.journeys {
-				out = append(out, j.Pickup, j.Dropoff)
-			}
-			return out, nil
+			return Stays(p.journeys), nil
 		})
 
 	p.diagram = stage.Add(p.graph, stage.Decl{

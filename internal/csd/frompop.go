@@ -1,0 +1,165 @@
+package csd
+
+import (
+	"context"
+	"sort"
+
+	"csdm/internal/exec"
+	"csdm/internal/fault"
+	"csdm/internal/index"
+	"csdm/internal/poi"
+	"csdm/internal/stage"
+)
+
+// BuildFromPopularity runs construction phase 2 — Algorithm 1
+// clustering, Algorithm 2 purification, unit merging and finalize — on
+// a popularity vector computed elsewhere. It is the assembly half of
+// the sharded build: internal/shard computes per-POI popularity one
+// tile at a time (exact, because the Gaussian kernel has compact R3σ
+// support), scatters it into one global vector, and hands it here. The
+// result is bit-identical to BuildEnv on the same (pois, stays) pair
+// whenever pop matches BuildEnv's popularity stage bit-for-bit, for
+// any worker count and index backend.
+//
+// Unlike BuildEnv's single sequential Algorithm 1 pass, clustering here
+// fans out over the ε_p-connected components of the POI graph — the
+// same factorization the incremental Maintainer rests on (growth only
+// follows ≤ ε_p edges, so a per-component run reproduces exactly the
+// clusters the global pass grew within that component). Components are
+// disjoint, so the shared bookkeeping arrays are written race-free,
+// and re-sorting clusters by seed id restores the global pass's order.
+func BuildFromPopularity(env stage.Env, pois []poi.POI, pop []float64, params Params) (*Diagram, error) {
+	ctx, tr, opt := env.Ctx, env.Trace, env.Opt
+	root := env.StartSpan("csd.frompop")
+	defer root.End()
+	tr.SetGauge("index.backend", float64(opt.Index))
+
+	d := &Diagram{
+		Params: params,
+		POIs:   pois,
+		Pop:    pop,
+		kernel: newKernelFor(params),
+	}
+
+	sp := root.Start("clustering")
+	var clusters [][]int
+	var leftover []int
+	err := fault.Hit("csd.clustering")
+	if err == nil {
+		clusters, leftover, err = d.componentClusters(ctx, opt)
+	}
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	tr.Add("csd.clusters.grown", int64(len(clusters)))
+
+	if !params.SkipPurification {
+		sp = root.Start("purification")
+		if err = fault.Hit("csd.purification"); err == nil {
+			clusters, err = d.purify(ctx, clusters, tr, opt)
+		}
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !params.SkipMerging {
+		sp = root.Start("merging")
+		before := len(clusters)
+		if err = fault.Hit("csd.merging"); err == nil {
+			clusters, leftover, err = d.merge(ctx, clusters, leftover, opt.Index)
+		}
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		tr.Add("csd.units.merged", int64(before-len(clusters)))
+	}
+	if params.KeepSingletons {
+		tr.Add("csd.singletons.kept", int64(len(leftover)))
+		for _, i := range leftover {
+			clusters = append(clusters, []int{i})
+		}
+	}
+	sp = root.Start("finalize")
+	d.finalize(clusters, opt.Index)
+	sp.End()
+	tr.Add("csd.units.final", int64(len(d.Units)))
+	return d, nil
+}
+
+// componentClusters is Algorithm 1 factorized over ε_p components and
+// fanned out on the worker pool. Per-component cluster lists ascend by
+// seed id but components interleave in id space, so the concatenation
+// is re-sorted by each cluster's seed (its first, minimum member) to
+// reproduce the sequential pass's ascending-seed order; leftovers sort
+// to the sequential pass's ascending order the same way. Seeds are
+// unique across clusters, so the sort is a total order.
+func (d *Diagram) componentClusters(ctx context.Context, opt exec.Options) ([][]int, []int, error) {
+	n := len(d.POIs)
+	locIdx := index.New(opt.Index, poi.Locations(d.POIs), d.Params.EpsP)
+	_, members := epsComponents(d.POIs, locIdx, d.Params.EpsP)
+
+	// Shared across the fan-out: every POI a component run touches is a
+	// member of that component (growth follows ≤ ε_p edges only), so
+	// concurrent runs write disjoint elements.
+	removed := make([]bool, n)
+	inCluster := make([]bool, n)
+	type compResult struct {
+		clusters [][]int
+		leftover []int
+	}
+	per, err := exec.ParallelMap(ctx, opt.Workers, len(members), func(c int) (compResult, error) {
+		cls, lo, err := d.growClusters(ctx, locIdx, members[c], removed, inCluster)
+		return compResult{clusters: cls, leftover: lo}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var clusters [][]int
+	var leftover []int
+	for _, r := range per {
+		clusters = append(clusters, r.clusters...)
+		leftover = append(leftover, r.leftover...)
+	}
+	sort.Slice(clusters, func(a, b int) bool { return clusters[a][0] < clusters[b][0] })
+	sort.Ints(leftover)
+	return clusters, leftover, nil
+}
+
+// epsComponents decomposes the POI set into ε_p-connected components by
+// flood fill over locIdx. comp maps POI id → component id; members
+// lists each component's POIs ascending, with components ordered by
+// their minimum member id.
+func epsComponents(pois []poi.POI, locIdx index.Index, epsP float64) (comp []int, members [][]int) {
+	n := len(pois)
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue, nbr []int
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		c := len(members)
+		comp[i] = c
+		queue = append(queue[:0], i)
+		ms := []int{i}
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			nbr = locIdx.WithinAppend(pois[j].Location, epsP, nbr[:0])
+			for _, k := range nbr {
+				if comp[k] < 0 {
+					comp[k] = c
+					queue = append(queue, k)
+					ms = append(ms, k)
+				}
+			}
+		}
+		sort.Ints(ms)
+		members = append(members, ms)
+	}
+	return comp, members
+}

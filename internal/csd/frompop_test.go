@@ -1,0 +1,39 @@
+package csd
+
+import (
+	"fmt"
+	"testing"
+
+	"csdm/internal/index"
+)
+
+// TestBuildFromPopularityMatchesBuild proves the split-phase
+// constructor (precomputed popularity + per-component parallel
+// clustering) is bit-identical to the one-shot BuildEnv across every
+// index backend and worker count — the equivalence the sharded build
+// rests on once the popularity vector itself is shown exact.
+func TestBuildFromPopularityMatchesBuild(t *testing.T) {
+	stays, city := maintWorkload(t)
+	params := DefaultParams()
+	params.KeepSingletons = true
+	for _, kind := range []index.Kind{index.KindGrid, index.KindKDTree, index.KindRTree} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%v/w%d", kind, workers), func(t *testing.T) {
+				env := envWith(workers, kind)
+				ref, err := BuildEnv(env, city.POIs, stays, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pop, err := popularity(env.Ctx, city.POIs, stays, newKernelFor(params), env.Opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, err := BuildFromPopularity(env, city.POIs, pop, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameDiagram(t, ref, d)
+			})
+		}
+	}
+}

@@ -234,36 +234,14 @@ func (m *Maintainer) scratchDiagram(pop []float64) *Diagram {
 }
 
 // buildComponents decomposes the POI set into ε_p-connected components
-// by flood fill over locIdx.
+// by flood fill over locIdx (shared with BuildFromPopularity's
+// per-component clustering fan-out).
 func (m *Maintainer) buildComponents() {
-	n := len(m.pois)
-	m.comp = make([]int, n)
-	for i := range m.comp {
-		m.comp[i] = -1
-	}
-	var queue, nbr []int
-	for i := 0; i < n; i++ {
-		if m.comp[i] >= 0 {
-			continue
-		}
-		c := len(m.comps)
-		m.comps = append(m.comps, compState{})
-		m.comp[i] = c
-		queue = append(queue[:0], i)
-		members := []int{i}
-		for qi := 0; qi < len(queue); qi++ {
-			j := queue[qi]
-			nbr = m.locIdx.WithinAppend(m.pois[j].Location, m.params.EpsP, nbr[:0])
-			for _, k := range nbr {
-				if m.comp[k] < 0 {
-					m.comp[k] = c
-					queue = append(queue, k)
-					members = append(members, k)
-				}
-			}
-		}
-		sort.Ints(members)
-		m.comps[c].pois = members
+	var members [][]int
+	m.comp, members = epsComponents(m.pois, m.locIdx, m.params.EpsP)
+	m.comps = make([]compState, len(members))
+	for c, ms := range members {
+		m.comps[c].pois = ms
 	}
 }
 

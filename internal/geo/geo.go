@@ -238,6 +238,60 @@ func (r Rect) BufferMeters(d float64) Rect {
 	}
 }
 
+// ExpandMeters returns a rectangle guaranteed to contain every point
+// within d meters (great-circle) of some point in r — the conservative
+// halo the sharded pipeline loads stay points from. Unlike
+// BufferMeters, which scales longitude by the cosine at the
+// rectangle's center and can under-cover near the edges of a tall
+// tile, the longitude widening here uses the spherical cap formula at
+// the worst (highest-|lat|) latitude of the expanded band, so the
+// result is a superset for any tile geometry short of the poles.
+func (r Rect) ExpandMeters(d float64) Rect {
+	if d <= 0 {
+		return r
+	}
+	const radToDeg = 180 / math.Pi
+	delta := d / EarthRadiusMeters // angular radius
+	latMin := math.Max(r.Min.Lat-delta*radToDeg, -90)
+	latMax := math.Min(r.Max.Lat+delta*radToDeg, 90)
+	phi := math.Max(math.Abs(latMin), math.Abs(latMax)) / radToDeg
+	sinRatio := math.Sin(delta) / math.Cos(phi)
+	var dLonDeg float64
+	if math.Cos(phi) <= 0 || sinRatio >= 1 {
+		dLonDeg = 360 // band touches a pole: cover all longitudes
+	} else {
+		dLonDeg = math.Asin(sinRatio) * radToDeg
+	}
+	return Rect{
+		Min: Point{Lon: math.Max(r.Min.Lon-dLonDeg, -180), Lat: latMin},
+		Max: Point{Lon: math.Min(r.Max.Lon+dLonDeg, 180), Lat: latMax},
+	}
+}
+
+// Intersection returns the overlap of the two rectangles and whether
+// they overlap at all (inclusive, like Intersects).
+func (r Rect) Intersection(o Rect) (Rect, bool) {
+	if !r.Intersects(o) {
+		return Rect{}, false
+	}
+	return Rect{
+		Min: Point{Lon: math.Max(r.Min.Lon, o.Min.Lon), Lat: math.Max(r.Min.Lat, o.Min.Lat)},
+		Max: Point{Lon: math.Min(r.Max.Lon, o.Max.Lon), Lat: math.Min(r.Max.Lat, o.Max.Lat)},
+	}, true
+}
+
+// DegArea returns the rectangle's area in square degrees — a unitless
+// quantity only meaningful as a ratio between overlapping rectangles
+// (the serving layer's extent-coverage validation).
+func (r Rect) DegArea() float64 {
+	w := r.Max.Lon - r.Min.Lon
+	h := r.Max.Lat - r.Min.Lat
+	if w < 0 || h < 0 {
+		return 0
+	}
+	return w * h
+}
+
 // BoundingRect returns the smallest rectangle containing all pts.
 // It returns a zero Rect when pts is empty.
 func BoundingRect(pts []Point) Rect {

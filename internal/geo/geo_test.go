@@ -376,3 +376,74 @@ func TestClampProducesValidPoints(t *testing.T) {
 		}
 	}
 }
+
+func TestExpandMetersCoversHalo(t *testing.T) {
+	const halo = 100.0
+	// A tall tile far from the equator, where a center-latitude cosine
+	// under-covers: every point within halo meters of the rect boundary
+	// must land inside the expanded rect.
+	r := Rect{Min: Point{Lon: 11.0, Lat: 59.0}, Max: Point{Lon: 11.2, Lat: 60.5}}
+	ex := r.ExpandMeters(halo)
+	if !ex.Contains(r.Min) || !ex.Contains(r.Max) {
+		t.Fatal("ExpandMeters does not contain the original rect")
+	}
+	for i := 0; i < 64; i++ {
+		// Walk the boundary, push halo meters outward from each corner
+		// and edge midpoint in 16 directions.
+		fx := float64(i%8) / 7
+		fy := float64(i/8) / 7
+		edge := Point{Lon: r.Min.Lon + fx*(r.Max.Lon-r.Min.Lon), Lat: r.Min.Lat + fy*(r.Max.Lat-r.Min.Lat)}
+		pr := NewProjection(edge)
+		for k := 0; k < 16; k++ {
+			ang := float64(k) / 16 * 2 * math.Pi
+			p := pr.ToPoint(Meters{X: halo * math.Cos(ang), Y: halo * math.Sin(ang)})
+			if Haversine(edge, p) > halo+1e-6 {
+				continue // projection overshoot; only in-halo points matter
+			}
+			if !ex.Contains(p) {
+				t.Fatalf("point %v within %vm of rect point %v escapes ExpandMeters(%v)", p, halo, edge, halo)
+			}
+		}
+	}
+}
+
+func TestExpandMetersZeroAndPoleClamp(t *testing.T) {
+	r := Rect{Min: Point{Lon: 10, Lat: 20}, Max: Point{Lon: 11, Lat: 21}}
+	if got := r.ExpandMeters(0); got != r {
+		t.Fatalf("ExpandMeters(0) = %v, want unchanged", got)
+	}
+	polar := Rect{Min: Point{Lon: -10, Lat: 89.9}, Max: Point{Lon: 10, Lat: 89.95}}
+	ex := polar.ExpandMeters(50_000)
+	if ex.Max.Lat != 90 {
+		t.Fatalf("polar expand Max.Lat = %v, want clamp at 90", ex.Max.Lat)
+	}
+	if ex.Min.Lon != -180 || ex.Max.Lon != 180 {
+		t.Fatalf("polar expand lon span = [%v, %v], want full circle", ex.Min.Lon, ex.Max.Lon)
+	}
+}
+
+func TestRectIntersectionAndDegArea(t *testing.T) {
+	a := Rect{Min: Point{Lon: 0, Lat: 0}, Max: Point{Lon: 2, Lat: 2}}
+	b := Rect{Min: Point{Lon: 1, Lat: 1}, Max: Point{Lon: 3, Lat: 4}}
+	inter, ok := a.Intersection(b)
+	if !ok {
+		t.Fatal("overlapping rects reported disjoint")
+	}
+	want := Rect{Min: Point{Lon: 1, Lat: 1}, Max: Point{Lon: 2, Lat: 2}}
+	if inter != want {
+		t.Fatalf("Intersection = %v, want %v", inter, want)
+	}
+	if got := inter.DegArea(); got != 1 {
+		t.Fatalf("DegArea = %v, want 1", got)
+	}
+	far := Rect{Min: Point{Lon: 10, Lat: 10}, Max: Point{Lon: 11, Lat: 11}}
+	if _, ok := a.Intersection(far); ok {
+		t.Fatal("disjoint rects reported overlapping")
+	}
+	// Containment: intersection is the smaller rect, full coverage.
+	inner := Rect{Min: Point{Lon: 0.5, Lat: 0.5}, Max: Point{Lon: 1.5, Lat: 1.5}}
+	inter, ok = a.Intersection(inner)
+	if !ok || inter != inner {
+		t.Fatalf("Intersection with contained rect = %v ok=%v, want %v", inter, ok, inner)
+	}
+}

@@ -65,6 +65,19 @@ func (s *Stats) OverBudget(opts Options) bool {
 	return opts.MaxBadRows > 0 && s.TotalSkipped() > opts.MaxBadRows
 }
 
+// Merge folds another load's stats into s — row counts add, per-reason
+// skip counts add. Multi-file ingestion (one stats per input) reports
+// one aggregate this way.
+func (s *Stats) Merge(o Stats) {
+	s.Rows += o.Rows
+	if len(o.Skipped) > 0 && s.Skipped == nil {
+		s.Skipped = make(map[string]int)
+	}
+	for reason, count := range o.Skipped {
+		s.Skipped[reason] += count
+	}
+}
+
 // String renders the stats compactly, reasons in sorted order, e.g.
 // "9500 rows, 12 skipped (coord-nan:7 time:5)".
 func (s *Stats) String() string {

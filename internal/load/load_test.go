@@ -73,3 +73,25 @@ func TestRowErrorReasonAndUnwrap(t *testing.T) {
 		t.Errorf("Error() = %q", re.Error())
 	}
 }
+
+func TestStatsMerge(t *testing.T) {
+	var a Stats
+	a.Rows = 3
+	a.Skip("time")
+	b := Stats{Rows: 5, Skipped: map[string]int{"time": 2, "coord-nan": 1}}
+	a.Merge(b)
+	if a.Rows != 8 || a.Skipped["time"] != 3 || a.Skipped["coord-nan"] != 1 {
+		t.Fatalf("merged stats = %+v", a)
+	}
+
+	// Merging into a zero Stats allocates the map only when needed.
+	var c Stats
+	c.Merge(Stats{Rows: 2})
+	if c.Rows != 2 || c.Skipped != nil {
+		t.Fatalf("zero merge = %+v", c)
+	}
+	c.Merge(b)
+	if c.Rows != 7 || c.TotalSkipped() != 3 {
+		t.Fatalf("second merge = %+v", c)
+	}
+}

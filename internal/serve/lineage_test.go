@@ -3,11 +3,13 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -239,5 +241,80 @@ func TestLoadSnapshotLegacyFramingHasZeroLineage(t *testing.T) {
 	}
 	if snap := s.Snapshot(); snap.DiagramGeneration != 42 {
 		t.Fatalf("DiagramGeneration = %d, want 42", snap.DiagramGeneration)
+	}
+}
+
+// TestWatchPendingEmptyDir covers the cold-start race: csdserve points
+// at a checkpoint directory before the ingester publishes its first
+// generation. Pre-fix, LoadCurrent hard-failed and the watcher logged a
+// ResolveCurrent error on every tick; now the not-yet-published state
+// is a single "waiting" transition plus the csdm_serve_watch_pending
+// gauge, and the first published generation is adopted automatically.
+func TestWatchPendingEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	var logMu sync.Mutex
+	var logs []string
+	s := New(Config{Registry: reg, Logf: func(format string, args ...any) {
+		logMu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+	}})
+	if err := s.LoadCurrent(dir); err != nil {
+		t.Fatalf("LoadCurrent on a not-yet-published dir: %v", err)
+	}
+	if s.Ready() {
+		t.Fatal("ready with no snapshot")
+	}
+	if g, ok := reg.Gauge("csdm_serve_watch_pending"); !ok || g != 1 {
+		t.Fatalf("watch_pending after pending LoadCurrent = %v, %v; want 1", g, ok)
+	}
+
+	stop := s.StartWatch(2 * time.Millisecond)
+	defer stop()
+	// Let ~25 ticks elapse against the still-empty directory; the
+	// pre-fix watcher logged one resolve error per tick.
+	time.Sleep(50 * time.Millisecond)
+	logMu.Lock()
+	waiting := 0
+	for _, line := range logs {
+		if strings.Contains(line, "waiting for first generation") {
+			waiting++
+		}
+		if strings.Contains(line, "no CURRENT pointer") && !strings.Contains(line, "waiting") {
+			t.Fatalf("per-tick resolve error leaked to the log: %q", line)
+		}
+	}
+	logMu.Unlock()
+	if waiting > 1 {
+		t.Fatalf("watcher logged the pending transition %d times, want at most once", waiting)
+	}
+
+	// First generation lands: the watcher must adopt it and clear the
+	// pending gauge.
+	mgr, err := ckpt.New(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDiagram(t)
+	d.Generation = 1
+	if err := mgr.SaveGenerationDiagram(d); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if snap := s.Snapshot(); snap != nil && snap.DiagramGeneration == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never adopted the first published generation")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if g, ok := reg.Gauge("csdm_serve_watch_pending"); !ok || g != 0 {
+		t.Fatalf("watch_pending after first generation = %v, %v; want 0", g, ok)
+	}
+	if !s.Ready() {
+		t.Fatal("server not ready after adopting the first generation")
 	}
 }

@@ -19,6 +19,7 @@ const (
 	mGeneration     = "csdm_serve_snapshot_generation"
 	mDiagramGen     = "csdm_serve_diagram_generation"
 	mUnits          = "csdm_serve_snapshot_units"
+	mWatchPending   = "csdm_serve_watch_pending"
 	famReqSeconds   = "csdm_serve_request_seconds"
 )
 
@@ -50,6 +51,7 @@ func newMetrics(reg *obs.Registry) *metricsSet {
 	reg.Describe(mGeneration, "Generation of the live snapshot (increments on every successful swap).")
 	reg.Describe(mDiagramGen, "Diagram lineage generation of the live snapshot, from the .csdf framing header (0 for one-shot builds).")
 	reg.Describe(mUnits, "Semantic units in the live snapshot.")
+	reg.Describe(mWatchPending, "1 while the watcher is waiting for the checkpoint dir's first published generation, else 0.")
 	reg.Describe(famReqSeconds, "Latency of recognition-service requests, by route.")
 	// Seed every family at zero so /metrics is complete before the
 	// first event of each kind.
@@ -60,6 +62,7 @@ func newMetrics(reg *obs.Registry) *metricsSet {
 	reg.SetGauge(mGeneration, 0)
 	reg.SetGauge(mDiagramGen, 0)
 	reg.SetGauge(mUnits, 0)
+	reg.SetGauge(mWatchPending, 0)
 	for _, route := range routeNames {
 		reg.Add(obs.Label(mRequests, "route", route), 0)
 		m.reqHist[route] = reg.Histogram(obs.Label(famReqSeconds, "route", route), obs.DefBuckets)
@@ -79,6 +82,13 @@ func (m *metricsSet) observe(route string, seconds float64) {
 	if h := m.reqHist[route]; h != nil {
 		h.Observe(seconds)
 	}
+}
+func (m *metricsSet) watchPending(pending bool) {
+	v := 0.0
+	if pending {
+		v = 1.0
+	}
+	m.reg.SetGauge(mWatchPending, v)
 }
 func (m *metricsSet) setGeneration(gen, diagramGen int64, units int) {
 	m.reg.SetGauge(mGeneration, float64(gen))

@@ -7,6 +7,7 @@ import (
 	"csdm/internal/ckpt"
 	"csdm/internal/csd"
 	"csdm/internal/fault"
+	"csdm/internal/geo"
 	"csdm/internal/pattern"
 )
 
@@ -89,8 +90,8 @@ func (s *Server) reloadLocked() (*Snapshot, error) {
 		return nil, err
 	}
 	if old := s.snap.Load(); old != nil {
-		if ext := d.Extent(); !ext.Intersects(old.Extent) {
-			return nil, fmt.Errorf("serve: snapshot extent %v does not overlap live extent %v: refusing swap", ext, old.Extent)
+		if err := checkExtentOverlap(d.Extent(), old.Extent); err != nil {
+			return nil, err
 		}
 	}
 	// Everything the swap needs is validated before anything goes live:
@@ -108,6 +109,38 @@ func (s *Server) reloadLocked() (*Snapshot, error) {
 		s.SetPatterns(ps)
 	}
 	return snap, nil
+}
+
+// minExtentCoverage is the fraction of the live extent a replacement
+// snapshot must cover for the swap to proceed.
+const minExtentCoverage = 0.5
+
+// checkExtentOverlap decides whether a replacement snapshot's extent is
+// plausibly "the same city" as the live one. Corner-touching
+// rectangles technically intersect, so a bare Intersects let a
+// wrong-city snapshot through whenever its extent grazed the live one
+// by a sliver; conversely a legitimately *grown* extent (a re-mine
+// that picked up new suburbs, a sharded country build superseding one
+// city) is a superset, which must be accepted. Both fall out of
+// measuring how much of the live extent the replacement covers:
+// containment and supersets score 1.0, slivers score near 0, and
+// anything below minExtentCoverage is refused. A zero-area live
+// extent (a degenerate single-point diagram) has no coverage to
+// measure and falls back to plain intersection.
+func checkExtentOverlap(ext, live geo.Rect) error {
+	inter, ok := ext.Intersection(live)
+	if !ok {
+		return fmt.Errorf("serve: snapshot extent %v does not overlap live extent %v: refusing swap", ext, live)
+	}
+	liveArea := live.DegArea()
+	if liveArea <= 0 {
+		return nil
+	}
+	if cov := inter.DegArea() / liveArea; cov < minExtentCoverage {
+		return fmt.Errorf("serve: snapshot extent %v does not overlap live extent %v enough (%.0f%% covered, need %.0f%%): refusing swap",
+			ext, live, cov*100, minExtentCoverage*100)
+	}
+	return nil
 }
 
 // generation returns the live snapshot's generation (0 before the

@@ -12,8 +12,10 @@ import (
 	"testing"
 	"time"
 
+	"csdm/internal/csd"
 	"csdm/internal/geo"
 	"csdm/internal/obs"
+	"csdm/internal/poi"
 )
 
 func TestLoadSnapshotAndReload(t *testing.T) {
@@ -243,5 +245,112 @@ func TestConcurrentHotSwap(t *testing.T) {
 	// Six valid swaps on top of the initial load.
 	if gen := s.Snapshot().Generation; gen != 1+int64((rounds+1)/2) {
 		t.Fatalf("final generation = %d, want %d", gen, 1+(rounds+1)/2)
+	}
+}
+
+// TestReloadAcceptsGrownExtent reloads a snapshot whose extent strictly
+// contains the live one — a re-mine that picked up new territory, or a
+// sharded country build superseding a single-city diagram. Growth is a
+// legitimate update, not a wrong-city deploy: the swap must proceed.
+func TestReloadAcceptsGrownExtent(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{})
+	path := writeSnapshot(t, dir, testDiagram(t))
+	if err := s.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	live := s.Snapshot()
+
+	grown := grownDiagram(t)
+	if !grown.Extent().Contains(live.Extent.Min) || !grown.Extent().Contains(live.Extent.Max) {
+		t.Fatalf("test setup: grown extent %v does not contain live extent %v", grown.Extent(), live.Extent)
+	}
+	writeSnapshotTo(t, path, grown)
+
+	snap, err := s.Reload()
+	if err != nil {
+		t.Fatalf("Reload of a grown-extent snapshot refused: %v", err)
+	}
+	if snap.Generation != live.Generation+1 {
+		t.Fatalf("generation after grown reload = %d, want %d", snap.Generation, live.Generation+1)
+	}
+}
+
+// TestReloadRefusesSliverOverlap overwrites the snapshot with a
+// diagram for an adjacent area whose extent grazes the live one by a
+// few meters. The extents DO intersect — the pre-fix bare Intersects
+// check waved this wrong-city snapshot through — but the overlap
+// covers a tiny fraction of the live extent, so the swap must be
+// refused and the old diagram kept live.
+func TestReloadRefusesSliverOverlap(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{})
+	path := writeSnapshot(t, dir, testDiagram(t))
+	if err := s.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	live := s.Snapshot()
+
+	// Shift the whole city east until only a sliver of its extent still
+	// touches the live one.
+	pr := geo.NewProjection(origin)
+	sliver := testDiagramAt(t, pr.ToPoint(geo.Meters{X: 110, Y: 0}))
+	if !sliver.Extent().Intersects(live.Extent) {
+		t.Fatalf("test setup: sliver extent %v is disjoint from live extent %v (the pre-fix check would refuse it too)",
+			sliver.Extent(), live.Extent)
+	}
+	writeSnapshotTo(t, path, sliver)
+
+	if _, err := s.Reload(); err == nil || !strings.Contains(err.Error(), "does not overlap") {
+		t.Fatalf("Reload of a sliver-overlap snapshot: err = %v, want extent refusal", err)
+	}
+	if got := s.Snapshot(); got != live {
+		t.Fatal("sliver-overlap reload swapped the snapshot")
+	}
+}
+
+// grownDiagram builds the testDiagram city plus far-flung corner
+// territory, so its extent strictly contains testDiagram's.
+func grownDiagram(tb testing.TB) *csd.Diagram {
+	tb.Helper()
+	pr := geo.NewProjection(origin)
+	pt := func(x, y float64) geo.Point { return pr.ToPoint(geo.Meters{X: x, Y: y}) }
+	var pois []poi.POI
+	var id int64 = 1
+	add := func(x, y float64, minor poi.Minor) {
+		pois = append(pois, poi.POI{ID: id, Location: pt(x, y), Minor: minor})
+		id++
+	}
+	for i := 0; i < 8; i++ {
+		add(-40+float64(i%4)*6, float64(i/4)*6-3, poi.MinorsOf(poi.ShopMarket)[0])
+	}
+	for i := 0; i < 6; i++ {
+		add(60+float64(i%3)*6, float64(i/3)*6-3, poi.MinorsOf(poi.Restaurant)[0])
+	}
+	// Corner outposts push the extent well beyond the live city.
+	add(-220, -60, poi.MinorsOf(poi.ShopMarket)[0])
+	add(240, 60, poi.MinorsOf(poi.Restaurant)[0])
+	var stays []geo.Point
+	for i := 0; i < 120; i++ {
+		stays = append(stays, pt(-40+float64(i%30), float64(i%20)-10))
+	}
+	for i := 0; i < 30; i++ {
+		stays = append(stays, pt(60+float64(i%15), float64(i%10)-5))
+	}
+	return csd.Build(pois, stays, csd.DefaultParams())
+}
+
+// writeSnapshotTo overwrites path with d (framed .csdf).
+func writeSnapshotTo(tb testing.TB, path string, d *csd.Diagram) {
+	tb.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := d.Write(f); err != nil {
+		tb.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		tb.Fatal(err)
 	}
 }

@@ -36,6 +36,7 @@
 package serve
 
 import (
+	"errors"
 	"net"
 	"net/http"
 	"runtime"
@@ -265,10 +266,25 @@ func (s *Server) LoadPatterns(path string) error {
 // names. The directory is remembered: every Reload re-resolves
 // CURRENT first, so a SIGHUP — or StartWatch — follows the lineage to
 // whatever generation is published now.
+//
+// A directory with no CURRENT yet is the normal cold-start race —
+// csdserve came up before the ingester published its first generation.
+// That is not an error: the directory is still remembered (so the
+// watcher adopts the first generation the moment it lands), the
+// csdm_serve_watch_pending gauge goes to 1, and the server answers 503
+// on recognition routes until then.
 func (s *Server) LoadCurrent(dir string) error {
 	path, err := ckpt.ResolveCurrent(dir)
 	if err != nil {
-		return err
+		if !errors.Is(err, ckpt.ErrNoCurrent) {
+			return err
+		}
+		s.reloadMu.Lock()
+		s.currentDir = dir
+		s.reloadMu.Unlock()
+		s.met.watchPending(true)
+		s.cfg.logf("no generation published in %s yet; serving unready until one lands", dir)
+		return nil
 	}
 	if err := s.LoadSnapshot(path); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"time"
 
 	"csdm/internal/ckpt"
@@ -16,6 +17,13 @@ import (
 // portable and is cheap at ingestion cadence: one ReadFile of a
 // one-line pointer per tick.
 //
+// A checkpoint directory with no CURRENT yet is not an error — it is
+// the normal state when csdserve starts before the ingester publishes
+// its first generation. That condition logs a single "waiting" line on
+// entry (not one per tick) and is exposed as the
+// csdm_serve_watch_pending gauge; any other resolve failure is a real
+// error and stays logged per occurrence.
+//
 // The returned stop function terminates the watcher and waits for a
 // poll in flight to finish; it is safe to call once.
 func (s *Server) StartWatch(interval time.Duration) (stop func()) {
@@ -28,6 +36,7 @@ func (s *Server) StartWatch(interval time.Duration) (stop func()) {
 		defer close(finished)
 		t := time.NewTicker(interval)
 		defer t.Stop()
+		pending := false
 		for {
 			select {
 			case <-done:
@@ -42,8 +51,20 @@ func (s *Server) StartWatch(interval time.Duration) (stop func()) {
 			}
 			path, err := ckpt.ResolveCurrent(dir)
 			if err != nil {
+				if errors.Is(err, ckpt.ErrNoCurrent) {
+					if !pending {
+						pending = true
+						s.met.watchPending(true)
+						s.cfg.logf("watch: waiting for first generation in %s", dir)
+					}
+					continue
+				}
 				s.cfg.logf("watch: %v", err)
 				continue
+			}
+			if pending {
+				pending = false
+				s.met.watchPending(false)
 			}
 			if path == loaded {
 				continue

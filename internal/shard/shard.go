@@ -1,0 +1,133 @@
+// Package shard partitions a CSD build into geographic tiles so that
+// country-scale inputs run with memory bounded by the largest tile's
+// halo, not the whole corpus — while producing a diagram bit-identical
+// to the monolithic build.
+//
+// The decomposition leans on one property of the popularity model
+// (Eq. 2–3): the Gaussian kernel has compact R3σ support, so a POI's
+// popularity depends only on the stay points within R3σ of it. Each
+// tile owns a disjoint set of POIs (ownership is pure index arithmetic
+// over the extent, so every POI has exactly one owner) and loads the
+// stay points inside its halo — the owned region expanded by at least
+// R3σ. A stay near a tile boundary is therefore *loaded* by several
+// tiles but *counted* once per POI, because each POI is summed by its
+// single owner. Per-POI sums run in ascending stay-id order against an
+// exact-Haversine range structure, so the float-addition chain is the
+// monolithic one bit for bit (see DESIGN.md §5j).
+//
+// Everything after popularity (Algorithms 1–2, unit merging) runs
+// globally over the per-POI vector via csd.BuildFromPopularity —
+// merging in particular is a global union-find whose candidate pairs
+// are bounded by MergeDist, so only units near tile boundaries (halo
+// units) can actually fuse across shards.
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"csdm/internal/geo"
+)
+
+// Tile is one shard of the plan: a rectangle of owned territory plus
+// the conservative halo its stay loads must cover.
+type Tile struct {
+	// ID is the tile's index in Plan.Tiles (row-major).
+	ID int
+	// Row and Col locate the tile in the grid.
+	Row, Col int
+	// Rect is the owned region. Ownership is decided by Plan.Owner's
+	// index arithmetic, not by Rect containment — Rect is descriptive
+	// (floating-point rounding can put a boundary point a ULP outside
+	// the rectangle its arithmetic owner implies, which is why Build
+	// re-anchors each halo on the owned POIs themselves).
+	Rect geo.Rect
+	// Halo is Rect expanded by the plan's halo distance — the region a
+	// shard's stay loads must at least cover for popularity exactness.
+	Halo geo.Rect
+}
+
+// Plan is a rows×cols tiling of an extent.
+type Plan struct {
+	Extent     geo.Rect
+	Rows, Cols int
+	// HaloMeters is the halo distance (the kernel's R3σ for exactness).
+	HaloMeters float64
+	// Tiles lists the shards in row-major order.
+	Tiles []Tile
+}
+
+// NewPlan tiles extent into rows×cols shards with the given halo.
+func NewPlan(extent geo.Rect, rows, cols int, haloMeters float64) (*Plan, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("shard: tiling must be at least 1x1, got %dx%d", rows, cols)
+	}
+	if haloMeters < 0 {
+		return nil, fmt.Errorf("shard: negative halo %v", haloMeters)
+	}
+	p := &Plan{Extent: extent, Rows: rows, Cols: cols, HaloMeters: haloMeters}
+	lonSpan := extent.Max.Lon - extent.Min.Lon
+	latSpan := extent.Max.Lat - extent.Min.Lat
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			rect := geo.Rect{
+				Min: geo.Point{
+					Lon: extent.Min.Lon + lonSpan*float64(c)/float64(cols),
+					Lat: extent.Min.Lat + latSpan*float64(r)/float64(rows),
+				},
+				Max: geo.Point{
+					Lon: extent.Min.Lon + lonSpan*float64(c+1)/float64(cols),
+					Lat: extent.Min.Lat + latSpan*float64(r+1)/float64(rows),
+				},
+			}
+			p.Tiles = append(p.Tiles, Tile{
+				ID:   len(p.Tiles),
+				Row:  r,
+				Col:  c,
+				Rect: rect,
+				Halo: rect.ExpandMeters(haloMeters),
+			})
+		}
+	}
+	return p, nil
+}
+
+// Owner returns the ID of the tile that owns pt. Ownership is a true
+// partition: index arithmetic with clamping assigns every point —
+// including points on tile boundaries or outside the extent — to
+// exactly one tile.
+func (p *Plan) Owner(pt geo.Point) int {
+	row := gridIndex(pt.Lat, p.Extent.Min.Lat, p.Extent.Max.Lat, p.Rows)
+	col := gridIndex(pt.Lon, p.Extent.Min.Lon, p.Extent.Max.Lon, p.Cols)
+	return row*p.Cols + col
+}
+
+func gridIndex(v, lo, hi float64, n int) int {
+	span := hi - lo
+	if span <= 0 {
+		return 0
+	}
+	i := int((v - lo) / span * float64(n))
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// ParseTiling parses a "RxC" flag value ("3x3", "2x4") into rows and
+// columns.
+func ParseTiling(s string) (rows, cols int, err error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
+	if len(parts) == 2 {
+		r, errR := strconv.Atoi(parts[0])
+		c, errC := strconv.Atoi(parts[1])
+		if errR == nil && errC == nil && r >= 1 && c >= 1 {
+			return r, c, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("shard: bad tiling %q (want RxC, e.g. 3x3)", s)
+}

@@ -62,19 +62,37 @@ func ReadJourneysCSV(r io.Reader) ([]Journey, error) {
 // exceeded. With a trace attached each reason is published as a
 // load.journeys.skipped.<reason> counter.
 func ReadJourneysCSVOptions(r io.Reader, opts load.Options) ([]Journey, load.Stats, error) {
+	var out []Journey
+	stats, err := StreamJourneysCSV(r, opts, func(j Journey) error {
+		out = append(out, j)
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// StreamJourneysCSV is ReadJourneysCSVOptions without the
+// materialization: each parsed journey is handed to fn in stream order
+// and never retained, so a caller can spill a country-scale corpus
+// into an out-of-core store with O(1) memory. A non-nil error from fn
+// aborts the stream and is returned as-is. The failure policy (strict,
+// lenient, bad-row budget, stall guard) is identical to the
+// materializing reader.
+func StreamJourneysCSV(r io.Reader, opts load.Options, fn func(Journey) error) (load.Stats, error) {
 	var stats load.Stats
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(journeyHeader)
 	header, err := cr.Read()
 	if err != nil {
-		return nil, stats, fmt.Errorf("trajectory: read header: %w", err)
+		return stats, fmt.Errorf("trajectory: read header: %w", err)
 	}
 	for i, col := range journeyHeader {
 		if header[i] != col {
-			return nil, stats, fmt.Errorf("trajectory: header column %d: got %q, want %q", i, header[i], col)
+			return stats, fmt.Errorf("trajectory: header column %d: got %q, want %q", i, header[i], col)
 		}
 	}
-	var out []Journey
 	for line := 2; ; line++ {
 		offset := cr.InputOffset()
 		rec, err := cr.Read()
@@ -84,27 +102,29 @@ func ReadJourneysCSVOptions(r io.Reader, opts load.Options) ([]Journey, load.Sta
 		if err == nil {
 			var j Journey
 			if j, err = parseJourney(rec); err == nil {
-				out = append(out, j)
 				stats.Rows++
+				if ferr := fn(j); ferr != nil {
+					return stats, ferr
+				}
 				continue
 			}
 		}
 		if !opts.Lenient {
-			return nil, stats, fmt.Errorf("trajectory: line %d: %w", line, err)
+			return stats, fmt.Errorf("trajectory: line %d: %w", line, err)
 		}
 		stats.Skip(load.Reason(err))
 		if stats.OverBudget(opts) {
 			stats.Note(opts.Trace, "journeys")
-			return nil, stats, fmt.Errorf("trajectory: line %d: %w after %d skipped rows: %w", line, load.ErrBudget, stats.TotalSkipped(), err)
+			return stats, fmt.Errorf("trajectory: line %d: %w after %d skipped rows: %w", line, load.ErrBudget, stats.TotalSkipped(), err)
 		}
 		if cr.InputOffset() == offset {
 			// The reader could not get past the damage; bail out rather
 			// than spin on the same offset forever.
-			return nil, stats, fmt.Errorf("trajectory: line %d: unrecoverable: %w", line, err)
+			return stats, fmt.Errorf("trajectory: line %d: unrecoverable: %w", line, err)
 		}
 	}
 	stats.Note(opts.Trace, "journeys")
-	return out, stats, nil
+	return stats, nil
 }
 
 func parseJourney(rec []string) (Journey, error) {

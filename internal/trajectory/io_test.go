@@ -2,10 +2,12 @@ package trajectory
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
+	"csdm/internal/load"
 	"csdm/internal/poi"
 )
 
@@ -88,5 +90,59 @@ func TestSemanticJSONRejectsInvalid(t *testing.T) {
 	}
 	if _, err := ReadSemanticJSON(strings.NewReader(`[`)); err == nil {
 		t.Error("accepted truncated JSON")
+	}
+}
+
+func TestStreamJourneysCSV(t *testing.T) {
+	js := sampleJourneys()
+	var buf bytes.Buffer
+	if err := WriteJourneysCSV(&buf, js); err != nil {
+		t.Fatal(err)
+	}
+	var got []Journey
+	stats, err := StreamJourneysCSV(&buf, load.Options{}, func(j Journey) error {
+		got = append(got, j)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rows != len(js) || len(got) != len(js) {
+		t.Fatalf("streamed %d rows (stats %d), want %d", len(got), stats.Rows, len(js))
+	}
+	for i := range js {
+		if got[i].Pickup != js[i].Pickup || got[i].Dropoff != js[i].Dropoff {
+			t.Fatalf("journey %d location mismatch", i)
+		}
+	}
+
+	// A callback error aborts the stream and surfaces unchanged.
+	if err := WriteJourneysCSV(&buf, js); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop here")
+	n := 0
+	_, err = StreamJourneysCSV(&buf, load.Options{}, func(Journey) error {
+		n++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Fatalf("callback abort: err = %v after %d rows, want sentinel after 1", err, n)
+	}
+
+	// Lenient mode skips damage and keeps streaming, like the
+	// materializing reader.
+	valid := "taxi_id,passenger_id,pickup_lon,pickup_lat,pickup_time,dropoff_lon,dropoff_lat,dropoff_time\n"
+	data := valid +
+		"1,0,121,31,2015-04-06T08:00:00Z,121,31,2015-04-06T09:00:00Z\n" +
+		"x,0,121,31,2015-04-06T08:00:00Z,121,31,2015-04-06T09:00:00Z\n" +
+		"2,0,121,31,2015-04-06T08:00:00Z,121,31,2015-04-06T09:00:00Z\n"
+	n = 0
+	stats, err = StreamJourneysCSV(strings.NewReader(data), load.Options{Lenient: true}, func(Journey) error {
+		n++
+		return nil
+	})
+	if err != nil || n != 2 || stats.Rows != 2 || stats.TotalSkipped() != 1 {
+		t.Fatalf("lenient stream: n=%d stats=%v err=%v", n, stats, err)
 	}
 }
